@@ -1,0 +1,135 @@
+//! Extension benches: the design-choice ablations DESIGN.md commits to.
+//!
+//! * which workload property flips Worrell's conclusion;
+//! * 43-byte vs serialised message costing;
+//! * self-tuning vs fixed Alex thresholds.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use webcache::experiments::ablations::{
+    costing_ablation, selftuning_comparison, workload_ablation,
+};
+use webcache::{generate_synthetic, ProtocolSpec, Workload, WorrellConfig};
+use webtrace::campus::{generate_campus_trace, CampusProfile};
+
+fn regenerate() {
+    // 1. Workload ablation: Worrell -> trace-like, one knob at a time.
+    let rows = workload_ablation(800, 30_000, 1996);
+    let mut text = String::from(
+        "== Ablation: which workload property flips the conclusion ==\n\
+         variant                                                    alex20 MB   inval MB  stale%  weak wins?\n",
+    );
+    for r in &rows {
+        text.push_str(&format!(
+            "{:<58}{:>10.3}{:>11.3}{:>8.2}{:>12}\n",
+            r.variant,
+            r.alex.total_mb(),
+            r.invalidation.total_mb(),
+            r.weak_stale_pct(),
+            if r.weak_wins_bandwidth() { "yes" } else { "no" }
+        ));
+    }
+    wcc_bench::print_artifact(&text);
+
+    // 2. Costing ablation on a trace workload.
+    let campus = generate_campus_trace(&CampusProfile::hcs(), 1996);
+    let wl = Workload::from_server_trace(&campus.trace);
+    let (paper, wire) = costing_ablation(&wl, ProtocolSpec::Alex(20));
+    println!(
+        "costing ablation (HCS, Alex@20%): 43-byte messages {:.3} MB vs serialised HTTP {:.3} MB (behaviour identical: {})",
+        paper.total_mb(),
+        wire.total_mb(),
+        paper.cache == wire.cache
+    );
+
+    // 3. Bounded-cache capacity sweep.
+    println!("\nbounded-cache sweep (HCS, Alex@30%): capacity -> (MB, evictions, miss%)");
+    for p in webcache::experiments::ablations::capacity_sweep(
+        &wl,
+        ProtocolSpec::Alex(30),
+        &[0.02, 0.1, 0.5, 2.0],
+    ) {
+        println!(
+            "  {:>4.0}% -> ({:.2} MB, {}, {:.2}%)",
+            100.0 * p.capacity_fraction,
+            p.result.total_mb(),
+            p.evictions,
+            p.result.miss_pct()
+        );
+    }
+
+    // 4. Latency comparison (the §3 trade, quantified).
+    println!("\nmean latency (150ms RTT, 28.8k link):");
+    for (name, ms) in webcache::experiments::ablations::latency_comparison(&wl, 150.0, 3_600.0) {
+        println!("  {name:<18}: {ms:>7.1} ms/request");
+    }
+
+    // 5. Invalidation under a notification partition.
+    let outages = vec![webcache::experiments::failure::Outage {
+        from: wl.start + simcore::SimDuration::from_days(5),
+        until: wl.start + simcore::SimDuration::from_days(5) + simcore::SimDuration::from_hours(12),
+    }];
+    let (part, alex10) = webcache::experiments::failure::resilience_comparison(&wl, &outages, 10);
+    println!(
+        "\npartitioned invalidation (12h outage): {} stale, {} failed attempts; Alex@10%: {} stale, 0 retry state",
+        part.result.cache.stale_hits, part.failed_attempts, alex10.cache.stale_hits
+    );
+
+    // 6. Proxy placement vs remote share.
+    println!("\ndeployment (Alex@20%): trace (remote%) no-proxy/boundary/universal ops");
+    for row in
+        webcache::experiments::deployment::deployment_comparison(ProtocolSpec::Alex(20), 1996, 4)
+    {
+        println!(
+            "  {} ({:.0}%): {} / {} / {}",
+            row.trace,
+            100.0 * row.remote_fraction,
+            row.no_proxy_ops,
+            row.boundary_ops,
+            row.universal_ops
+        );
+    }
+
+    // 7. Self-tuning vs fixed thresholds.
+    let (tuned, fixed) = selftuning_comparison(&wl, &[5, 10, 20, 50, 100]);
+    println!("\nself-tuning vs fixed Alex (HCS trace):");
+    println!(
+        "  self-tuning : {:.3} MB, stale {:.2}%, {} server ops",
+        tuned.total_mb(),
+        tuned.stale_pct(),
+        tuned.server_ops()
+    );
+    for (pct, r) in &fixed {
+        println!(
+            "  fixed {pct:>3}%  : {:.3} MB, stale {:.2}%, {} server ops",
+            r.total_mb(),
+            r.stale_pct(),
+            r.server_ops()
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let wl = generate_synthetic(&WorrellConfig::scaled(150, 6_000), 1996);
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("selftuning_run", |b| {
+        b.iter(|| {
+            black_box(webcache::run(
+                &wl,
+                ProtocolSpec::SelfTuning,
+                &webcache::SimConfig::optimized(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    regenerate();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

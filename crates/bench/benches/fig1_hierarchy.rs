@@ -1,0 +1,31 @@
+//! Figure 1: hierarchy-collapse bias — regeneration + timing.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use webcache::experiments::hierarchy_bias::{collapse_is_conservative, run_figure1};
+use webcache::experiments::report::render_figure1;
+
+fn regenerate() {
+    let rows = run_figure1();
+    wcc_bench::print_artifact(&render_figure1(&rows));
+    for row in &rows {
+        assert!(
+            collapse_is_conservative(row),
+            "collapse favoured time-based in {}",
+            row.scenario
+        );
+    }
+    println!("invariant: collapsing the hierarchy never favours time-based protocols — HOLDS\n");
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig1/scenarios", |b| b.iter(|| black_box(run_figure1())));
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    regenerate();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

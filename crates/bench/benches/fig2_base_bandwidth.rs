@@ -1,0 +1,40 @@
+//! Figure 2: base-simulator bandwidth — regeneration + timing.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use webcache::experiments::base::run_base;
+use webcache::experiments::report::render_bandwidth_figure;
+use webcache::{run, ProtocolSpec, SimConfig};
+
+fn regenerate() {
+    let report = run_base(&wcc_bench::regeneration_scale());
+    wcc_bench::print_artifact(&render_bandwidth_figure(
+        "Figure 2: bandwidth (MB exchanged, log-scale in the paper)",
+        &report,
+    ));
+    let inval = report.invalidation.traffic.total_bytes();
+    let alex0 = report.alex.points[0].1.traffic.total_bytes();
+    println!(
+        "shape check: invalidation ({inval} B) beats Alex@0 ({alex0} B) — {}\n",
+        if inval < alex0 { "HOLDS" } else { "VIOLATED" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = wcc_bench::timing_scale();
+    let wl = webcache::generate_synthetic(&scale.worrell, scale.seed);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("base_run_ttl100", |b| {
+        b.iter(|| black_box(run(&wl, ProtocolSpec::Ttl(100), &SimConfig::base())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    regenerate();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,44 @@
+//! Figure 3: base-simulator miss and stale-hit rates — regeneration + timing.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use webcache::experiments::base::run_base;
+use webcache::experiments::report::render_missrate_figure;
+use webcache::{run, ProtocolSpec, SimConfig};
+
+fn regenerate() {
+    let report = run_base(&wcc_bench::regeneration_scale());
+    wcc_bench::print_artifact(&render_missrate_figure(
+        "Figure 3: cache miss and stale-hit rates",
+        &report,
+    ));
+    let last = &report.alex.points.last().expect("nonempty").1;
+    println!(
+        "shape check: stale hits grow with threshold (Alex@max stale {:.1}%) — {}\n",
+        last.stale_pct(),
+        if last.cache.stale_hits > 0 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = wcc_bench::timing_scale();
+    let wl = webcache::generate_synthetic(&scale.worrell, scale.seed);
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("base_run_alex40", |b| {
+        b.iter(|| black_box(run(&wl, ProtocolSpec::Alex(40), &SimConfig::base())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    regenerate();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

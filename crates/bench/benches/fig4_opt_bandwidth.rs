@@ -1,0 +1,46 @@
+//! Figure 4: optimized-simulator bandwidth — regeneration + timing.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use webcache::experiments::optimized::run_optimized;
+use webcache::experiments::report::render_bandwidth_figure;
+use webcache::{run, ProtocolSpec, SimConfig};
+
+fn regenerate() {
+    let report = run_optimized(&wcc_bench::regeneration_scale());
+    wcc_bench::print_artifact(&render_bandwidth_figure(
+        "Figure 4: bandwidth with If-Modified-Since retrieval",
+        &report,
+    ));
+    let inval = report.invalidation.traffic.total_bytes();
+    let below = report
+        .alex
+        .points
+        .iter()
+        .chain(&report.ttl.points)
+        .filter(|(p, r)| *p > 0.0 && r.traffic.total_bytes() < inval)
+        .count();
+    let total = report.alex.points.len() + report.ttl.points.len() - 2;
+    println!(
+        "shape check: weak protocols below invalidation at {below}/{total} non-degenerate settings\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = wcc_bench::timing_scale();
+    let wl = webcache::generate_synthetic(&scale.worrell, scale.seed);
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("optimized_run_ttl100", |b| {
+        b.iter(|| black_box(run(&wl, ProtocolSpec::Ttl(100), &SimConfig::optimized())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    regenerate();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

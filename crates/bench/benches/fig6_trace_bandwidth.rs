@@ -1,0 +1,54 @@
+//! Figure 6: trace-driven bandwidth (DAS/FAS/HCS average) — regeneration
+//! + timing.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use webcache::experiments::report::render_bandwidth_figure;
+use webcache::experiments::traced::run_traced;
+use webcache::{run, ProtocolSpec, SimConfig, Workload};
+use webtrace::campus::{generate_campus_trace, CampusProfile};
+
+fn regenerate() {
+    let traced = run_traced(&wcc_bench::regeneration_scale());
+    wcc_bench::print_artifact(&render_bandwidth_figure(
+        "Figure 6: bandwidth, average of FAS/HCS/DAS traces",
+        &traced.averaged,
+    ));
+    for per in &traced.per_trace {
+        println!(
+            "{:>10}: invalidation {:.3} MB",
+            per.name,
+            per.invalidation.total_mb()
+        );
+    }
+    let inval = traced.averaged.invalidation.traffic.total_bytes();
+    let alex_max = &traced.averaged.alex.points.last().expect("nonempty").1;
+    println!(
+        "\nshape check: Alex@max ({} B) below invalidation ({inval} B) — {}\n",
+        alex_max.traffic.total_bytes(),
+        if alex_max.traffic.total_bytes() < inval {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let campus = generate_campus_trace(&CampusProfile::fas(), 1996);
+    let wl = Workload::from_server_trace(&campus.trace).subsample(8);
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("trace_run_alex20_fas", |b| {
+        b.iter(|| black_box(run(&wl, ProtocolSpec::Alex(20), &SimConfig::optimized())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    regenerate();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,52 @@
+//! Figure 7: trace-driven miss and stale rates — regeneration + timing.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use webcache::experiments::report::render_missrate_figure;
+use webcache::experiments::traced::run_traced;
+use webcache::{run, ProtocolSpec, SimConfig, Workload};
+use webtrace::campus::{generate_campus_trace, CampusProfile};
+
+fn regenerate() {
+    let traced = run_traced(&wcc_bench::regeneration_scale());
+    wcc_bench::print_artifact(&render_missrate_figure(
+        "Figure 7: miss and stale rates on the campus traces",
+        &traced.averaged,
+    ));
+    let worst_stale = traced
+        .averaged
+        .alex
+        .points
+        .iter()
+        .chain(&traced.averaged.ttl.points)
+        .map(|(_, r)| r.stale_pct())
+        .fold(0.0f64, f64::max);
+    println!(
+        "shape check: stale rate stays under 5% everywhere (worst {:.3}%) — {}\n",
+        worst_stale,
+        if worst_stale < 5.0 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let campus = generate_campus_trace(&CampusProfile::hcs(), 1996);
+    let wl = Workload::from_server_trace(&campus.trace).subsample(8);
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("trace_run_ttl100_hcs", |b| {
+        b.iter(|| black_box(run(&wl, ProtocolSpec::Ttl(100), &SimConfig::optimized())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    regenerate();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,62 @@
+//! Figure 8: server load per protocol — regeneration + timing.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use webcache::experiments::report::render_server_load_figure;
+use webcache::experiments::traced::run_traced;
+use webcache::{run, ProtocolSpec, SimConfig, Workload};
+use webtrace::campus::{generate_campus_trace, CampusProfile};
+
+fn regenerate() {
+    let traced = run_traced(&wcc_bench::regeneration_scale());
+    wcc_bench::print_artifact(&render_server_load_figure(
+        "Figure 8: server operations",
+        &traced.averaged,
+    ));
+    let inval_ops = traced.averaged.invalidation.server_ops();
+    let alex0_ops = traced.averaged.alex.points[0].1.server_ops();
+    println!(
+        "shape check: Alex@0 = {alex0_ops} ops vs invalidation = {inval_ops} ops ({}x) — paper reports ~two orders of magnitude",
+        alex0_ops / inval_ops.max(1)
+    );
+    // TTL always above invalidation.
+    let ttl_always_above = traced
+        .averaged
+        .ttl
+        .points
+        .iter()
+        .all(|(_, r)| r.server_ops() > inval_ops);
+    println!(
+        "shape check: TTL server load above invalidation at every setting — {}\n",
+        if ttl_always_above {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let campus = generate_campus_trace(&CampusProfile::das(), 1996);
+    let wl = Workload::from_server_trace(&campus.trace).subsample(8);
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("trace_run_invalidation_das", |b| {
+        b.iter(|| {
+            black_box(run(
+                &wl,
+                ProtocolSpec::Invalidation,
+                &SimConfig::optimized(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    regenerate();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the substrates: event queue, cache stores, policy
+//! decisions, HTTP serialisation, RNG, and samplers.
+
+use consistency::{AdaptiveTtl, FixedTtl, Policy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use httpsim::{HttpDate, Request, Response};
+use proxycache::{EntryMeta, LruStore, Store, UnboundedStore};
+use rand::RngCore;
+use simcore::{EventQueue, FileId, SimTime};
+use simstats::{DetRng, ZipfDist};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("simcore/event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_secs(i * 7919 % 1000), i);
+            }
+            let mut total = 0u64;
+            while let Some((_, v)) = q.pop() {
+                total += v;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_stores(c: &mut Criterion) {
+    c.bench_function("proxycache/unbounded_insert_access_1k", |b| {
+        b.iter(|| {
+            let mut s = UnboundedStore::new();
+            for i in 0..1_000u32 {
+                s.insert(
+                    FileId(i),
+                    EntryMeta::fresh(100, SimTime::ZERO, SimTime::ZERO),
+                );
+            }
+            for i in 0..1_000u32 {
+                black_box(s.access(FileId(i % 997), SimTime::from_secs(u64::from(i))));
+            }
+        })
+    });
+    c.bench_function("proxycache/lru_churn_1k", |b| {
+        b.iter(|| {
+            let mut s = LruStore::new(50_000);
+            for i in 0..1_000u32 {
+                s.insert(
+                    FileId(i),
+                    EntryMeta::fresh(100, SimTime::ZERO, SimTime::ZERO),
+                );
+            }
+            black_box(s.evictions())
+        })
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut entry = EntryMeta::fresh(100, SimTime::from_secs(0), SimTime::from_secs(0));
+    entry.revalidate(SimTime::from_secs(1_000_000));
+    let alex = AdaptiveTtl::percent(10);
+    let ttl = FixedTtl::hours(100);
+    c.bench_function("consistency/alex_expiry", |b| {
+        b.iter(|| black_box(alex.expiry(&entry, 0)))
+    });
+    c.bench_function("consistency/ttl_expiry", |b| {
+        b.iter(|| black_box(ttl.expiry(&entry, 0)))
+    });
+}
+
+fn bench_http(c: &mut Criterion) {
+    let date = HttpDate(820_454_400);
+    c.bench_function("httpsim/conditional_get_round_trip", |b| {
+        b.iter(|| {
+            let req = Request::get_if_modified_since("/dept/index.html", date);
+            let text = req.serialize();
+            black_box(Request::parse(&text).expect("round trip"))
+        })
+    });
+    c.bench_function("httpsim/response_serialize", |b| {
+        b.iter(|| black_box(Response::ok(date, date, 7_791).serialize_headers()))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    c.bench_function("simstats/detrng_u64", |b| {
+        let mut rng = DetRng::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    c.bench_function("simstats/zipf_sample_10k_ranks", |b| {
+        let zipf = ZipfDist::new(10_000, 1.0);
+        let mut rng = DetRng::seed_from_u64(2);
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_stores,
+    bench_policies,
+    bench_http,
+    bench_stats
+);
+criterion_main!(benches);

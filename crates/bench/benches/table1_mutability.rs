@@ -1,0 +1,45 @@
+//! Table 1: campus-server mutability statistics — regeneration + timing.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use webcache::experiments::report::render_table1;
+use webcache::experiments::tables::{table1, TABLE1_PAPER};
+use webtrace::campus::{generate_campus_trace, CampusProfile};
+
+fn regenerate() {
+    let rows = table1(1996);
+    wcc_bench::print_artifact(&render_table1(&rows));
+    println!("paper-vs-measured:");
+    for (row, paper) in rows.iter().zip(TABLE1_PAPER.iter()) {
+        println!(
+            "  {:<4} files {}/{} requests {}/{} changes {}/{} mutable% {:.2}/{:.2}",
+            paper.server,
+            row.files,
+            paper.files,
+            row.requests,
+            paper.requests,
+            row.total_changes,
+            paper.total_changes,
+            row.mutable_pct,
+            paper.mutable_pct,
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("generate_hcs_trace", |b| {
+        b.iter(|| black_box(generate_campus_trace(&CampusProfile::hcs(), 1996)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    regenerate();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

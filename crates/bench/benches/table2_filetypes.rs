@@ -1,0 +1,50 @@
+//! Table 2: file-type access mix and lifetimes — regeneration + timing.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use webcache::experiments::report::render_table2;
+use webcache::experiments::tables::{table2, TABLE2_PAPER};
+use webtrace::bu::{generate_bu_study, BuProfile};
+
+fn regenerate() {
+    let rows = table2(1996, 150_000);
+    wcc_bench::print_artifact(&render_table2(&rows));
+    println!("paper-vs-measured (access% / size / age / lifespan):");
+    let fmt = |v: Option<f64>| v.map_or("NA".to_string(), |x| format!("{x:.0}"));
+    for (row, paper) in rows.iter().zip(TABLE2_PAPER.iter()) {
+        println!(
+            "  {:<6} {:.1}%/{:.1}%  {:.0}/{}  {}/{}  {}/{}",
+            paper.file_type,
+            row.access_pct,
+            paper.access_pct,
+            row.mean_size,
+            fmt(paper.mean_size),
+            fmt(row.avg_age_days),
+            fmt(paper.avg_age_days),
+            fmt(row.median_lifespan_days),
+            fmt(paper.median_lifespan_days),
+        );
+    }
+    println!(
+        "\nnote: the two BU columns are not jointly derivable from any single\n\
+         per-file statistic (see EXPERIMENTS.md); orderings (html youngest,\n\
+         jpg oldest and shortest-lived) are the reproduced shape.\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("generate_bu_study", |b| {
+        b.iter(|| black_box(generate_bu_study(&BuProfile::paper(), 1996)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    regenerate();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,49 @@
+//! Shared plumbing for the figure/table regeneration benches.
+//!
+//! Every bench target in this crate does two things under `cargo bench`:
+//!
+//! 1. **regenerates its paper artifact** — runs the experiment at paper
+//!    scale and prints the same rows/series the paper plots (this is the
+//!    reproduction deliverable);
+//! 2. **times a representative slice** with Criterion, so performance
+//!    regressions in the simulator show up like any other benchmark.
+//!
+//! Set `WCC_QUICK=1` to run the regeneration step at the fast test scale
+//! (useful on CI or when iterating).
+
+use webcache::experiments::Scale;
+
+/// The experiment scale for regeneration: paper-scale by default,
+/// test-scale when `WCC_QUICK` is set (to any value).
+pub fn regeneration_scale() -> Scale {
+    if std::env::var_os("WCC_QUICK").is_some() {
+        Scale::quick()
+    } else {
+        Scale::full()
+    }
+}
+
+/// A small scale for the Criterion-timed slices, independent of
+/// `WCC_QUICK` (timing must be cheap either way).
+pub fn timing_scale() -> Scale {
+    Scale::quick()
+}
+
+/// Print a regenerated artifact with a separating banner so it is easy to
+/// find in `cargo bench` output (and in `bench_output.txt`).
+pub fn print_artifact(text: &str) {
+    println!("\n{0}\n{1}{0}", "=".repeat(72), text);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_resolve() {
+        // Not asserting on the env var (global state); both constructors
+        // must at least produce runnable configurations.
+        assert!(!timing_scale().alex_thresholds.is_empty());
+        assert!(!regeneration_scale().alex_thresholds.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! `consistency` — the Web cache-consistency policies of Gwertzman &
+//! Seltzer (USENIX '96).
+//!
+//! Every time-based policy answers one question: *until when may a
+//! validated cache entry be served without contacting the origin?* The
+//! [`Policy`] trait captures that; implementations cover the paper's
+//! contenders and baselines:
+//!
+//! * [`FixedTtl`] — fixed time-to-live (the HTTP `Expires` strategy);
+//! * [`AdaptiveTtl`] — the Alex protocol (validity = threshold × age);
+//! * [`NeverExpire`] — the cache-side stance of the invalidation protocol;
+//! * [`PollEveryTime`] — the threshold-0 degenerate case;
+//! * [`CernPolicy`] — the CERN httpd three-tier rule (related work, §2);
+//! * [`SelfTuningPolicy`] — the paper's §5 future work: per-class adaptive
+//!   thresholds with multiplicative feedback;
+//! * [`ClassTtl`] — static per-content-class TTLs (the Table 2-informed
+//!   counterpart of the self-tuning policy).
+//!
+//! The invalidation protocol's *server-side* machinery (subscriber
+//! registry, callbacks) lives in `originserver`; the simulators in
+//! `webcache` wire both halves together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cern;
+mod policy;
+mod selftuning;
+mod typed;
+
+pub use cern::CernPolicy;
+pub use policy::{AdaptiveTtl, FixedTtl, NeverExpire, Policy, PollEveryTime};
+pub use selftuning::SelfTuningPolicy;
+pub use typed::ClassTtl;

@@ -1,0 +1,358 @@
+//! The consistency policies: when does a cached copy stop being usable?
+//!
+//! Every time-based policy reduces to computing an *expiry instant* for a
+//! validated entry; the cache serves the entry until that instant and
+//! revalidates (or refetches) afterwards. The paper's three contenders:
+//!
+//! * **TTL** ([`FixedTtl`]) — expiry is a fixed interval after the last
+//!   validation;
+//! * **Alex** ([`AdaptiveTtl`]) — expiry is `update_threshold × age` after
+//!   the last validation, where age is the time between the copy's origin
+//!   modification and its last validation ("young files are modified more
+//!   frequently than old files", §1);
+//! * **Invalidation** ([`NeverExpire`]) — entries never time out; the
+//!   server's callback marks them invalid instead.
+//!
+//! [`Policy::on_validation`] is a feedback hook used by the self-tuning
+//! extension (`selftuning` module); the paper's fixed policies ignore it.
+
+use proxycache::EntryMeta;
+use simcore::{SimDuration, SimTime};
+
+/// A cache-side consistency policy.
+///
+/// `class` is an opaque content-class index (file type) that adaptive
+/// policies may specialise on; fixed policies ignore it.
+pub trait Policy {
+    /// Short human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// The instant at which a currently-valid `entry` times out. Entries
+    /// whose expiry is `<= now` must be revalidated before use.
+    fn expiry(&self, entry: &EntryMeta, class: usize) -> SimTime;
+
+    /// Feedback after a validation round-trip: `was_modified` reports
+    /// whether the origin copy had actually changed. Fixed policies ignore
+    /// this; self-tuning policies adapt.
+    fn on_validation(&mut self, _class: usize, _was_modified: bool) {}
+
+    /// Convenience: whether `entry` is still within its validity horizon
+    /// at `now`.
+    fn is_fresh(&self, entry: &EntryMeta, class: usize, now: SimTime) -> bool {
+        self.expiry(entry, class) > now
+    }
+}
+
+/// Fixed time-to-live: valid for `ttl` after each validation. The HTTP
+/// `Expires`-header strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedTtl {
+    ttl: SimDuration,
+}
+
+impl FixedTtl {
+    /// A policy with the given TTL. The paper sweeps 0–500 hours.
+    pub fn new(ttl: SimDuration) -> Self {
+        FixedTtl { ttl }
+    }
+
+    /// Convenience constructor matching the paper's x-axis (hours).
+    pub fn hours(h: u64) -> Self {
+        FixedTtl::new(SimDuration::from_hours(h))
+    }
+
+    /// The configured TTL.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+}
+
+impl Policy for FixedTtl {
+    fn name(&self) -> String {
+        format!("ttl({})", self.ttl)
+    }
+
+    fn expiry(&self, entry: &EntryMeta, _class: usize) -> SimTime {
+        entry.last_validated.saturating_add(self.ttl)
+    }
+}
+
+/// The Alex protocol: adaptive TTL proportional to object age.
+///
+/// ```
+/// use consistency::{AdaptiveTtl, Policy};
+/// use proxycache::EntryMeta;
+/// use simcore::{SimDuration, SimTime};
+///
+/// // The paper's worked example: a 30-day-old object at a 10% update
+/// // threshold stays valid for three days after a validation.
+/// let policy = AdaptiveTtl::percent(10);
+/// let mut entry = EntryMeta::fresh(8_192, SimTime::ZERO, SimTime::ZERO);
+/// entry.revalidate(SimTime::ZERO + SimDuration::from_days(30));
+/// assert_eq!(
+///     policy.expiry(&entry, 0),
+///     SimTime::ZERO + SimDuration::from_days(33),
+/// );
+/// ```
+///
+/// An entry validated at `v` whose origin stamp is `m` is valid until
+/// `v + threshold × (v − m)`. Age is measured *at validation time* (the
+/// rule Squid later adopted as its LM-factor): each successful validation
+/// of an unchanged object lengthens the next validity horizon
+/// geometrically, which is exactly the paper's intent — "while files are
+/// changing rapidly, Alex checks frequently; once the files stabilize,
+/// Alex checks infrequently" (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveTtl {
+    threshold: f64,
+}
+
+impl AdaptiveTtl {
+    /// A policy with the given update threshold (fraction of age; the
+    /// paper sweeps 0–100 %).
+    ///
+    /// # Panics
+    /// Panics if `threshold` is negative or non-finite.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "update threshold must be a non-negative fraction"
+        );
+        AdaptiveTtl { threshold }
+    }
+
+    /// Convenience constructor matching the paper's x-axis (percent).
+    pub fn percent(p: u32) -> Self {
+        AdaptiveTtl::new(f64::from(p) / 100.0)
+    }
+
+    /// The configured threshold (fraction).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Policy for AdaptiveTtl {
+    fn name(&self) -> String {
+        format!("alex({:.0}%)", self.threshold * 100.0)
+    }
+
+    fn expiry(&self, entry: &EntryMeta, _class: usize) -> SimTime {
+        let age = entry.last_validated.saturating_since(entry.last_modified);
+        entry
+            .last_validated
+            .saturating_add(age.mul_f64(self.threshold))
+    }
+}
+
+/// Threshold-zero polling: validate on every request — the degenerate Alex
+/// configuration the paper calls out as "excessively wasteful of server
+/// resources" (§4.2), included as an explicit baseline because several
+/// mid-90s proxies behaved exactly this way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollEveryTime;
+
+impl Policy for PollEveryTime {
+    fn name(&self) -> String {
+        "poll-every-time".to_string()
+    }
+
+    fn expiry(&self, entry: &EntryMeta, _class: usize) -> SimTime {
+        // Expires the instant it is validated: every access revalidates.
+        entry.last_validated
+    }
+}
+
+/// The cache-side stance of the invalidation protocol: entries never time
+/// out; only a server callback invalidates them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NeverExpire;
+
+impl Policy for NeverExpire {
+    fn name(&self) -> String {
+        "never-expire".to_string()
+    }
+
+    fn expiry(&self, _entry: &EntryMeta, _class: usize) -> SimTime {
+        SimTime::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn entry(last_modified: u64, last_validated: u64) -> EntryMeta {
+        let mut e = EntryMeta::fresh(100, t(last_modified), t(last_modified));
+        e.revalidate(t(last_validated));
+        e
+    }
+
+    #[test]
+    fn fixed_ttl_expires_after_interval() {
+        let p = FixedTtl::hours(2);
+        let e = entry(0, 1000);
+        assert_eq!(p.expiry(&e, 0), t(1000 + 7200));
+        assert!(p.is_fresh(&e, 0, t(1000)));
+        assert!(p.is_fresh(&e, 0, t(8199)));
+        assert!(!p.is_fresh(&e, 0, t(8200)));
+    }
+
+    #[test]
+    fn fixed_ttl_restarts_on_revalidation() {
+        let p = FixedTtl::new(SimDuration::from_secs(100));
+        let mut e = entry(0, 0);
+        assert_eq!(p.expiry(&e, 0), t(100));
+        e.revalidate(t(500));
+        assert_eq!(p.expiry(&e, 0), t(600));
+    }
+
+    #[test]
+    fn zero_ttl_always_stale() {
+        let p = FixedTtl::hours(0);
+        let e = entry(0, 1000);
+        assert!(!p.is_fresh(&e, 0, t(1000)));
+    }
+
+    #[test]
+    fn alex_paper_worked_example() {
+        // A 30-day-old object validated now at 10 % threshold stays valid
+        // for 3 days.
+        let day = 86_400;
+        let p = AdaptiveTtl::percent(10);
+        let e = entry(0, 30 * day);
+        assert_eq!(p.expiry(&e, 0), t(30 * day + 3 * day));
+    }
+
+    #[test]
+    fn alex_horizon_grows_with_each_quiet_validation() {
+        let p = AdaptiveTtl::percent(50);
+        let mut e = entry(0, 100);
+        let first = p.expiry(&e, 0); // 100 + 50 = 150
+        assert_eq!(first, t(150));
+        e.revalidate(t(150));
+        let second = p.expiry(&e, 0); // 150 + 75 = 225
+        assert_eq!(second, t(225));
+        e.revalidate(t(225));
+        let third = p.expiry(&e, 0); // 225 + 112.5 -> 225 + 113 (rounded)
+        assert_eq!(third, t(338));
+        assert!(third - t(225) > second - t(150));
+    }
+
+    #[test]
+    fn alex_young_object_expires_quickly() {
+        let p = AdaptiveTtl::percent(20);
+        // Modified at 1000, validated at 1010: age 10s, horizon 2s.
+        let e = entry(1000, 1010);
+        assert_eq!(p.expiry(&e, 0), t(1012));
+    }
+
+    #[test]
+    fn alex_zero_threshold_is_poll_every_time() {
+        let alex0 = AdaptiveTtl::percent(0);
+        let poll = PollEveryTime;
+        let e = entry(0, 12345);
+        assert_eq!(alex0.expiry(&e, 0), poll.expiry(&e, 0));
+        assert!(!alex0.is_fresh(&e, 0, t(12345)));
+    }
+
+    #[test]
+    fn alex_handles_clock_skewed_stamp() {
+        // Origin stamp *after* validation (skewed server clock): age
+        // saturates to zero; entry simply revalidates on next use.
+        let p = AdaptiveTtl::percent(50);
+        let e = entry(2000, 1000);
+        assert_eq!(p.expiry(&e, 0), t(1000));
+    }
+
+    #[test]
+    fn never_expire_is_forever_fresh() {
+        let p = NeverExpire;
+        let e = entry(0, 0);
+        assert_eq!(p.expiry(&e, 0), SimTime::MAX);
+        assert!(p.is_fresh(&e, 0, t(u64::MAX - 1)));
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(AdaptiveTtl::percent(25).name(), "alex(25%)");
+        assert!(FixedTtl::hours(100).name().starts_with("ttl("));
+        assert_eq!(PollEveryTime.name(), "poll-every-time");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_threshold_panics() {
+        AdaptiveTtl::new(-0.1);
+    }
+
+    #[test]
+    fn policies_are_object_safe() {
+        let policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(FixedTtl::hours(1)),
+            Box::new(AdaptiveTtl::percent(10)),
+            Box::new(PollEveryTime),
+            Box::new(NeverExpire),
+        ];
+        let e = entry(0, 100);
+        for p in &policies {
+            let _ = p.expiry(&e, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A higher update threshold never yields an earlier expiry —
+        /// the monotonicity behind Figure 2a's downward-sloping bandwidth.
+        #[test]
+        fn alex_expiry_monotone_in_threshold(
+            lm in 0u64..1_000_000,
+            dv in 0u64..1_000_000,
+            t1 in 0u32..100,
+            t2 in 0u32..100,
+        ) {
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let mut e = EntryMeta::fresh(1, SimTime::from_secs(lm), SimTime::from_secs(lm));
+            e.revalidate(SimTime::from_secs(lm + dv));
+            let p_lo = AdaptiveTtl::percent(lo);
+            let p_hi = AdaptiveTtl::percent(hi);
+            prop_assert!(p_lo.expiry(&e, 0) <= p_hi.expiry(&e, 0));
+        }
+
+        /// A longer TTL never yields an earlier expiry (Figure 2b).
+        #[test]
+        fn ttl_expiry_monotone(v in 0u64..1_000_000, h1 in 0u64..500, h2 in 0u64..500) {
+            let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+            let e = EntryMeta::fresh(1, SimTime::ZERO, SimTime::from_secs(v));
+            prop_assert!(
+                FixedTtl::hours(lo).expiry(&e, 0) <= FixedTtl::hours(hi).expiry(&e, 0)
+            );
+        }
+
+        /// Expiry never precedes the validation instant for any policy.
+        #[test]
+        fn expiry_not_before_validation(
+            lm in 0u64..1_000_000,
+            dv in 0u64..1_000_000,
+            pct in 0u32..200,
+            hours in 0u64..1000,
+        ) {
+            let mut e = EntryMeta::fresh(1, SimTime::from_secs(lm), SimTime::from_secs(lm));
+            e.revalidate(SimTime::from_secs(lm + dv));
+            let v = e.last_validated;
+            prop_assert!(AdaptiveTtl::percent(pct).expiry(&e, 0) >= v);
+            prop_assert!(FixedTtl::hours(hours).expiry(&e, 0) >= v);
+            prop_assert!(PollEveryTime.expiry(&e, 0) >= v);
+            prop_assert!(NeverExpire.expiry(&e, 0) >= v);
+        }
+    }
+}

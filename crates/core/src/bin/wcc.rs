@@ -1,0 +1,262 @@
+//! `wcc` — regenerate any of the paper's tables and figures from the
+//! command line.
+//!
+//! ```text
+//! wcc figure <1..8> [--quick]     regenerate one figure
+//! wcc table <1|2>   [--quick]     regenerate one table
+//! wcc ablations                   run the extension ablations
+//! wcc all           [--quick]     everything, in paper order
+//! ```
+//!
+//! `--quick` uses the reduced test-scale configuration; the default is the
+//! paper-scale run (slower, but the shape checks are sharper).
+
+use webcache::experiments::report::{
+    render_bandwidth_figure, render_figure1, render_missrate_figure, render_server_load_figure,
+    render_table1, render_table2,
+};
+use webcache::experiments::{
+    ablations, base::run_base, hierarchy_bias::run_figure1, optimized::run_optimized, tables,
+    traced::run_traced, Scale,
+};
+use webcache::{ProtocolSpec, Workload};
+use webtrace::campus::{generate_campus_trace, CampusProfile};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wcc <figure 1-8 | table 1-2 | ablations | all> [--quick]\n\
+         regenerates the tables and figures of Gwertzman & Seltzer,\n\
+         'World Wide Web Cache Consistency' (USENIX 1996)"
+    );
+    std::process::exit(2);
+}
+
+fn scale(quick: bool) -> Scale {
+    if quick {
+        Scale::quick()
+    } else {
+        Scale::full()
+    }
+}
+
+fn figure(n: u32, quick: bool) {
+    match n {
+        1 => println!("{}", render_figure1(&run_figure1())),
+        2 => println!(
+            "{}",
+            render_bandwidth_figure("Figure 2: bandwidth", &run_base(&scale(quick)))
+        ),
+        3 => println!(
+            "{}",
+            render_missrate_figure("Figure 3: miss/stale rates", &run_base(&scale(quick)))
+        ),
+        4 => println!(
+            "{}",
+            render_bandwidth_figure("Figure 4: bandwidth", &run_optimized(&scale(quick)))
+        ),
+        5 => println!(
+            "{}",
+            render_missrate_figure("Figure 5: miss/stale rates", &run_optimized(&scale(quick)))
+        ),
+        6 => println!(
+            "{}",
+            render_bandwidth_figure("Figure 6: bandwidth", &run_traced(&scale(quick)).averaged)
+        ),
+        7 => println!(
+            "{}",
+            render_missrate_figure(
+                "Figure 7: miss/stale rates",
+                &run_traced(&scale(quick)).averaged
+            )
+        ),
+        8 => println!(
+            "{}",
+            render_server_load_figure("Figure 8: server load", &run_traced(&scale(quick)).averaged)
+        ),
+        _ => usage(),
+    }
+}
+
+fn table(n: u32, quick: bool) {
+    match n {
+        1 => println!("{}", render_table1(&tables::table1(1996))),
+        2 => {
+            let requests = if quick { 20_000 } else { 150_000 };
+            println!("{}", render_table2(&tables::table2(1996, requests)));
+        }
+        _ => usage(),
+    }
+}
+
+fn run_ablations() {
+    println!("== Ablation: workload properties (Worrell -> trace-like) ==");
+    println!(
+        "{:<58}{:>10}{:>11}{:>8}{:>7}",
+        "variant", "alex20 MB", "inval MB", "stale%", "wins?"
+    );
+    for r in ablations::workload_ablation(800, 30_000, 1996) {
+        println!(
+            "{:<58}{:>10.3}{:>11.3}{:>8.2}{:>7}",
+            r.variant,
+            r.alex.total_mb(),
+            r.invalidation.total_mb(),
+            r.weak_stale_pct(),
+            if r.weak_wins_bandwidth() { "yes" } else { "no" }
+        );
+    }
+
+    let campus = generate_campus_trace(&CampusProfile::hcs(), 1996);
+    let wl = Workload::from_server_trace(&campus.trace);
+
+    println!("\n== Ablation: message costing (HCS, Alex@20%) ==");
+    let (paper, wire) = ablations::costing_ablation(&wl, ProtocolSpec::Alex(20));
+    println!(
+        "  43-byte messages: {:.3} MB | serialised HTTP/1.0: {:.3} MB | behaviour identical: {}",
+        paper.total_mb(),
+        wire.total_mb(),
+        paper.cache == wire.cache
+    );
+
+    println!("\n== Ablation: dynamic (uncacheable) cgi content (HCS, Alex@20%) ==");
+    let cgi = webtrace::FileType::Cgi.class_index();
+    let (cacheable, dynamic) =
+        ablations::dynamic_content_ablation(&wl, ProtocolSpec::Alex(20), cgi);
+    println!(
+        "  cgi cached: {:.3} MB, {:.2}% miss | cgi forwarded: {:.3} MB, {:.2}% miss",
+        cacheable.total_mb(),
+        cacheable.miss_pct(),
+        dynamic.total_mb(),
+        dynamic.miss_pct()
+    );
+
+    println!("\n== Ablation: self-tuning vs fixed Alex thresholds (HCS) ==");
+    let (tuned, fixed) = ablations::selftuning_comparison(&wl, &[5, 10, 20, 50, 100]);
+    println!(
+        "  self-tuning : {:.3} MB, stale {:.2}%, {} ops",
+        tuned.total_mb(),
+        tuned.stale_pct(),
+        tuned.server_ops()
+    );
+    for (pct, r) in fixed {
+        println!(
+            "  fixed {pct:>3}%  : {:.3} MB, stale {:.2}%, {} ops",
+            r.total_mb(),
+            r.stale_pct(),
+            r.server_ops()
+        );
+    }
+
+    println!("\n== Ablation: bounded cache capacity (HCS, Alex@30%) ==");
+    println!(
+        "  {:>10}{:>12}{:>10}{:>9}{:>9}",
+        "capacity", "bandwidth", "evicted", "miss%", "stale%"
+    );
+    for p in ablations::capacity_sweep(&wl, ProtocolSpec::Alex(30), &[0.02, 0.1, 0.5, 2.0]) {
+        println!(
+            "  {:>9.0}%{:>9.3} MB{:>10}{:>9.2}{:>9.2}",
+            100.0 * p.capacity_fraction,
+            p.result.total_mb(),
+            p.evictions,
+            p.result.miss_pct(),
+            p.result.stale_pct()
+        );
+    }
+
+    println!("\n== Ablation: eviction policy at 10% capacity (HCS, Alex@30%) ==");
+    let (lru, le, fifo, fe) =
+        ablations::eviction_policy_comparison(&wl, ProtocolSpec::Alex(30), 0.10);
+    println!(
+        "  LRU : {:.3} MB, {:.2}% miss, {le} evictions | FIFO: {:.3} MB, {:.2}% miss, {fe} evictions",
+        lru.total_mb(),
+        lru.miss_pct(),
+        fifo.total_mb(),
+        fifo.miss_pct()
+    );
+
+    println!("\n== Ablation: mean request latency (HCS; 150ms RTT, 28.8kbps link) ==");
+    for (name, ms) in ablations::latency_comparison(&wl, 150.0, 3_600.0) {
+        println!("  {name:<18}: {ms:>8.1} ms/request");
+    }
+
+    println!("\n== Extension: invalidation under a 12h notification partition (HCS) ==");
+    let outages = vec![webcache::experiments::failure::Outage {
+        from: wl.start + simcore::SimDuration::from_days(5),
+        until: wl.start + simcore::SimDuration::from_days(5) + simcore::SimDuration::from_hours(12),
+    }];
+    let (part, alex) = webcache::experiments::failure::resilience_comparison(&wl, &outages, 10);
+    println!(
+        "  invalidation: {} stale hits, {} failed delivery attempts, {} late notices",
+        part.result.cache.stale_hits, part.failed_attempts, part.late_deliveries
+    );
+    println!(
+        "  Alex@10%    : {} stale hits, no server-side retry state at all",
+        alex.cache.stale_hits
+    );
+
+    println!("\n== Extension: staleness severity (HCS; how old is stale data?) ==");
+    for (name, stale_pct, severity) in ablations::severity_comparison(&wl) {
+        match severity {
+            Some(hours) => {
+                println!("  {name:<16}: {stale_pct:>5.2}% stale, {hours:>7.1} h mean staleness age")
+            }
+            None => println!("  {name:<16}: {stale_pct:>5.2}% stale (never serves stale)"),
+        }
+    }
+
+    println!("\n== Extension: proxy placement vs %-remote (Alex@20%) ==");
+    println!(
+        "  {:<6}{:>9}{:>12}{:>12}{:>12}{:>11}{:>11}",
+        "trace", "remote%", "no-proxy", "boundary", "universal", "bnd-red%", "uni-red%"
+    );
+    for row in
+        webcache::experiments::deployment::deployment_comparison(ProtocolSpec::Alex(20), 1996, 1)
+    {
+        println!(
+            "  {:<6}{:>8.0}%{:>12}{:>12}{:>12}{:>10.1}%{:>10.1}%",
+            row.trace,
+            100.0 * row.remote_fraction,
+            row.no_proxy_ops,
+            row.boundary_ops,
+            row.universal_ops,
+            100.0 * row.boundary_reduction(),
+            100.0 * row.universal_reduction()
+        );
+    }
+
+    println!("\n== Extension: per-class TTLs informed by Table 2 (HCS) ==");
+    let class_ttl = webcache::run(
+        &wl,
+        ProtocolSpec::ClassTtlTable2,
+        &webcache::SimConfig::optimized(),
+    );
+    println!(
+        "  class-TTL   : {:.3} MB, stale {:.2}%, {} ops",
+        class_ttl.total_mb(),
+        class_ttl.stale_pct(),
+        class_ttl.server_ops()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let positional: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    match positional.as_slice() {
+        ["figure", n] => figure(n.parse().unwrap_or_else(|_| usage()), quick),
+        ["table", n] => table(n.parse().unwrap_or_else(|_| usage()), quick),
+        ["ablations"] => run_ablations(),
+        ["all"] => {
+            table(1, quick);
+            table(2, quick);
+            for n in 1..=8 {
+                figure(n, quick);
+            }
+            run_ablations();
+        }
+        _ => usage(),
+    }
+}

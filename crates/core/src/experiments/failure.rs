@@ -1,0 +1,353 @@
+//! Failure injection: the invalidation protocol under partitions, as a
+//! measured experiment.
+//!
+//! §1 flags unavailable caches as the invalidation protocol's special
+//! case ("the server must continue trying to reach it"), and §6 argues
+//! weak consistency is "more fault resilient ... the right thing
+//! automatically happens". This module measures both claims.
+//!
+//! **Partition model.** The cache stays up and keeps serving clients (and
+//! can still reach the origin for fetches), but the server's notification
+//! channel to the cache is down for given intervals — the asymmetric
+//! failure in which invalidation silently serves stale data while its
+//! server burns retries. Undelivered notices queue in an
+//! [`originserver::RetryQueue`] with exponential backoff and are delivered
+//! by retry events scheduled on the simulation engine.
+//!
+//! Time-based protocols run unchanged under the same outages: they never
+//! depended on the notification channel in the first place, so their
+//! results are identical to the unpartitioned run — which is precisely
+//! the paper's point.
+
+use originserver::{OriginServer, RetryQueue};
+use proxycache::{EntryMeta, Store, UnboundedStore};
+use simcore::{
+    CacheId, CacheStats, FileId, Scheduler, SimDuration, SimTime, Simulation, TrafficMeter,
+};
+
+use crate::protocol::ProtocolSpec;
+use crate::sim::{run, RunResult, SimConfig};
+use crate::workload::Workload;
+
+/// A server→cache notification outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// When the notification channel fails.
+    pub from: SimTime,
+    /// When it recovers.
+    pub until: SimTime,
+}
+
+/// Result of a partitioned invalidation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedResult {
+    /// The usual metrics (stale hits now possible!).
+    pub result: RunResult,
+    /// Failed delivery attempts (the retry traffic of §1's special case).
+    pub failed_attempts: u64,
+    /// Notices that were eventually delivered late.
+    pub late_deliveries: u64,
+}
+
+const THE_CACHE: CacheId = CacheId(0);
+const RETRY_BASE: SimDuration = SimDuration::from_mins(2);
+const RETRY_CAP: SimDuration = SimDuration::from_mins(32);
+
+struct World {
+    store: UnboundedStore,
+    server: OriginServer,
+    retry: RetryQueue,
+    outages: Vec<Outage>,
+    traffic: TrafficMeter,
+    stats: CacheStats,
+    failed_attempts_seen: u64,
+    late_deliveries: u64,
+    stale_age_total: simcore::SimDuration,
+}
+
+impl World {
+    fn channel_down(&self, now: SimTime) -> bool {
+        self.outages.iter().any(|o| now >= o.from && now < o.until)
+    }
+
+    fn deliver_invalidation(&mut self, file: FileId, now: SimTime) {
+        self.traffic.add_message(httpsim::PAPER_MESSAGE_BYTES);
+        if let Some(e) = self.store.access(file, now) {
+            e.mark_invalid();
+        }
+    }
+
+    fn on_modification(&mut self, file: FileId, now: SimTime, sched: &mut Scheduler<World>) {
+        for cache in self.server.notify_modification(file) {
+            debug_assert_eq!(cache, THE_CACHE);
+            // Reflect current reachability into the retry queue.
+            if self.channel_down(now) {
+                self.retry.mark_down(THE_CACHE);
+            } else {
+                self.retry.mark_up(THE_CACHE);
+            }
+            if self.retry.send(THE_CACHE, file, now) {
+                self.deliver_invalidation(file, now);
+            } else {
+                // Message attempt went onto the wire and failed.
+                self.traffic.add_message(httpsim::PAPER_MESSAGE_BYTES);
+                self.schedule_retry(sched);
+            }
+        }
+    }
+
+    fn schedule_retry(&mut self, sched: &mut Scheduler<World>) {
+        if let Some(at) = self.retry.next_attempt() {
+            let at = at.max(sched.now());
+            sched.schedule_at(at, move |w: &mut World, s: &mut Scheduler<World>| {
+                w.on_retry(s.now(), s);
+            });
+        }
+    }
+
+    fn on_retry(&mut self, now: SimTime, sched: &mut Scheduler<World>) {
+        if self.channel_down(now) {
+            self.retry.mark_down(THE_CACHE);
+        } else {
+            self.retry.mark_up(THE_CACHE);
+        }
+        let report = self.retry.sweep(now);
+        self.failed_attempts_seen += report.failed_attempts;
+        self.traffic.message_bytes += report.failed_attempts * httpsim::PAPER_MESSAGE_BYTES;
+        self.traffic.messages += report.failed_attempts;
+        for (_, file) in report.delivered {
+            self.late_deliveries += 1;
+            self.deliver_invalidation(file, now);
+        }
+        self.schedule_retry(sched);
+    }
+
+    fn on_request(&mut self, file: FileId, now: SimTime) {
+        match self.store.access(file, now).copied() {
+            Some(e) if e.is_valid() => {
+                // Invalidation-protocol cache side: valid until notified.
+                let live = self
+                    .server
+                    .files()
+                    .get(file)
+                    .version_at(now)
+                    .expect("requested file exists");
+                if live.modified_at == e.last_modified {
+                    self.stats.fresh_hits += 1;
+                } else {
+                    // The notice is stuck behind the partition.
+                    self.stats.stale_hits += 1;
+                    if let Some(missed) = self
+                        .server
+                        .files()
+                        .get(file)
+                        .first_change_after(e.last_modified)
+                    {
+                        self.stale_age_total = self
+                            .stale_age_total
+                            .saturating_add(now.saturating_since(missed.modified_at));
+                    }
+                }
+            }
+            resident => {
+                let v = self.server.handle_get(file, now);
+                self.traffic.add_message(httpsim::PAPER_MESSAGE_BYTES);
+                self.traffic.add_file_transfer(v.size);
+                self.stats.misses += 1;
+                match resident {
+                    Some(_) => {
+                        let e = self.store.access(file, now).expect("resident");
+                        e.replace_body(v.size, v.modified_at, now);
+                    }
+                    None => {
+                        self.store
+                            .insert(file, EntryMeta::fresh(v.size, v.modified_at, now));
+                        self.server.subscribe(THE_CACHE, file);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run the invalidation protocol over `workload` with the notification
+/// channel down during `outages`.
+pub fn run_partitioned_invalidation(workload: &Workload, outages: &[Outage]) -> PartitionedResult {
+    debug_assert_eq!(workload.validate(), Ok(()));
+    let mut world = World {
+        store: UnboundedStore::new(),
+        server: OriginServer::new(workload.population.clone()),
+        retry: RetryQueue::new(RETRY_BASE, RETRY_CAP),
+        outages: outages.to_vec(),
+        traffic: TrafficMeter::default(),
+        stats: CacheStats::default(),
+        failed_attempts_seen: 0,
+        late_deliveries: 0,
+        stale_age_total: simcore::SimDuration::ZERO,
+    };
+    // Preload, as the main simulator does.
+    for (id, rec) in workload.population.iter() {
+        if let Some(v) = rec.version_at(workload.start) {
+            world
+                .store
+                .insert(id, EntryMeta::fresh(v.size, v.modified_at, workload.start));
+            world.server.subscribe(THE_CACHE, id);
+        }
+    }
+
+    let mut sim = Simulation::new(world);
+    for (t, f) in workload.population.all_modifications() {
+        if t >= workload.start && t <= workload.end {
+            sim.scheduler()
+                .schedule_at(t, move |w: &mut World, s: &mut Scheduler<World>| {
+                    w.on_modification(f, s.now(), s);
+                });
+        }
+    }
+    for &(t, f) in &workload.requests {
+        sim.scheduler()
+            .schedule_at(t, move |w: &mut World, s: &mut Scheduler<World>| {
+                w.on_request(f, s.now());
+            });
+    }
+    sim.run_to_completion();
+    let world = sim.into_world();
+
+    // The initial failed sends are counted inside RetryQueue; surface the
+    // total (initial + sweep failures).
+    let failed_attempts = world.retry.failed_attempts();
+    PartitionedResult {
+        result: RunResult {
+            protocol: "Invalidation (partitioned)".to_string(),
+            traffic: world.traffic,
+            cache: world.stats,
+            server: *world.server.load(),
+            stale_age_total: world.stale_age_total,
+        },
+        failed_attempts,
+        late_deliveries: world.late_deliveries,
+    }
+}
+
+/// Compare partitioned invalidation against an unpartitioned Alex run on
+/// the same workload — §6's resilience argument as numbers. Returns
+/// `(partitioned_invalidation, alex)`.
+pub fn resilience_comparison(
+    workload: &Workload,
+    outages: &[Outage],
+    alex_threshold: u32,
+) -> (PartitionedResult, RunResult) {
+    let partitioned = run_partitioned_invalidation(workload, outages);
+    // Alex is oblivious to the notification channel; its run is identical
+    // with or without the outage.
+    let alex = run(
+        workload,
+        ProtocolSpec::Alex(alex_threshold),
+        &SimConfig::optimized(),
+    );
+    (partitioned, alex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+
+    fn hours(h: u64) -> SimDuration {
+        SimDuration::from_hours(h)
+    }
+
+    /// A file that changes mid-outage and is read every hour.
+    fn outage_scenario() -> (Workload, Vec<Outage>) {
+        let mut b = ScenarioBuilder::new("outage", SimDuration::from_days(2));
+        let f = b.file("/volatile.html", 5_000, SimDuration::from_days(5), 0);
+        b.modify(f, hours(10), None);
+        b.request_every(f, hours(1), hours(1));
+        let wl = b.build();
+        let outages = vec![Outage {
+            from: wl.start + hours(8),
+            until: wl.start + hours(20),
+        }];
+        (wl, outages)
+    }
+
+    #[test]
+    fn partition_makes_invalidation_serve_stale() {
+        let (wl, outages) = outage_scenario();
+        let healthy = run_partitioned_invalidation(&wl, &[]);
+        assert_eq!(healthy.result.cache.stale_hits, 0);
+        assert_eq!(healthy.failed_attempts, 0);
+
+        let partitioned = run_partitioned_invalidation(&wl, &outages);
+        // Change at +10h, notice stuck until just past +20h (the next
+        // backoff attempt after recovery): requests at 10..=20h — the one
+        // tied with the change sees the new origin version too — are
+        // stale: 11 of them.
+        assert_eq!(partitioned.result.cache.stale_hits, 11);
+        assert!(partitioned.failed_attempts > 0);
+        assert_eq!(partitioned.late_deliveries, 1);
+    }
+
+    #[test]
+    fn notice_delivery_resumes_after_recovery() {
+        let (wl, outages) = outage_scenario();
+        let partitioned = run_partitioned_invalidation(&wl, &outages);
+        // After delivery the next request misses (refetch) and everything
+        // afterwards is fresh: exactly one post-change miss.
+        assert_eq!(partitioned.result.cache.misses, 1);
+        let requests = wl.request_count() as u64;
+        assert_eq!(
+            partitioned.result.cache.fresh_hits,
+            requests - 11 - 1,
+            "all non-stale, non-miss requests are fresh"
+        );
+    }
+
+    #[test]
+    fn retry_backoff_bounds_attempts() {
+        let (wl, outages) = outage_scenario();
+        let partitioned = run_partitioned_invalidation(&wl, &outages);
+        // 12h outage with 2min..32min capped backoff: a couple dozen
+        // attempts, not thousands (exponential backoff works) and not
+        // one (it does keep trying).
+        assert!(
+            (3..200).contains(&partitioned.failed_attempts),
+            "attempts = {}",
+            partitioned.failed_attempts
+        );
+    }
+
+    #[test]
+    fn alex_is_oblivious_to_the_partition() {
+        let (wl, outages) = outage_scenario();
+        let (partitioned, alex) = resilience_comparison(&wl, &outages, 10);
+        // Alex's staleness is bounded by its threshold (the object is 5
+        // days old: horizon ~12h), independent of the outage.
+        assert!(alex.cache.stale_hits <= partitioned.result.cache.stale_hits + 3);
+        // And it pays no retry traffic at all.
+        assert!(partitioned.failed_attempts > 0);
+    }
+
+    #[test]
+    fn back_to_back_outages_accumulate() {
+        let mut b = ScenarioBuilder::new("double", SimDuration::from_days(4));
+        let f = b.file("/x", 1_000, SimDuration::from_days(3), 0);
+        b.modify(f, hours(10), None);
+        b.modify(f, hours(60), None);
+        b.request_every(f, hours(2), hours(2));
+        let wl = b.build();
+        let outages = vec![
+            Outage {
+                from: wl.start + hours(9),
+                until: wl.start + hours(15),
+            },
+            Outage {
+                from: wl.start + hours(58),
+                until: wl.start + hours(70),
+            },
+        ];
+        let r = run_partitioned_invalidation(&wl, &outages);
+        assert!(r.late_deliveries == 2, "both notices arrive late");
+        assert!(r.result.cache.stale_hits >= 5);
+    }
+}

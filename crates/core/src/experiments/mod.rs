@@ -1,0 +1,191 @@
+//! One driver per paper table and figure.
+//!
+//! Every experiment follows the paper's protocol-sweep structure: the Alex
+//! update threshold runs 0–100 %, the TTL runs 0–500 hours, and the
+//! parameter-free invalidation protocol provides the reference line. Each
+//! driver returns structured rows; [`report`] renders them as the textual
+//! equivalent of the paper's plots, and the `wcc-bench` crate regenerates
+//! each one under `cargo bench`.
+//!
+//! | Experiment | Paper artifact | Driver |
+//! |---|---|---|
+//! | hierarchy collapse bias | Figure 1 | [`hierarchy_bias`] |
+//! | base-simulator bandwidth / miss rates | Figures 2–3 | [`base`] |
+//! | optimized-simulator bandwidth / miss rates | Figures 4–5 | [`optimized`] |
+//! | trace-driven bandwidth / miss rates | Figures 6–7 | [`traced`] |
+//! | server load | Figure 8 | [`traced`] |
+//! | campus mutability statistics | Table 1 | [`tables`] |
+//! | file-type access/lifetime profile | Table 2 | [`tables`] |
+//! | design-choice ablations | (extensions) | [`ablations`] |
+//! | invalidation under partitions | (§1/§6 resilience claim) | [`failure`] |
+//! | proxy placement vs % remote | (Table 1 extension) | [`deployment`] |
+//! | Figure 1 bias at trace scale | (§3 extension) | [`hierarchy_trace`] |
+
+pub mod ablations;
+pub mod base;
+pub mod deployment;
+pub mod failure;
+pub mod hierarchy_bias;
+pub mod hierarchy_trace;
+pub mod optimized;
+pub mod report;
+pub mod tables;
+pub mod traced;
+
+use crate::sim::RunResult;
+use crate::workload::WorrellConfig;
+
+/// A parameter sweep of one protocol family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Family label (`"Alex"` or `"TTL"`).
+    pub family: &'static str,
+    /// `(parameter, result)` points. For Alex the parameter is the update
+    /// threshold in percent, for TTL the TTL in hours.
+    pub points: Vec<(f64, RunResult)>,
+}
+
+impl Sweep {
+    /// The parameter value whose result minimises `metric`; ties take the
+    /// smallest parameter.
+    pub fn argmin_by<F: Fn(&RunResult) -> f64>(&self, metric: F) -> Option<f64> {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                metric(&a.1)
+                    .partial_cmp(&metric(&b.1))
+                    .expect("metrics are finite")
+                    .then(a.0.partial_cmp(&b.0).expect("parameters are finite"))
+            })
+            .map(|&(p, _)| p)
+    }
+
+    /// The smallest parameter whose result satisfies `pred`, scanning in
+    /// increasing parameter order.
+    pub fn first_param_where<F: Fn(&RunResult) -> bool>(&self, pred: F) -> Option<f64> {
+        self.points.iter().find(|(_, r)| pred(r)).map(|&(p, _)| p)
+    }
+}
+
+/// A complete simulator report: both families swept against the
+/// invalidation reference — the content of one figure pair
+/// (bandwidth + miss-rate panels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulator name for report headers.
+    pub name: String,
+    /// Alex threshold sweep.
+    pub alex: Sweep,
+    /// TTL sweep.
+    pub ttl: Sweep,
+    /// The invalidation-protocol reference run.
+    pub invalidation: RunResult,
+}
+
+/// Experiment sizing: the full paper-scale configuration or a fast one
+/// for unit tests and smoke benches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scale {
+    /// Synthetic (Worrell) workload configuration.
+    pub worrell: WorrellConfig,
+    /// Alex thresholds to sweep, percent.
+    pub alex_thresholds: Vec<u32>,
+    /// TTL values to sweep, hours.
+    pub ttl_hours: Vec<u64>,
+    /// Keep every k-th trace request (1 = full trace).
+    pub trace_subsample: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Paper-resolution sweeps on the paper-size workload.
+    pub fn full() -> Self {
+        Scale {
+            worrell: WorrellConfig::paper_run(),
+            alex_thresholds: (0..=100).step_by(10).collect(),
+            ttl_hours: (0..=500).step_by(50).collect(),
+            trace_subsample: 1,
+            seed: 1996,
+        }
+    }
+
+    /// A fast configuration for tests: same shapes, minutes less compute.
+    pub fn quick() -> Self {
+        Scale {
+            worrell: WorrellConfig::scaled(150, 6_000),
+            alex_thresholds: vec![0, 10, 40, 100],
+            ttl_hours: vec![0, 50, 150, 300, 500],
+            trace_subsample: 8,
+            seed: 1996,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::RunResult;
+    use simcore::{CacheStats, ServerLoad, TrafficMeter};
+
+    fn result(bytes: u64, stale: u64) -> RunResult {
+        let mut traffic = TrafficMeter::default();
+        traffic.add_file_transfer(bytes);
+        RunResult {
+            protocol: "t".to_string(),
+            traffic,
+            cache: CacheStats {
+                fresh_hits: 10,
+                stale_hits: stale,
+                misses: 1,
+                validations_not_modified: 0,
+                validations_modified: 0,
+            },
+            server: ServerLoad::default(),
+            stale_age_total: simcore::SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn argmin_finds_smallest_metric() {
+        let sweep = Sweep {
+            family: "Alex",
+            points: vec![
+                (0.0, result(300, 0)),
+                (50.0, result(100, 2)),
+                (100.0, result(100, 5)),
+            ],
+        };
+        // Tie on bytes between 50 and 100: smallest parameter wins.
+        assert_eq!(sweep.argmin_by(|r| r.total_mb()), Some(50.0));
+    }
+
+    #[test]
+    fn first_param_where_scans_in_order() {
+        let sweep = Sweep {
+            family: "TTL",
+            points: vec![
+                (0.0, result(1, 0)),
+                (100.0, result(1, 3)),
+                (200.0, result(1, 6)),
+            ],
+        };
+        assert_eq!(
+            sweep.first_param_where(|r| r.cache.stale_hits >= 3),
+            Some(100.0)
+        );
+        assert_eq!(sweep.first_param_where(|r| r.cache.stale_hits > 99), None);
+    }
+
+    #[test]
+    fn scales_differ_in_size_not_shape() {
+        let full = Scale::full();
+        let quick = Scale::quick();
+        assert!(full.worrell.files > quick.worrell.files);
+        assert!(full.alex_thresholds.len() > quick.alex_thresholds.len());
+        assert_eq!(full.seed, quick.seed);
+        assert!(full.alex_thresholds.contains(&0));
+        assert!(full.alex_thresholds.contains(&100));
+        assert!(full.ttl_hours.contains(&500));
+    }
+}

@@ -1,0 +1,136 @@
+//! Protocol specifications: the x-axis of every figure.
+//!
+//! A [`ProtocolSpec`] is a cheap, copyable description of a consistency
+//! protocol configuration; the simulator instantiates the actual policy
+//! object (and, for the invalidation protocol, enables the server-side
+//! callback machinery) from it.
+
+use consistency::{
+    AdaptiveTtl, CernPolicy, ClassTtl, FixedTtl, NeverExpire, Policy, PollEveryTime,
+    SelfTuningPolicy,
+};
+use simcore::SimDuration;
+
+/// A consistency-protocol configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolSpec {
+    /// Fixed TTL, in hours (Figure x-axis: 0–500 h).
+    Ttl(u64),
+    /// The Alex protocol with an update threshold in percent (0–100 %).
+    Alex(u32),
+    /// Server-driven invalidation callbacks (parameter-free).
+    Invalidation,
+    /// The CERN httpd rule (LM fraction in percent, default TTL hours).
+    Cern {
+        /// `CacheLastModifiedFactor` as a percentage.
+        lm_percent: u32,
+        /// `CacheDefaultExpiry` in hours.
+        default_ttl_hours: u64,
+    },
+    /// Validate on every request (Alex at threshold zero, named).
+    PollEveryTime,
+    /// Per-class self-tuning adaptive thresholds (§5 future work).
+    SelfTuning,
+    /// Static per-content-class TTLs informed by Table 2's lifetimes.
+    ClassTtlTable2,
+}
+
+impl ProtocolSpec {
+    /// Instantiate the cache-side policy.
+    pub fn build_policy(&self) -> Box<dyn Policy> {
+        match *self {
+            ProtocolSpec::Ttl(hours) => Box::new(FixedTtl::new(SimDuration::from_hours(hours))),
+            ProtocolSpec::Alex(pct) => Box::new(AdaptiveTtl::percent(pct)),
+            ProtocolSpec::Invalidation => Box::new(NeverExpire),
+            ProtocolSpec::Cern {
+                lm_percent,
+                default_ttl_hours,
+            } => Box::new(CernPolicy::new(
+                f64::from(lm_percent) / 100.0,
+                SimDuration::from_hours(default_ttl_hours),
+            )),
+            ProtocolSpec::PollEveryTime => Box::new(PollEveryTime),
+            ProtocolSpec::SelfTuning => Box::new(SelfTuningPolicy::recommended()),
+            ProtocolSpec::ClassTtlTable2 => Box::new(ClassTtl::table2_informed()),
+        }
+    }
+
+    /// Whether the server must run invalidation callbacks for this
+    /// protocol.
+    pub fn uses_invalidation(&self) -> bool {
+        matches!(self, ProtocolSpec::Invalidation)
+    }
+
+    /// Report label.
+    pub fn label(&self) -> String {
+        match *self {
+            ProtocolSpec::Ttl(h) => format!("TTL {h}h"),
+            ProtocolSpec::Alex(p) => format!("Alex {p}%"),
+            ProtocolSpec::Invalidation => "Invalidation".to_string(),
+            ProtocolSpec::Cern {
+                lm_percent,
+                default_ttl_hours,
+            } => format!("CERN lm={lm_percent}% default={default_ttl_hours}h"),
+            ProtocolSpec::PollEveryTime => "Poll-every-time".to_string(),
+            ProtocolSpec::SelfTuning => "Self-tuning".to_string(),
+            ProtocolSpec::ClassTtlTable2 => "Class-TTL (Table 2)".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxycache::EntryMeta;
+    use simcore::SimTime;
+
+    #[test]
+    fn build_policy_matches_spec() {
+        let entry = EntryMeta::fresh(1, SimTime::ZERO, SimTime::from_secs(1000));
+        let ttl = ProtocolSpec::Ttl(2).build_policy();
+        assert_eq!(ttl.expiry(&entry, 0), SimTime::from_secs(1000 + 7200));
+        let alex = ProtocolSpec::Alex(50).build_policy();
+        assert_eq!(alex.expiry(&entry, 0), SimTime::from_secs(1500));
+        let inval = ProtocolSpec::Invalidation.build_policy();
+        assert_eq!(inval.expiry(&entry, 0), SimTime::MAX);
+        let poll = ProtocolSpec::PollEveryTime.build_policy();
+        assert_eq!(poll.expiry(&entry, 0), SimTime::from_secs(1000));
+    }
+
+    #[test]
+    fn only_invalidation_uses_callbacks() {
+        assert!(ProtocolSpec::Invalidation.uses_invalidation());
+        for spec in [
+            ProtocolSpec::Ttl(10),
+            ProtocolSpec::Alex(10),
+            ProtocolSpec::PollEveryTime,
+            ProtocolSpec::SelfTuning,
+            ProtocolSpec::ClassTtlTable2,
+            ProtocolSpec::Cern {
+                lm_percent: 10,
+                default_ttl_hours: 24,
+            },
+        ] {
+            assert!(!spec.uses_invalidation(), "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct_and_descriptive() {
+        let labels: Vec<String> = [
+            ProtocolSpec::Ttl(100),
+            ProtocolSpec::Alex(10),
+            ProtocolSpec::Invalidation,
+            ProtocolSpec::PollEveryTime,
+            ProtocolSpec::SelfTuning,
+        ]
+        .iter()
+        .map(ProtocolSpec::label)
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert!(labels[0].contains("100h"));
+    }
+}

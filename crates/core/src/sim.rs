@@ -1,0 +1,1031 @@
+//! The consistency simulator: one cache, one origin, one workload, one
+//! protocol.
+//!
+//! This is the paper's instrument (§3): Worrell's simulator with the
+//! hierarchy flattened to a single cache, the Alex protocol added, and —
+//! in the *optimized* configuration — conditional (`If-Modified-Since`)
+//! retrieval replacing eager refetch. The same function runs the base
+//! simulator, the optimized simulator, and the modified-workload (trace)
+//! simulator; only the [`SimConfig`] and the [`Workload`] differ.
+//!
+//! Accounting follows the paper exactly:
+//!
+//! * **bandwidth** — "the number of bytes required to maintain
+//!   consistency, including invalidation messages, stale data checks, and
+//!   file data movement";
+//! * **cache miss** — a request that required transferring a file body;
+//! * **stale hit** — a request served from cache although the origin copy
+//!   had changed;
+//! * **server operations** — document requests + staleness queries +
+//!   invalidation messages (Figure 8).
+
+use consistency::Policy;
+use httpsim::{HttpDate, MessageCosting, EPOCH_1996};
+use originserver::{CondResult, OriginServer};
+use proxycache::{EntryMeta, Store, UnboundedStore};
+use simcore::{CacheId, CacheStats, FileId, ServerLoad, SimTime, Simulation, TrafficMeter};
+
+use crate::protocol::ProtocolSpec;
+use crate::workload::Workload;
+
+/// What happens when an expired (but resident) entry is requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalMode {
+    /// Base simulator: refetch the full file unconditionally.
+    Eager,
+    /// Optimized simulator: issue `If-Modified-Since`; transfer the body
+    /// only when the object truly changed.
+    Conditional,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Expired-entry retrieval behaviour.
+    pub retrieval: RetrievalMode,
+    /// Control-message bandwidth accounting.
+    pub costing: MessageCosting,
+    /// Pre-load the cache with valid copies of every file (the paper's
+    /// Figures 2–7 setup; pre-loading itself is not charged).
+    pub preload: bool,
+    /// Bitmask of content classes treated as dynamically generated and
+    /// therefore uncacheable (bit `c` covers class index `c`). §5 reports
+    /// 10 % of Microsoft requests were dynamic pages; mid-90s proxies
+    /// forwarded them uncached.
+    pub uncacheable_mask: u32,
+}
+
+impl SimConfig {
+    /// The base simulator of §3.
+    pub fn base() -> Self {
+        SimConfig {
+            retrieval: RetrievalMode::Eager,
+            costing: MessageCosting::PaperConstant,
+            preload: true,
+            uncacheable_mask: 0,
+        }
+    }
+
+    /// The optimized simulator of §3/§4.1.
+    pub fn optimized() -> Self {
+        SimConfig {
+            retrieval: RetrievalMode::Conditional,
+            costing: MessageCosting::PaperConstant,
+            preload: true,
+            uncacheable_mask: 0,
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Protocol label.
+    pub protocol: String,
+    /// Bandwidth accounting.
+    pub traffic: TrafficMeter,
+    /// Cache behaviour.
+    pub cache: CacheStats,
+    /// Server operations.
+    pub server: ServerLoad,
+    /// Summed *staleness age* over all stale hits: for each request served
+    /// stale, how long the served copy had already been out of date. An
+    /// extension metric — the paper counts stale hits but not their
+    /// severity.
+    pub stale_age_total: simcore::SimDuration,
+}
+
+impl RunResult {
+    /// Total MB exchanged — the Figure 2/4/6 y-axis.
+    pub fn total_mb(&self) -> f64 {
+        self.traffic.total_megabytes()
+    }
+
+    /// Stale-hit percentage of all requests — Figures 3/5/7.
+    pub fn stale_pct(&self) -> f64 {
+        100.0 * self.cache.stale_hit_rate()
+    }
+
+    /// Cache-miss percentage of all requests — Figures 3/5/7.
+    pub fn miss_pct(&self) -> f64 {
+        100.0 * self.cache.miss_rate()
+    }
+
+    /// Server operations — Figure 8.
+    pub fn server_ops(&self) -> u64 {
+        self.server.total_operations()
+    }
+
+    /// Requests served without contacting the origin at all (zero network
+    /// latency). Fresh hits that came from a `304` revalidation did touch
+    /// the network, so they are excluded.
+    pub fn local_serves(&self) -> u64 {
+        (self.cache.fresh_hits + self.cache.stale_hits)
+            .saturating_sub(self.cache.validations_not_modified)
+    }
+
+    /// Mean per-request service latency in milliseconds under a simple
+    /// link model: `rtt_ms` per origin round trip plus transfer time for
+    /// file bodies at `bytes_per_sec`. This quantifies the latency the
+    /// paper trades for bandwidth (§3): validations cost a round trip,
+    /// transfers cost a round trip plus body time, local serves are free.
+    ///
+    /// # Panics
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn mean_latency_ms(&self, rtt_ms: f64, bytes_per_sec: f64) -> f64 {
+        assert!(bytes_per_sec > 0.0, "link bandwidth must be positive");
+        let requests = self.cache.requests();
+        if requests == 0 {
+            return 0.0;
+        }
+        let round_trips = self.cache.validations_not_modified + self.cache.misses;
+        let transfer_ms = self.traffic.file_bytes as f64 / bytes_per_sec * 1000.0;
+        (round_trips as f64 * rtt_ms + transfer_ms) / requests as f64
+    }
+
+    /// Mean staleness age of the stale hits, in hours (`None` when no
+    /// stale data was served).
+    pub fn mean_stale_age_hours(&self) -> Option<f64> {
+        (self.cache.stale_hits > 0)
+            .then(|| self.stale_age_total.as_hours_f64() / self.cache.stale_hits as f64)
+    }
+
+    /// Merge several runs (used to average the FAS/HCS/DAS traces, as the
+    /// paper's Figure 6 caption describes). Counters are summed, so the
+    /// derived rates are request-weighted averages.
+    pub fn merged(label: impl Into<String>, runs: &[RunResult]) -> RunResult {
+        let mut traffic = TrafficMeter::default();
+        let mut cache = CacheStats::default();
+        let mut server = ServerLoad::default();
+        let mut stale_age_total = simcore::SimDuration::ZERO;
+        for r in runs {
+            traffic.merge(&r.traffic);
+            cache.merge(&r.cache);
+            server.merge(&r.server);
+            stale_age_total = stale_age_total.saturating_add(r.stale_age_total);
+        }
+        RunResult {
+            protocol: label.into(),
+            traffic,
+            cache,
+            server,
+            stale_age_total,
+        }
+    }
+}
+
+struct World<S: Store> {
+    store: S,
+    server: OriginServer,
+    policy: Box<dyn Policy>,
+    classes: Vec<usize>,
+    class_expires: Vec<Option<simcore::SimDuration>>,
+    retrieval: RetrievalMode,
+    costing: MessageCosting,
+    uncacheable_mask: u32,
+    uses_invalidation: bool,
+    traffic: TrafficMeter,
+    stats: CacheStats,
+    stale_age_total: simcore::SimDuration,
+    evictions: u64,
+}
+
+const THE_CACHE: CacheId = CacheId(0);
+
+impl<S: Store> World<S> {
+    fn wall(&self, t: SimTime) -> HttpDate {
+        HttpDate(EPOCH_1996.0 + t.as_secs())
+    }
+
+    fn path(&self, file: FileId) -> String {
+        self.server.files().get(file).path.clone()
+    }
+
+    /// Insert an entry, processing any evictions a bounded store makes:
+    /// evicted objects lose their invalidation subscription (the server
+    /// must not notify caches that no longer hold the object).
+    fn insert_entry(&mut self, file: FileId, meta: EntryMeta) {
+        for (victim, _) in self.store.insert(file, meta) {
+            if victim != file {
+                self.evictions += 1;
+            }
+            if self.uses_invalidation {
+                self.server.unsubscribe(THE_CACHE, victim);
+            }
+        }
+    }
+
+    fn is_uncacheable(&self, class: usize) -> bool {
+        class < 32 && self.uncacheable_mask & (1 << class) != 0
+    }
+
+    fn origin_expiry(&self, class: usize, now: SimTime) -> Option<SimTime> {
+        self.class_expires
+            .get(class)
+            .copied()
+            .flatten()
+            .map(|d| now.saturating_add(d))
+    }
+
+    fn on_modification(&mut self, file: FileId, _now: SimTime) {
+        if !self.uses_invalidation {
+            return;
+        }
+        let targets = self.server.notify_modification(file);
+        for cache in targets {
+            debug_assert_eq!(cache, THE_CACHE);
+            let path = self.path(file);
+            self.traffic
+                .add_message(self.costing.invalidation_message(&path));
+            if let Some(entry) = self.store.access(file, _now) {
+                entry.mark_invalid();
+            }
+        }
+    }
+
+    fn fetch_full(&mut self, file: FileId, now: SimTime, since: Option<SimTime>) {
+        let class = self.classes[file.index()];
+        let v = self.server.handle_get(file, now);
+        let path = self.path(file);
+        let overhead = self.costing.fetch_overhead(
+            &path,
+            since.map(|s| self.wall(s)),
+            self.wall(now),
+            self.wall(v.modified_at),
+            v.size,
+        );
+        self.traffic.add_message(overhead);
+        self.traffic.add_file_transfer(v.size);
+        self.stats.misses += 1;
+        if self.is_uncacheable(class) {
+            // Dynamic content is forwarded, never stored.
+            self.store.remove(file);
+            return;
+        }
+        let expires = self.origin_expiry(class, now);
+        match self.store.access(file, now).copied() {
+            Some(mut entry) => {
+                entry.replace_body(v.size, v.modified_at, now);
+                entry.expires = expires;
+                // Reinsert rather than mutate in place: bounded stores
+                // track resident bytes at insert time, and the new body
+                // may not be the same size as the old one.
+                self.insert_entry(file, entry);
+            }
+            None => {
+                let mut fresh = EntryMeta::fresh(v.size, v.modified_at, now);
+                fresh.expires = expires;
+                if self.uses_invalidation {
+                    self.server.subscribe(THE_CACHE, file);
+                }
+                self.insert_entry(file, fresh);
+                // A rejected oversized insert leaves no resident copy and
+                // must not stay subscribed; insert_entry unsubscribed it.
+            }
+        }
+    }
+
+    fn on_request(&mut self, file: FileId, now: SimTime) {
+        let class = self.classes[file.index()];
+        if self.is_uncacheable(class) {
+            self.fetch_full(file, now, None);
+            return;
+        }
+        let Some(entry) = self.store.access(file, now).copied() else {
+            // Compulsory miss: the cache has never seen this object.
+            self.fetch_full(file, now, None);
+            return;
+        };
+
+        if entry.is_valid() && self.policy.is_fresh(&entry, class, now) {
+            // Served locally; classify against the live origin version.
+            let live = self
+                .server
+                .files()
+                .get(file)
+                .version_at(now)
+                .expect("requested file exists");
+            if live.modified_at == entry.last_modified {
+                self.stats.fresh_hits += 1;
+            } else {
+                self.stats.stale_hits += 1;
+                // Severity: how long the served copy has been out of date
+                // (time since the first change it missed).
+                if let Some(missed) = self
+                    .server
+                    .files()
+                    .get(file)
+                    .first_change_after(entry.last_modified)
+                {
+                    self.stale_age_total = self
+                        .stale_age_total
+                        .saturating_add(now.saturating_since(missed.modified_at));
+                }
+            }
+            return;
+        }
+
+        // Expired (time-based protocols) or marked invalid (invalidation
+        // protocol). An invalidated entry is *known* stale — conditional
+        // retrieval would be a wasted round-trip — so the invalidation
+        // protocol always refetches, as does the base (eager) simulator.
+        if self.uses_invalidation || self.retrieval == RetrievalMode::Eager {
+            let changed = {
+                let live = self
+                    .server
+                    .files()
+                    .get(file)
+                    .version_at(now)
+                    .expect("requested file exists");
+                live.modified_at != entry.last_modified
+            };
+            self.policy.on_validation(class, changed);
+            self.fetch_full(file, now, None);
+            return;
+        }
+
+        // Optimized path: combined query-and-fetch via If-Modified-Since.
+        match self
+            .server
+            .handle_conditional_get(file, entry.last_modified, now)
+        {
+            CondResult::NotModified => {
+                let path = self.path(file);
+                self.traffic.add_message(self.costing.validation_exchange(
+                    &path,
+                    self.wall(entry.last_modified),
+                    self.wall(now),
+                ));
+                self.stats.validations_not_modified += 1;
+                self.stats.fresh_hits += 1;
+                self.policy.on_validation(class, false);
+                let expires = self.origin_expiry(class, now);
+                let entry = self.store.access(file, now).expect("entry is resident");
+                entry.revalidate(now);
+                entry.expires = expires;
+            }
+            CondResult::Modified(v) => {
+                let path = self.path(file);
+                let overhead = self.costing.fetch_overhead(
+                    &path,
+                    Some(self.wall(entry.last_modified)),
+                    self.wall(now),
+                    self.wall(v.modified_at),
+                    v.size,
+                );
+                self.traffic.add_message(overhead);
+                self.traffic.add_file_transfer(v.size);
+                self.stats.validations_modified += 1;
+                self.stats.misses += 1;
+                self.policy.on_validation(class, true);
+                let expires = self.origin_expiry(class, now);
+                let mut entry = *self.store.access(file, now).expect("entry is resident");
+                entry.replace_body(v.size, v.modified_at, now);
+                entry.expires = expires;
+                self.insert_entry(file, entry);
+            }
+        }
+    }
+}
+
+/// Run `workload` under `spec` with `config`, returning the paper's
+/// metrics. Fully deterministic: same inputs, same result.
+pub fn run(workload: &Workload, spec: ProtocolSpec, config: &SimConfig) -> RunResult {
+    run_with_store(workload, spec, config, UnboundedStore::new()).0
+}
+
+/// Like [`run`], but with a byte-bounded LRU cache instead of the paper's
+/// infinite store — the bounded-cache extension. Returns the run result
+/// plus the number of evictions. Evicted objects lose their validation
+/// history (the Alex protocol restarts on the refetched copy) and, under
+/// the invalidation protocol, their server-side subscription.
+pub fn run_bounded(
+    workload: &Workload,
+    spec: ProtocolSpec,
+    config: &SimConfig,
+    capacity_bytes: u64,
+) -> (RunResult, u64) {
+    run_with_store(
+        workload,
+        spec,
+        config,
+        proxycache::LruStore::new(capacity_bytes),
+    )
+}
+
+/// Like [`run_bounded`], but with FIFO eviction — the cheaper policy
+/// several mid-90s caches actually used. The eviction-policy ablation
+/// compares the two under the consistency protocols.
+pub fn run_bounded_fifo(
+    workload: &Workload,
+    spec: ProtocolSpec,
+    config: &SimConfig,
+    capacity_bytes: u64,
+) -> (RunResult, u64) {
+    run_with_store(
+        workload,
+        spec,
+        config,
+        proxycache::FifoStore::new(capacity_bytes),
+    )
+}
+
+fn run_with_store<S: Store + 'static>(
+    workload: &Workload,
+    spec: ProtocolSpec,
+    config: &SimConfig,
+    store: S,
+) -> (RunResult, u64) {
+    debug_assert_eq!(workload.validate(), Ok(()));
+    let mut world = World {
+        store,
+        server: OriginServer::new(workload.population.clone()),
+        policy: spec.build_policy(),
+        classes: workload.classes.clone(),
+        class_expires: workload.class_expires.clone(),
+        retrieval: config.retrieval,
+        costing: config.costing,
+        uncacheable_mask: config.uncacheable_mask,
+        uses_invalidation: spec.uses_invalidation(),
+        traffic: TrafficMeter::default(),
+        stats: CacheStats::default(),
+        stale_age_total: simcore::SimDuration::ZERO,
+        evictions: 0,
+    };
+
+    if config.preload {
+        for (id, rec) in workload.population.iter() {
+            let class = workload.classes[id.index()];
+            if world.is_uncacheable(class) {
+                continue;
+            }
+            if let Some(v) = rec.version_at(workload.start) {
+                if world.uses_invalidation {
+                    world.server.subscribe(THE_CACHE, id);
+                }
+                world.insert_entry(
+                    id,
+                    EntryMeta {
+                        size: v.size,
+                        last_modified: v.modified_at,
+                        fetched_at: workload.start,
+                        last_validated: workload.start,
+                        expires: world.origin_expiry(class, workload.start),
+                        state: proxycache::EntryState::Valid,
+                    },
+                );
+            }
+        }
+    }
+
+    world.evictions = 0; // preload-time evictions are setup, not workload
+
+    // Merge modifications and requests into one schedule; at equal
+    // instants a modification precedes a request (a request arriving "at"
+    // a change sees the new version, matching HTTP semantics where the
+    // origin answers with its current state).
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Modify(FileId),
+        Request(FileId),
+    }
+    let mut events: Vec<(SimTime, u8, Ev)> =
+        Vec::with_capacity(workload.requests.len() + workload.population.len());
+    for (t, f) in workload.population.all_modifications() {
+        if t >= workload.start && t <= workload.end {
+            events.push((t, 0, Ev::Modify(f)));
+        }
+    }
+    for &(t, f) in &workload.requests {
+        events.push((t, 1, Ev::Request(f)));
+    }
+    events.sort_by_key(|&(t, kind, ev)| {
+        (
+            t,
+            kind,
+            match ev {
+                Ev::Modify(f) | Ev::Request(f) => f,
+            },
+        )
+    });
+
+    let mut sim = Simulation::new(world);
+    for (t, _, ev) in events {
+        match ev {
+            Ev::Modify(f) => {
+                sim.scheduler().schedule_at(
+                    t,
+                    move |w: &mut World<S>, s: &mut simcore::Scheduler<World<S>>| {
+                        w.on_modification(f, s.now());
+                    },
+                );
+            }
+            Ev::Request(f) => {
+                sim.scheduler().schedule_at(
+                    t,
+                    move |w: &mut World<S>, s: &mut simcore::Scheduler<World<S>>| {
+                        w.on_request(f, s.now());
+                    },
+                );
+            }
+        }
+    }
+    sim.run_to_completion();
+    let world = sim.into_world();
+
+    debug_assert_eq!(
+        world.stats.requests() as usize,
+        workload.request_count(),
+        "every request classifies as exactly one of hit/stale/miss"
+    );
+
+    (
+        RunResult {
+            protocol: spec.label(),
+            traffic: world.traffic,
+            cache: world.stats,
+            server: *world.server.load(),
+            stale_age_total: world.stale_age_total,
+        },
+        world.evictions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_synthetic, WorrellConfig};
+
+    fn small_workload(seed: u64) -> Workload {
+        generate_synthetic(&WorrellConfig::scaled(120, 4_000), seed)
+    }
+
+    #[test]
+    fn every_request_is_classified() {
+        let wl = small_workload(1);
+        for spec in [
+            ProtocolSpec::Ttl(50),
+            ProtocolSpec::Alex(20),
+            ProtocolSpec::Invalidation,
+        ] {
+            for cfg in [SimConfig::base(), SimConfig::optimized()] {
+                let r = run(&wl, spec, &cfg);
+                assert_eq!(r.cache.requests() as usize, wl.request_count());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let wl = small_workload(2);
+        let a = run(&wl, ProtocolSpec::Alex(10), &SimConfig::optimized());
+        let b = run(&wl, ProtocolSpec::Alex(10), &SimConfig::optimized());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalidation_never_serves_stale() {
+        let wl = small_workload(3);
+        for cfg in [SimConfig::base(), SimConfig::optimized()] {
+            let r = run(&wl, ProtocolSpec::Invalidation, &cfg);
+            assert_eq!(r.cache.stale_hits, 0, "invalidation must be perfect");
+            assert!(r.server.invalidations_sent > 0);
+        }
+    }
+
+    #[test]
+    fn invalidation_is_retrieval_mode_insensitive() {
+        // The invalidation protocol was already "optimized" in the base
+        // simulator; eager vs conditional must not change it.
+        let wl = small_workload(4);
+        let a = run(&wl, ProtocolSpec::Invalidation, &SimConfig::base());
+        let b = run(&wl, ProtocolSpec::Invalidation, &SimConfig::optimized());
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.server, b.server);
+    }
+
+    #[test]
+    fn alex_zero_equals_poll_every_time() {
+        let wl = small_workload(5);
+        let a = run(&wl, ProtocolSpec::Alex(0), &SimConfig::optimized());
+        let p = run(&wl, ProtocolSpec::PollEveryTime, &SimConfig::optimized());
+        assert_eq!(a.traffic, p.traffic);
+        assert_eq!(a.cache, p.cache);
+        assert_eq!(a.server, p.server);
+    }
+
+    #[test]
+    fn conditional_retrieval_saves_bandwidth() {
+        // §4.1: the optimization trades query latency for bandwidth.
+        let wl = small_workload(6);
+        for spec in [ProtocolSpec::Ttl(50), ProtocolSpec::Alex(20)] {
+            let eager = run(&wl, spec, &SimConfig::base());
+            let cond = run(&wl, spec, &SimConfig::optimized());
+            assert!(
+                cond.traffic.total_bytes() <= eager.traffic.total_bytes(),
+                "{}: {} vs {}",
+                spec.label(),
+                cond.traffic.total_bytes(),
+                eager.traffic.total_bytes()
+            );
+            // And misses improve dramatically (Figure 5 vs Figure 3).
+            assert!(cond.cache.misses <= eager.cache.misses);
+        }
+    }
+
+    #[test]
+    fn stale_hits_grow_with_parameter() {
+        let wl = small_workload(7);
+        let cfg = SimConfig::optimized();
+        let stale = |spec| run(&wl, spec, &cfg).cache.stale_hits;
+        assert!(stale(ProtocolSpec::Ttl(10)) <= stale(ProtocolSpec::Ttl(200)));
+        assert!(stale(ProtocolSpec::Alex(5)) <= stale(ProtocolSpec::Alex(80)));
+        assert_eq!(stale(ProtocolSpec::Ttl(0)), 0);
+        assert_eq!(stale(ProtocolSpec::Alex(0)), 0);
+    }
+
+    #[test]
+    fn bandwidth_shrinks_with_parameter() {
+        let wl = small_workload(8);
+        let cfg = SimConfig::optimized();
+        let mb = |spec| run(&wl, spec, &cfg).traffic.total_bytes();
+        assert!(mb(ProtocolSpec::Ttl(200)) <= mb(ProtocolSpec::Ttl(10)));
+        assert!(mb(ProtocolSpec::Alex(80)) <= mb(ProtocolSpec::Alex(5)));
+    }
+
+    #[test]
+    fn preload_eliminates_compulsory_misses() {
+        let wl = small_workload(9);
+        let cold = SimConfig {
+            preload: false,
+            ..SimConfig::optimized()
+        };
+        let warm = SimConfig::optimized();
+        let r_cold = run(&wl, ProtocolSpec::Invalidation, &cold);
+        let r_warm = run(&wl, ProtocolSpec::Invalidation, &warm);
+        assert!(r_cold.cache.misses > r_warm.cache.misses);
+    }
+
+    #[test]
+    fn poll_every_time_hammers_the_server() {
+        // §4.2: threshold 0 creates ~two orders of magnitude more server
+        // queries than necessary.
+        let wl = small_workload(10);
+        let cfg = SimConfig::optimized();
+        let poll = run(&wl, ProtocolSpec::PollEveryTime, &cfg);
+        // Every request touches the server.
+        assert_eq!(
+            poll.server_ops() as usize,
+            wl.request_count(),
+            "threshold 0 => one server op per request"
+        );
+    }
+
+    #[test]
+    fn serialized_costing_changes_bytes_not_behaviour() {
+        let wl = small_workload(11);
+        let paper = run(&wl, ProtocolSpec::Alex(20), &SimConfig::optimized());
+        let wire_cfg = SimConfig {
+            costing: MessageCosting::SerializedHttp,
+            ..SimConfig::optimized()
+        };
+        let wire = run(&wl, ProtocolSpec::Alex(20), &wire_cfg);
+        assert_eq!(paper.cache, wire.cache);
+        assert_eq!(paper.server, wire.server);
+        assert_eq!(paper.traffic.messages, wire.traffic.messages);
+        assert_eq!(paper.traffic.file_bytes, wire.traffic.file_bytes);
+        assert_ne!(paper.traffic.message_bytes, wire.traffic.message_bytes);
+    }
+
+    #[test]
+    fn paper_constant_mean_message_size_is_43() {
+        let wl = small_workload(12);
+        let r = run(&wl, ProtocolSpec::Alex(20), &SimConfig::optimized());
+        assert_eq!(r.traffic.mean_message_bytes(), Some(43.0));
+    }
+
+    #[test]
+    fn merged_results_sum_counters() {
+        let wl = small_workload(13);
+        let a = run(&wl, ProtocolSpec::Ttl(50), &SimConfig::optimized());
+        let b = run(&wl, ProtocolSpec::Ttl(50), &SimConfig::optimized());
+        let m = RunResult::merged("avg", &[a.clone(), b.clone()]);
+        assert_eq!(m.cache.requests(), 2 * a.cache.requests());
+        assert_eq!(
+            m.traffic.total_bytes(),
+            a.traffic.total_bytes() + b.traffic.total_bytes()
+        );
+        assert_eq!(m.server_ops(), a.server_ops() + b.server_ops());
+        assert!((m.stale_pct() - a.stale_pct()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_tuning_adapts_and_still_classifies_everything() {
+        let wl = small_workload(14);
+        let r = run(&wl, ProtocolSpec::SelfTuning, &SimConfig::optimized());
+        assert_eq!(r.cache.requests() as usize, wl.request_count());
+        // Feedback must have fired: with a churning workload there are
+        // both kinds of validations.
+        assert!(r.cache.validations_not_modified > 0);
+        assert!(r.cache.validations_modified > 0);
+    }
+
+    #[test]
+    fn latency_accounting_partitions_requests() {
+        let wl = small_workload(15);
+        let r = run(&wl, ProtocolSpec::Alex(25), &SimConfig::optimized());
+        // local + validated + transferred == all requests.
+        assert_eq!(
+            r.local_serves() + r.cache.validations_not_modified + r.cache.misses,
+            r.cache.requests()
+        );
+        // A zero-RTT, infinite-bandwidth link means zero latency.
+        assert!(r.mean_latency_ms(0.0, f64::MAX) < 1e-9);
+        // Latency grows with RTT.
+        assert!(r.mean_latency_ms(200.0, 1e6) > r.mean_latency_ms(50.0, 1e6));
+    }
+
+    #[test]
+    fn poll_every_time_maximises_latency() {
+        // §4.2's degenerate configuration pays a round trip per request;
+        // a tuned Alex threshold mostly serves locally.
+        let wl = small_workload(16);
+        let cfg = SimConfig::optimized();
+        let poll = run(&wl, ProtocolSpec::PollEveryTime, &cfg);
+        let tuned = run(&wl, ProtocolSpec::Alex(50), &cfg);
+        assert_eq!(poll.local_serves(), 0);
+        assert!(poll.mean_latency_ms(100.0, 1e6) > tuned.mean_latency_ms(100.0, 1e6));
+    }
+
+    #[test]
+    fn invalidation_has_lowest_latency_of_all() {
+        // Perfect consistency with entries valid until truly changed:
+        // almost every request is a local serve.
+        let wl = small_workload(17);
+        let cfg = SimConfig::optimized();
+        let inval = run(&wl, ProtocolSpec::Invalidation, &cfg);
+        let alex = run(&wl, ProtocolSpec::Alex(10), &cfg);
+        assert!(inval.mean_latency_ms(100.0, 1e6) <= alex.mean_latency_ms(100.0, 1e6));
+    }
+
+    #[test]
+    fn uncacheable_classes_always_fetch_and_never_store() {
+        let mut wl = small_workload(18);
+        // Make every file class 1 and mark class 1 dynamic.
+        wl.classes = vec![1; wl.population.len()];
+        let cfg = SimConfig {
+            uncacheable_mask: 1 << 1,
+            ..SimConfig::optimized()
+        };
+        let r = run(&wl, ProtocolSpec::Alex(50), &cfg);
+        // Every request is a full fetch.
+        assert_eq!(r.cache.misses as usize, wl.request_count());
+        assert_eq!(r.cache.fresh_hits, 0);
+        assert_eq!(r.cache.stale_hits, 0);
+        assert_eq!(r.server.document_requests as usize, wl.request_count());
+    }
+
+    #[test]
+    fn uncacheable_mask_only_affects_marked_classes() {
+        let wl = small_workload(19); // all files class 0
+        let with_mask = SimConfig {
+            uncacheable_mask: 1 << 3, // class 3 unused by this workload
+            ..SimConfig::optimized()
+        };
+        let a = run(&wl, ProtocolSpec::Alex(20), &with_mask);
+        let b = run(&wl, ProtocolSpec::Alex(20), &SimConfig::optimized());
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn origin_expires_hint_drives_the_cern_policy() {
+        use originserver::{FilePopulation, FileRecord};
+        use simcore::SimDuration;
+        // A "daily newspaper": changes every 24h at known instants; the
+        // origin assigns Expires = 24h. CERN's tier-1 serves each edition
+        // all day and revalidates exactly at the boundary: zero staleness,
+        // one validation-or-fetch per day.
+        let day = SimDuration::from_days(1);
+        let start = SimTime::from_secs(0) + SimDuration::from_days(10);
+        let end = start + SimDuration::from_days(10);
+        let mut pop = FilePopulation::new();
+        let mut rec = FileRecord::new("/news/front.html", SimTime::ZERO, 10_000);
+        let mut t = start;
+        while t < end {
+            t += day;
+            rec.push_modification(t, 10_000);
+        }
+        let f = pop.add(rec);
+        // 4 requests per day.
+        let requests: Vec<(SimTime, simcore::FileId)> = (0..40)
+            .map(|i| (start + SimDuration::from_hours(6 * i + 3), f))
+            .collect();
+        let wl = Workload {
+            name: "daily-news".to_string(),
+            start,
+            end,
+            population: pop,
+            requests,
+            classes: vec![0],
+            class_expires: vec![Some(day)],
+        };
+        wl.validate().unwrap();
+        let cern = run(
+            &wl,
+            ProtocolSpec::Cern {
+                lm_percent: 10,
+                default_ttl_hours: 24,
+            },
+            &SimConfig::optimized(),
+        );
+        assert_eq!(cern.cache.stale_hits, 0, "a priori TTL is exact");
+        // One server contact per edition (the expiry boundary), the other
+        // three requests per day are local serves.
+        assert!(
+            cern.server_ops() <= 11,
+            "CERN ops {} should be ~1/day",
+            cern.server_ops()
+        );
+    }
+
+    #[test]
+    fn lru_beats_fifo_under_skewed_demand() {
+        // Popular objects are touched constantly; LRU keeps them, FIFO
+        // cycles them out. Under the synthetic Zipf-less workload the two
+        // are close, so use a Zipf-skewed one.
+        use crate::workload::{PopularityModel, WorrellConfig};
+        let mut cfg = WorrellConfig::scaled(200, 8_000);
+        cfg.knobs.popularity = PopularityModel::Zipf {
+            exponent: 1.0,
+            correlate_stability: false,
+        };
+        let wl = crate::workload::generate_synthetic(&cfg, 26);
+        let capacity: u64 = wl
+            .population
+            .iter()
+            .filter_map(|(_, r)| r.version_at(wl.start).map(|v| v.size))
+            .sum::<u64>()
+            / 5;
+        let sim_cfg = SimConfig {
+            preload: false,
+            ..SimConfig::optimized()
+        };
+        let (lru, _) = run_bounded(&wl, ProtocolSpec::Alex(30), &sim_cfg, capacity);
+        let (fifo, _) = run_bounded_fifo(&wl, ProtocolSpec::Alex(30), &sim_cfg, capacity);
+        assert!(
+            lru.cache.misses <= fifo.cache.misses,
+            "LRU {} misses vs FIFO {}",
+            lru.cache.misses,
+            fifo.cache.misses
+        );
+        assert_eq!(lru.cache.requests(), fifo.cache.requests());
+    }
+
+    #[test]
+    fn fifo_with_ample_capacity_matches_unbounded() {
+        let wl = small_workload(27);
+        let cfg = SimConfig::optimized();
+        let unbounded = run(&wl, ProtocolSpec::Ttl(100), &cfg);
+        let (fifo, evictions) = run_bounded_fifo(&wl, ProtocolSpec::Ttl(100), &cfg, u64::MAX / 2);
+        assert_eq!(evictions, 0);
+        assert_eq!(unbounded.cache, fifo.cache);
+        assert_eq!(unbounded.traffic, fifo.traffic);
+    }
+
+    #[test]
+    fn bounded_cache_with_ample_capacity_matches_unbounded() {
+        let wl = small_workload(20);
+        let cfg = SimConfig::optimized();
+        for spec in [ProtocolSpec::Alex(30), ProtocolSpec::Invalidation] {
+            let unbounded = run(&wl, spec, &cfg);
+            let (bounded, evictions) = run_bounded(&wl, spec, &cfg, u64::MAX / 2);
+            assert_eq!(unbounded.cache, bounded.cache, "{}", spec.label());
+            assert_eq!(unbounded.traffic, bounded.traffic);
+            assert_eq!(evictions, 0);
+        }
+    }
+
+    #[test]
+    fn tight_cache_evicts_and_costs_misses() {
+        let wl = small_workload(21);
+        let cfg = SimConfig::optimized();
+        let spec = ProtocolSpec::Alex(30);
+        let roomy = run(&wl, spec, &cfg);
+        // Capacity for roughly a tenth of the working set.
+        let total_bytes: u64 = wl
+            .population
+            .iter()
+            .filter_map(|(_, r)| r.version_at(wl.start).map(|v| v.size))
+            .sum();
+        let (tight, evictions) = run_bounded(&wl, spec, &cfg, total_bytes / 10);
+        assert!(evictions > 0, "a tight cache must evict");
+        assert!(
+            tight.cache.misses > roomy.cache.misses,
+            "evictions force refetches: {} vs {}",
+            tight.cache.misses,
+            roomy.cache.misses
+        );
+        assert_eq!(tight.cache.requests(), roomy.cache.requests());
+    }
+
+    #[test]
+    fn eviction_unsubscribes_from_invalidation() {
+        // With a bounded cache the server's subscription ledger must stay
+        // bounded by what is resident, not grow with the file universe.
+        let wl = small_workload(22);
+        let cfg = SimConfig {
+            preload: false,
+            ..SimConfig::optimized()
+        };
+        let total_bytes: u64 = wl
+            .population
+            .iter()
+            .filter_map(|(_, r)| r.version_at(wl.start).map(|v| v.size))
+            .sum();
+        let (r, evictions) = run_bounded(&wl, ProtocolSpec::Invalidation, &cfg, total_bytes / 20);
+        assert!(evictions > 0);
+        // Evicted objects that change are not notified (they cannot be
+        // stale in a cache that doesn't hold them): still zero stale.
+        assert_eq!(r.cache.stale_hits, 0);
+    }
+
+    #[test]
+    fn stale_age_is_zero_without_stale_hits() {
+        let wl = small_workload(23);
+        let inval = run(&wl, ProtocolSpec::Invalidation, &SimConfig::optimized());
+        assert_eq!(inval.stale_age_total, simcore::SimDuration::ZERO);
+        assert_eq!(inval.mean_stale_age_hours(), None);
+        let poll = run(&wl, ProtocolSpec::PollEveryTime, &SimConfig::optimized());
+        assert_eq!(poll.mean_stale_age_hours(), None);
+    }
+
+    #[test]
+    fn stale_age_grows_with_ttl() {
+        let wl = small_workload(24);
+        let cfg = SimConfig::optimized();
+        let short = run(&wl, ProtocolSpec::Ttl(50), &cfg);
+        let long = run(&wl, ProtocolSpec::Ttl(400), &cfg);
+        assert!(long.stale_age_total > short.stale_age_total);
+        // And mean severity is bounded by the TTL itself: a copy can be
+        // served at most one validity horizon past the change.
+        if let Some(mean) = long.mean_stale_age_hours() {
+            assert!(mean <= 400.0, "mean stale age {mean}h exceeds the TTL");
+        }
+    }
+
+    #[test]
+    fn stale_age_exact_on_a_scripted_case() {
+        use crate::scenario::ScenarioBuilder;
+        use simcore::SimDuration;
+        let mut b = ScenarioBuilder::new("sev", SimDuration::from_days(1));
+        let f = b.file("/x", 1_000, SimDuration::from_days(400), 0);
+        b.modify(f, SimDuration::from_hours(1), None);
+        // Requests at +2h and +5h: TTL 100h keeps the preloaded copy
+        // valid, so both are stale by 1h and 4h respectively.
+        b.request(f, SimDuration::from_hours(2));
+        b.request(f, SimDuration::from_hours(5));
+        let wl = b.build();
+        let r = run(&wl, ProtocolSpec::Ttl(100), &SimConfig::optimized());
+        assert_eq!(r.cache.stale_hits, 2);
+        assert_eq!(
+            r.stale_age_total,
+            SimDuration::from_hours(1) + SimDuration::from_hours(4)
+        );
+        assert!((r.mean_stale_age_hours().unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_sums_stale_age() {
+        let wl = small_workload(25);
+        let a = run(&wl, ProtocolSpec::Ttl(300), &SimConfig::optimized());
+        let m = RunResult::merged("m", &[a.clone(), a.clone()]);
+        assert_eq!(m.stale_age_total, a.stale_age_total + a.stale_age_total);
+    }
+
+    #[test]
+    fn modification_at_request_instant_is_visible() {
+        // A request tied with a modification sees the new version (and the
+        // invalidation protocol refetches rather than serving stale).
+        use originserver::{FilePopulation, FileRecord};
+        let start = SimTime::from_secs(1000);
+        let mut pop = FilePopulation::new();
+        let mut rec = FileRecord::new("/x", SimTime::from_secs(0), 100);
+        rec.push_modification(SimTime::from_secs(2000), 200);
+        let f = pop.add(rec);
+        let wl = Workload {
+            name: "tie".to_string(),
+            start,
+            end: SimTime::from_secs(3000),
+            population: pop,
+            requests: vec![(SimTime::from_secs(2000), f)],
+            classes: vec![0],
+            class_expires: Vec::new(),
+        };
+        let r = run(&wl, ProtocolSpec::Invalidation, &SimConfig::optimized());
+        assert_eq!(r.cache.stale_hits, 0);
+        assert_eq!(r.cache.misses, 1);
+        assert_eq!(r.traffic.file_bytes, 200);
+    }
+}

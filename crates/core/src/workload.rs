@@ -1,0 +1,584 @@
+//! Workloads: the input every simulator replays.
+//!
+//! A workload is a file population with pre-scheduled modification
+//! histories plus a time-sorted request stream. Holding the workload fixed
+//! while swapping the consistency protocol is the paper's methodology; the
+//! same [`Workload`] value is replayed against TTL, Alex, and the
+//! invalidation protocol.
+//!
+//! Two families are provided:
+//!
+//! * [`WorrellConfig`] — the base simulator's synthetic model (§2/§3):
+//!   flat lifetime distribution between a minimum and maximum, uniform
+//!   random accesses, every file busy-churning;
+//! * conversion from `webtrace::ServerTrace` — the modified-workload
+//!   simulator's trace replay ([`Workload::from_server_trace`]).
+//!
+//! [`WorkloadKnobs`] exposes the two §4.2 levers (lifetime bimodality and
+//! popularity skew/anticorrelation) independently, for the ablation
+//! benches that isolate which workload property flips Worrell's
+//! conclusion.
+
+use originserver::{FilePopulation, FileRecord};
+use simcore::{FileId, SimDuration, SimTime};
+use simstats::{BoundedParetoDist, DetRng, Sampler, UniformDist, ZipfDist};
+use webtrace::{FileType, ServerTrace};
+
+/// A replayable workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Observation start (requests and measured modifications begin here).
+    pub start: SimTime,
+    /// Observation end.
+    pub end: SimTime,
+    /// File population with full modification histories.
+    pub population: FilePopulation,
+    /// `(instant, file)` request stream, sorted by instant.
+    pub requests: Vec<(SimTime, FileId)>,
+    /// Content-class index per file (for per-class adaptive policies).
+    pub classes: Vec<usize>,
+    /// Origin-assigned `Expires` lifetimes per content class (indexed by
+    /// class; missing or `None` means the origin assigns no expiry). This
+    /// models content with a priori known lifetimes — "online newspapers
+    /// that change daily" (§1) — which the CERN policy's first tier and
+    /// plain TTL consume.
+    pub class_expires: Vec<Option<SimDuration>>,
+}
+
+impl Workload {
+    /// Total duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Number of requests.
+    pub fn request_count(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Total modifications scheduled inside the observation window.
+    pub fn changes_in_window(&self) -> usize {
+        self.population
+            .iter()
+            .map(|(_, r)| r.changes_between(self.start, self.end))
+            .sum()
+    }
+
+    /// The origin-assigned `Expires` lifetime for `class`, if any.
+    pub fn expires_for_class(&self, class: usize) -> Option<SimDuration> {
+        self.class_expires.get(class).copied().flatten()
+    }
+
+    /// Internal-consistency check (sorted requests, files exist, classes
+    /// aligned).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.classes.len() != self.population.len() {
+            return Err("classes not aligned with population".to_string());
+        }
+        let mut prev = SimTime::ZERO;
+        for (i, &(t, f)) in self.requests.iter().enumerate() {
+            if t < prev {
+                return Err(format!("request {i} out of order"));
+            }
+            prev = t;
+            if f.index() >= self.population.len() {
+                return Err(format!("request {i}: unknown file {f}"));
+            }
+            if self.population.get(f).version_at(t).is_none() {
+                return Err(format!("request {i}: file {f} does not exist yet"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Keep every `k`-th request (k >= 1), preserving order — used by the
+    /// quick experiment scale to shrink trace replays. Modification
+    /// histories are untouched.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn subsample(&self, k: usize) -> Workload {
+        assert!(k >= 1, "subsample factor must be at least 1");
+        Workload {
+            name: if k == 1 {
+                self.name.clone()
+            } else {
+                format!("{} (1/{k})", self.name)
+            },
+            requests: self.requests.iter().step_by(k).copied().collect(),
+            ..self.clone()
+        }
+    }
+
+    /// Build a workload from the *local-domain* requests of a campus
+    /// trace only. Mid-90s proxy caches sat at the campus boundary and
+    /// served campus clients; remote clients hit the origin directly.
+    /// Comparing this against [`Workload::from_server_trace`] measures
+    /// what the cache's placement costs (the `deployment` experiment).
+    pub fn from_server_trace_local_only(trace: &ServerTrace) -> Workload {
+        let mut wl = Self::from_server_trace(trace);
+        wl.name = format!("{} (local clients)", trace.name);
+        wl.requests = trace
+            .requests
+            .iter()
+            .filter(|r| !r.remote)
+            .map(|r| (r.time, r.file))
+            .collect();
+        wl
+    }
+
+    /// Build a workload from the *remote* requests of a campus trace only
+    /// (the complement of [`Workload::from_server_trace_local_only`]).
+    pub fn from_server_trace_remote_only(trace: &ServerTrace) -> Workload {
+        let mut wl = Self::from_server_trace(trace);
+        wl.name = format!("{} (remote clients)", trace.name);
+        wl.requests = trace
+            .requests
+            .iter()
+            .filter(|r| r.remote)
+            .map(|r| (r.time, r.file))
+            .collect();
+        wl
+    }
+
+    /// Build a workload from a campus server trace (the modified-workload
+    /// simulator's input).
+    pub fn from_server_trace(trace: &ServerTrace) -> Workload {
+        let classes = trace
+            .population
+            .iter()
+            .map(|(_, rec)| FileType::classify_path(&rec.path).class_index())
+            .collect();
+        Workload {
+            name: trace.name.clone(),
+            start: trace.start,
+            end: trace.end(),
+            population: trace.population.clone(),
+            requests: trace.requests.iter().map(|r| (r.time, r.file)).collect(),
+            classes,
+            class_expires: Vec::new(),
+        }
+    }
+}
+
+/// Which lifetime model drives file modifications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LifetimeModel {
+    /// Worrell's model: per-change lifetimes drawn uniformly from
+    /// `[min_hours, max_hours]` — every file keeps changing.
+    Flat {
+        /// Minimum lifetime, hours.
+        min_hours: f64,
+        /// Maximum lifetime, hours.
+        max_hours: f64,
+    },
+    /// Trace-informed bimodality: a `volatile_fraction` of files changes
+    /// with short uniform lifetimes; the rest never changes in the window.
+    Bimodal {
+        /// Fraction of files that are volatile.
+        volatile_fraction: f64,
+        /// Volatile files' minimum lifetime, hours.
+        min_hours: f64,
+        /// Volatile files' maximum lifetime, hours.
+        max_hours: f64,
+    },
+}
+
+/// How request popularity is distributed across files.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PopularityModel {
+    /// Every file equally likely (Worrell's model).
+    Uniform,
+    /// Zipf-ranked popularity. `correlate_stability` applies the Bestavros
+    /// observation: when `true`, popular ranks are assigned to *stable*
+    /// files; when `false`, ranks are assigned independently of mutability.
+    Zipf {
+        /// Zipf exponent (1.0 is classic Web skew).
+        exponent: f64,
+        /// Give popular ranks to stable files (the Bestavros rule).
+        correlate_stability: bool,
+    },
+}
+
+/// The workload levers §4.2 turns, exposed independently for ablations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadKnobs {
+    /// Lifetime model.
+    pub lifetimes: LifetimeModel,
+    /// Popularity model.
+    pub popularity: PopularityModel,
+}
+
+/// Configuration of the synthetic (Worrell-style) workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorrellConfig {
+    /// Number of files (paper run: 2085).
+    pub files: usize,
+    /// Simulated duration in days (paper run: 56).
+    pub duration_days: u64,
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Lifetime and popularity levers.
+    pub knobs: WorkloadKnobs,
+    /// File-size distribution: bounded Pareto `[min, max]` with `alpha`
+    /// ("each file averages several thousand bytes").
+    pub size_min: f64,
+    /// Largest file size, bytes.
+    pub size_max: f64,
+    /// Pareto tail index.
+    pub size_alpha: f64,
+}
+
+impl WorrellConfig {
+    /// The paper's base-simulator run: 2085 files over 56 days with a flat
+    /// lifetime distribution whose mean (≈5.9 days) reproduces the
+    /// reported 19,898 changes — "a 17% average probability that on any
+    /// given day a particular file changed" (§4.2) — under uniform random
+    /// accesses.
+    pub fn paper_run() -> Self {
+        WorrellConfig {
+            files: 2085,
+            duration_days: 56,
+            requests: 50_000,
+            knobs: WorkloadKnobs {
+                lifetimes: LifetimeModel::Flat {
+                    min_hours: 2.0,
+                    max_hours: 280.0,
+                },
+                popularity: PopularityModel::Uniform,
+            },
+            size_min: 256.0,
+            size_max: 1_000_000.0,
+            size_alpha: 1.3,
+        }
+    }
+
+    /// A proportionally scaled-down configuration for fast tests.
+    pub fn scaled(files: usize, requests: usize) -> Self {
+        WorrellConfig {
+            files,
+            requests,
+            ..Self::paper_run()
+        }
+    }
+}
+
+/// Generate a synthetic workload, deterministically from `seed`.
+pub fn generate_synthetic(config: &WorrellConfig, seed: u64) -> Workload {
+    let master = DetRng::seed_from_u64(seed);
+    let mut rng_life = master.derive_stream("lifetimes");
+    let mut rng_req = master.derive_stream("requests");
+    let mut rng_size = master.derive_stream("sizes");
+    let mut rng_pop = master.derive_stream("popularity");
+
+    let start = SimTime::from_secs(0) + SimDuration::from_days(400);
+    let end = start + SimDuration::from_days(config.duration_days);
+    let size_dist = BoundedParetoDist::new(config.size_min, config.size_max, config.size_alpha);
+
+    // Which files are volatile, and their lifetime bounds.
+    let volatility: Vec<Option<(f64, f64)>> = (0..config.files)
+        .map(|_| match config.knobs.lifetimes {
+            LifetimeModel::Flat {
+                min_hours,
+                max_hours,
+            } => Some((min_hours, max_hours)),
+            LifetimeModel::Bimodal {
+                volatile_fraction,
+                min_hours,
+                max_hours,
+            } => rng_life
+                .chance(volatile_fraction)
+                .then_some((min_hours, max_hours)),
+        })
+        .collect();
+
+    let mut population = FilePopulation::new();
+    for (i, vol) in volatility.iter().enumerate() {
+        // Pre-window age so the Alex protocol sees non-degenerate ages at
+        // the start: volatile files young, stable files old.
+        let pre_age = match vol {
+            Some((min_h, max_h)) => {
+                let life = UniformDist::new(*min_h, *max_h).sample(&mut rng_life);
+                SimDuration::from_secs((life * 3600.0 * rng_life.unit_f64()) as u64 + 1)
+            }
+            None => SimDuration::from_days(30 + rng_life.below(300)),
+        };
+        let mut record = FileRecord::new(
+            format!("/w/f{i}.dat"),
+            start - pre_age,
+            size_dist.sample(&mut rng_size).round() as u64,
+        );
+        if let Some((min_h, max_h)) = vol {
+            let life_dist = UniformDist::new(*min_h, *max_h);
+            let mut t = start.as_secs() as f64
+                + life_dist.sample(&mut rng_life) * 3600.0 * rng_life.unit_f64();
+            let mut last = record.created_at().as_secs();
+            while t < end.as_secs() as f64 {
+                let at = (t as u64).max(last + 1);
+                record.push_modification(
+                    SimTime::from_secs(at),
+                    size_dist.sample(&mut rng_size).round() as u64,
+                );
+                last = at;
+                t += life_dist.sample(&mut rng_life) * 3600.0;
+            }
+        }
+        population.add(record);
+    }
+
+    // Popularity: a permutation mapping Zipf rank -> file index.
+    let rank_to_file: Vec<usize> = match config.knobs.popularity {
+        PopularityModel::Uniform => (0..config.files).collect(),
+        PopularityModel::Zipf {
+            correlate_stability,
+            ..
+        } => {
+            if correlate_stability {
+                // Stable files first (popular), volatile last, with jitter.
+                let mut keyed: Vec<(f64, usize)> = (0..config.files)
+                    .map(|i| {
+                        let base = if volatility[i].is_some() { 1.0 } else { 0.0 };
+                        (base + 0.3 * rng_pop.unit_f64(), i)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+                keyed.into_iter().map(|(_, i)| i).collect()
+            } else {
+                // Random permutation, independent of mutability.
+                let mut perm: Vec<usize> = (0..config.files).collect();
+                for i in (1..perm.len()).rev() {
+                    let j = rng_pop.below((i + 1) as u64) as usize;
+                    perm.swap(i, j);
+                }
+                perm
+            }
+        }
+    };
+
+    let mut times: Vec<u64> = (0..config.requests)
+        .map(|_| start.as_secs() + rng_req.below(end.as_secs() - start.as_secs()))
+        .collect();
+    times.sort_unstable();
+    let requests: Vec<(SimTime, FileId)> = match config.knobs.popularity {
+        PopularityModel::Uniform => times
+            .into_iter()
+            .map(|t| {
+                (
+                    SimTime::from_secs(t),
+                    FileId::from_index(rng_req.below(config.files as u64) as usize),
+                )
+            })
+            .collect(),
+        PopularityModel::Zipf { exponent, .. } => {
+            let zipf = ZipfDist::new(config.files, exponent);
+            times
+                .into_iter()
+                .map(|t| {
+                    let rank = zipf.sample(&mut rng_req);
+                    (
+                        SimTime::from_secs(t),
+                        FileId::from_index(rank_to_file[rank]),
+                    )
+                })
+                .collect()
+        }
+    };
+
+    let workload = Workload {
+        name: format!("synthetic({} files)", config.files),
+        start,
+        end,
+        population,
+        requests,
+        classes: vec![0; config.files],
+        class_expires: Vec::new(),
+    };
+    debug_assert_eq!(workload.validate(), Ok(()));
+    workload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webtrace::campus::{generate_campus_trace, CampusProfile};
+
+    #[test]
+    fn paper_run_reproduces_change_count() {
+        let wl = generate_synthetic(&WorrellConfig::paper_run(), 42);
+        wl.validate().unwrap();
+        assert_eq!(wl.population.len(), 2085);
+        assert_eq!(wl.request_count(), 50_000);
+        let changes = wl.changes_in_window();
+        // Paper: 19,898 changes over 56 days (~17 %/day/file). Generator
+        // is stochastic; demand the same order with 10 % slack.
+        assert!((18_000..=22_000).contains(&changes), "changes = {changes}");
+        let per_day = changes as f64 / (2085.0 * 56.0);
+        assert!((0.15..=0.19).contains(&per_day), "rate {per_day}");
+    }
+
+    #[test]
+    fn flat_model_makes_every_file_volatile() {
+        let wl = generate_synthetic(&WorrellConfig::scaled(50, 100), 1);
+        let changed = wl
+            .population
+            .iter()
+            .filter(|(_, r)| r.modification_count() > 0)
+            .count();
+        assert_eq!(changed, 50);
+    }
+
+    #[test]
+    fn bimodal_model_freezes_stable_files() {
+        let mut cfg = WorrellConfig::scaled(200, 100);
+        cfg.knobs.lifetimes = LifetimeModel::Bimodal {
+            volatile_fraction: 0.25,
+            min_hours: 2.0,
+            max_hours: 48.0,
+        };
+        let wl = generate_synthetic(&cfg, 2);
+        let changed = wl
+            .population
+            .iter()
+            .filter(|(_, r)| r.changes_between(wl.start, wl.end) > 0)
+            .count();
+        assert!(
+            (30..=70).contains(&changed),
+            "volatile file count {changed}"
+        );
+    }
+
+    #[test]
+    fn zipf_popularity_concentrates_requests() {
+        let mut cfg = WorrellConfig::scaled(100, 20_000);
+        cfg.knobs.popularity = PopularityModel::Zipf {
+            exponent: 1.0,
+            correlate_stability: false,
+        };
+        let wl = generate_synthetic(&cfg, 3);
+        let mut counts = vec![0usize; 100];
+        for &(_, f) in &wl.requests {
+            counts[f.index()] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = counts[..10].iter().sum();
+        // Zipf(1) over 100 files: top 10 files draw ~56 % of requests.
+        assert!(
+            top10 as f64 / 20_000.0 > 0.45,
+            "top-10 share {}",
+            top10 as f64 / 20_000.0
+        );
+    }
+
+    #[test]
+    fn correlated_popularity_requests_stable_files() {
+        let mut cfg = WorrellConfig::scaled(300, 20_000);
+        cfg.knobs.lifetimes = LifetimeModel::Bimodal {
+            volatile_fraction: 0.3,
+            min_hours: 2.0,
+            max_hours: 48.0,
+        };
+        cfg.knobs.popularity = PopularityModel::Zipf {
+            exponent: 1.0,
+            correlate_stability: true,
+        };
+        let wl = generate_synthetic(&cfg, 4);
+        let to_volatile = wl
+            .requests
+            .iter()
+            .filter(|&&(_, f)| wl.population.get(f).changes_between(wl.start, wl.end) > 0)
+            .count();
+        let share = to_volatile as f64 / wl.request_count() as f64;
+        // 30 % of files are volatile but they get far less than 30 % of
+        // requests under the Bestavros rule.
+        assert!(share < 0.15, "volatile request share {share}");
+    }
+
+    #[test]
+    fn uncorrelated_popularity_has_no_such_bias() {
+        let mut cfg = WorrellConfig::scaled(300, 20_000);
+        cfg.knobs.lifetimes = LifetimeModel::Bimodal {
+            volatile_fraction: 0.3,
+            min_hours: 2.0,
+            max_hours: 48.0,
+        };
+        cfg.knobs.popularity = PopularityModel::Zipf {
+            exponent: 1.0,
+            correlate_stability: false,
+        };
+        let wl = generate_synthetic(&cfg, 4);
+        let to_volatile = wl
+            .requests
+            .iter()
+            .filter(|&&(_, f)| wl.population.get(f).changes_between(wl.start, wl.end) > 0)
+            .count();
+        let share = to_volatile as f64 / wl.request_count() as f64;
+        // Without the rule, volatile files get roughly their file share of
+        // requests (wide band: the permutation may favour either side).
+        assert!(
+            (0.10..=0.60).contains(&share),
+            "volatile request share {share}"
+        );
+    }
+
+    #[test]
+    fn trace_conversion_preserves_everything() {
+        let campus = generate_campus_trace(&CampusProfile::fas(), 7);
+        let wl = Workload::from_server_trace(&campus.trace);
+        wl.validate().unwrap();
+        assert_eq!(wl.name, "FAS");
+        assert_eq!(wl.request_count(), campus.trace.request_count());
+        assert_eq!(wl.population.len(), campus.trace.population.len());
+        assert_eq!(wl.classes.len(), wl.population.len());
+        assert_eq!(
+            wl.changes_in_window(),
+            CampusProfile::fas().realised_changes()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_synthetic(&WorrellConfig::scaled(50, 500), 9);
+        let b = generate_synthetic(&WorrellConfig::scaled(50, 500), 9);
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn local_remote_split_partitions_requests() {
+        let campus = generate_campus_trace(&CampusProfile::das(), 9);
+        let all = Workload::from_server_trace(&campus.trace);
+        let local = Workload::from_server_trace_local_only(&campus.trace);
+        let remote = Workload::from_server_trace_remote_only(&campus.trace);
+        local.validate().unwrap();
+        remote.validate().unwrap();
+        assert_eq!(
+            local.request_count() + remote.request_count(),
+            all.request_count()
+        );
+        // DAS is 84 % remote.
+        let frac = remote.request_count() as f64 / all.request_count() as f64;
+        assert!((frac - 0.84).abs() < 0.01, "remote fraction {frac}");
+        assert!(local.name.contains("local"));
+    }
+
+    #[test]
+    fn subsample_keeps_every_kth_request() {
+        let wl = generate_synthetic(&WorrellConfig::scaled(20, 100), 5);
+        let s = wl.subsample(4);
+        s.validate().unwrap();
+        assert_eq!(s.request_count(), 25);
+        assert_eq!(s.requests[0], wl.requests[0]);
+        assert_eq!(s.requests[1], wl.requests[4]);
+        assert!(s.name.contains("1/4"));
+        // k = 1 is the identity.
+        assert_eq!(wl.subsample(1).requests, wl.requests);
+    }
+
+    #[test]
+    fn validate_rejects_misaligned_classes() {
+        let mut wl = generate_synthetic(&WorrellConfig::scaled(10, 10), 1);
+        wl.classes.pop();
+        assert!(wl.validate().is_err());
+    }
+}

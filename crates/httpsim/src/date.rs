@@ -1,0 +1,276 @@
+//! HTTP date handling (RFC 1123 fixed-format dates, as required by
+//! HTTP/1.0's `Date`, `Expires`, `Last-Modified`, and `If-Modified-Since`
+//! headers).
+//!
+//! Dates are represented as seconds since the Unix epoch and converted
+//! to/from civil calendar fields with the days-from-civil algorithm, so no
+//! external time crate is needed and behaviour is identical on every
+//! platform.
+
+use core::fmt;
+use std::str::FromStr;
+
+/// Seconds since 1970-01-01T00:00:00Z, as carried in HTTP date headers.
+///
+/// The simulation's `SimTime` is an offset from an arbitrary start; mapping
+/// into `HttpDate` requires an epoch base (see `wall_clock_base` in the
+/// simulator configs). 1996-01-01T00:00:00Z, the paper's publication month,
+/// is the conventional base in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HttpDate(pub u64);
+
+/// 1996-01-01T00:00:00Z — the default wall-clock origin for simulations.
+pub const EPOCH_1996: HttpDate = HttpDate(820_454_400);
+
+const DAY_NAMES: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+const MONTH_NAMES: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: u64, d: u64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Civil date (y, m, d) for days since 1970-01-01 (inverse of
+/// `days_from_civil`).
+fn civil_from_days(z: i64) -> (i64, u64, u64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl HttpDate {
+    /// Build from civil UTC fields.
+    ///
+    /// # Panics
+    /// Panics on out-of-range fields or dates before the Unix epoch.
+    pub fn from_civil(year: i64, month: u64, day: u64, hour: u64, min: u64, sec: u64) -> Self {
+        assert!((1..=12).contains(&month), "month out of range");
+        assert!((1..=31).contains(&day), "day out of range");
+        assert!(hour < 24 && min < 60 && sec < 60, "time out of range");
+        let days = days_from_civil(year, month, day);
+        assert!(days >= 0, "dates before 1970 are unsupported");
+        HttpDate(days as u64 * 86_400 + hour * 3600 + min * 60 + sec)
+    }
+
+    /// Civil UTC fields `(year, month, day, hour, minute, second)`.
+    pub fn to_civil(self) -> (i64, u64, u64, u64, u64, u64) {
+        let days = (self.0 / 86_400) as i64;
+        let rem = self.0 % 86_400;
+        let (y, m, d) = civil_from_days(days);
+        (y, m, d, rem / 3600, (rem % 3600) / 60, rem % 60)
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday. (1970-01-01 was a Thursday.)
+    pub fn weekday(self) -> usize {
+        ((self.0 / 86_400 + 3) % 7) as usize
+    }
+}
+
+impl fmt::Display for HttpDate {
+    /// RFC 1123 fixed format, e.g. `Sun, 06 Nov 1994 08:49:37 GMT`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d, hh, mm, ss) = self.to_civil();
+        write!(
+            f,
+            "{}, {:02} {} {} {:02}:{:02}:{:02} GMT",
+            DAY_NAMES[self.weekday()],
+            d,
+            MONTH_NAMES[(m - 1) as usize],
+            y,
+            hh,
+            mm,
+            ss
+        )
+    }
+}
+
+/// Error parsing an RFC 1123 date.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DateParseError(pub String);
+
+impl fmt::Display for DateParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid RFC 1123 date: {}", self.0)
+    }
+}
+
+impl std::error::Error for DateParseError {}
+
+impl FromStr for HttpDate {
+    type Err = DateParseError;
+
+    /// Parse the RFC 1123 fixed format (`Sun, 06 Nov 1994 08:49:37 GMT`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || DateParseError(s.to_string());
+        let rest = s.trim();
+        // "Www, DD Mon YYYY HH:MM:SS GMT"
+        let (wday, rest) = rest.split_once(", ").ok_or_else(err)?;
+        if !DAY_NAMES.contains(&wday) {
+            return Err(err());
+        }
+        let mut parts = rest.split(' ');
+        let day: u64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let mon_name = parts.next().ok_or_else(err)?;
+        let month = MONTH_NAMES
+            .iter()
+            .position(|&m| m == mon_name)
+            .ok_or_else(err)? as u64
+            + 1;
+        let year: i64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let hms = parts.next().ok_or_else(err)?;
+        let tz = parts.next().ok_or_else(err)?;
+        if tz != "GMT" || parts.next().is_some() {
+            return Err(err());
+        }
+        let mut hms_parts = hms.split(':');
+        let hour: u64 = hms_parts
+            .next()
+            .ok_or_else(err)?
+            .parse()
+            .map_err(|_| err())?;
+        let min: u64 = hms_parts
+            .next()
+            .ok_or_else(err)?
+            .parse()
+            .map_err(|_| err())?;
+        let sec: u64 = hms_parts
+            .next()
+            .ok_or_else(err)?
+            .parse()
+            .map_err(|_| err())?;
+        if hms_parts.next().is_some() || hour >= 24 || min >= 60 || sec >= 60 {
+            return Err(err());
+        }
+        if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return Err(err());
+        }
+        let parsed = HttpDate::from_civil(year, month, day, hour, min, sec);
+        // Reject dates whose weekday field lies (e.g. "Mon" on a Sunday);
+        // HTTP servers of the era were strict about the fixed format.
+        if DAY_NAMES[parsed.weekday()] != wday {
+            return Err(err());
+        }
+        Ok(parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unix_epoch_formats() {
+        assert_eq!(HttpDate(0).to_string(), "Thu, 01 Jan 1970 00:00:00 GMT");
+    }
+
+    #[test]
+    fn rfc1123_reference_example() {
+        // The canonical example from the HTTP/1.0 draft.
+        let d = HttpDate::from_civil(1994, 11, 6, 8, 49, 37);
+        assert_eq!(d.to_string(), "Sun, 06 Nov 1994 08:49:37 GMT");
+        assert_eq!("Sun, 06 Nov 1994 08:49:37 GMT".parse::<HttpDate>(), Ok(d));
+    }
+
+    #[test]
+    fn epoch_1996_is_new_years_day() {
+        let (y, m, d, hh, mm, ss) = EPOCH_1996.to_civil();
+        assert_eq!((y, m, d, hh, mm, ss), (1996, 1, 1, 0, 0, 0));
+        assert_eq!(EPOCH_1996.to_string(), "Mon, 01 Jan 1996 00:00:00 GMT");
+    }
+
+    #[test]
+    fn civil_round_trip_across_leap_years() {
+        for &(y, m, d) in &[
+            (1970i64, 1u64, 1u64),
+            (1972, 2, 29),
+            (1995, 12, 31),
+            (1996, 2, 29), // 1996 is a leap year
+            (1996, 3, 1),
+            (2000, 2, 29),
+            (1999, 12, 31),
+        ] {
+            let date = HttpDate::from_civil(y, m, d, 12, 34, 56);
+            let (y2, m2, d2, hh, mm, ss) = date.to_civil();
+            assert_eq!((y2, m2, d2, hh, mm, ss), (y, m, d, 12, 34, 56));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "garbage",
+            "Sun 06 Nov 1994 08:49:37 GMT",      // missing comma
+            "Sun, 06 Nov 1994 08:49:37 PST",     // wrong zone
+            "Xxx, 06 Nov 1994 08:49:37 GMT",     // bogus weekday
+            "Mon, 06 Nov 1994 08:49:37 GMT",     // weekday lies (was a Sunday)
+            "Sun, 06 Xxx 1994 08:49:37 GMT",     // bogus month
+            "Sun, 06 Nov 1994 25:49:37 GMT",     // bad hour
+            "Sun, 06 Nov 1994 08:49 GMT",        // missing seconds
+            "Sun, 06 Nov 1994 08:49:37 GMT tra", // trailing junk
+        ] {
+            assert!(bad.parse::<HttpDate>().is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = HttpDate::from_civil(1996, 1, 1, 0, 0, 0);
+        let b = HttpDate::from_civil(1996, 1, 1, 0, 0, 1);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn weekday_cycle() {
+        // 1996-01-01 was a Monday.
+        for (offset, name) in DAY_NAMES.iter().enumerate() {
+            let d = HttpDate(EPOCH_1996.0 + offset as u64 * 86_400);
+            assert_eq!(DAY_NAMES[d.weekday()], *name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "month out of range")]
+    fn from_civil_rejects_bad_month() {
+        HttpDate::from_civil(1996, 13, 1, 0, 0, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Display → parse is the identity for every representable second
+        /// in the simulation's plausible range (1970–2100).
+        #[test]
+        fn display_parse_round_trip(secs in 0u64..4_102_444_800) {
+            let d = HttpDate(secs);
+            let s = d.to_string();
+            prop_assert_eq!(s.parse::<HttpDate>(), Ok(d));
+        }
+
+        /// The fixed format always serialises to exactly 29 bytes — this is
+        /// what makes HTTP header sizes predictable.
+        #[test]
+        fn rfc1123_is_fixed_width(secs in 0u64..4_102_444_800) {
+            prop_assert_eq!(HttpDate(secs).to_string().len(), 29);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! `httpsim` — an HTTP/1.0 subset with wire-accurate byte accounting.
+//!
+//! The consistency protocols of Gwertzman & Seltzer (USENIX '96) are all
+//! expressible in four HTTP/1.0 interactions: unconditional `GET`,
+//! conditional `GET` with `If-Modified-Since`, `200 OK` with
+//! `Last-Modified`/`Expires`, and `304 Not Modified`. This crate models
+//! those messages as real wire-format text (serialisable and parseable),
+//! plus RFC 1123 date handling and the bandwidth [`MessageCosting`] models
+//! (the paper's flat 43-byte message versus exact serialised sizes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod date;
+mod message;
+
+pub use cost::{MessageCosting, PAPER_MESSAGE_BYTES};
+pub use date::{DateParseError, HttpDate, EPOCH_1996};
+pub use message::{Method, ParseError, Request, Response, Status};

@@ -1,0 +1,255 @@
+//! A byte-capacity-bounded store with FIFO eviction.
+//!
+//! Several mid-90s caches (including early CERN httpd garbage collection)
+//! evicted in arrival order rather than tracking recency. FIFO is cheaper
+//! to maintain than LRU but evicts hot objects that arrived early; the
+//! eviction-policy ablation quantifies the difference under the
+//! consistency protocols.
+
+use std::collections::{BTreeMap, HashMap};
+
+use simcore::{FileId, SimTime};
+
+use crate::entry::EntryMeta;
+use crate::store::Store;
+
+/// FIFO store bounded by total entity bytes.
+#[derive(Debug)]
+pub struct FifoStore {
+    capacity_bytes: u64,
+    entries: HashMap<FileId, (EntryMeta, u64)>,
+    arrival: BTreeMap<u64, FileId>,
+    bytes: u64,
+    next_seq: u64,
+    evictions: u64,
+}
+
+impl FifoStore {
+    /// A store that evicts oldest-inserted entries once resident bytes
+    /// would exceed `capacity_bytes`.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes == 0`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "FIFO capacity must be positive");
+        FifoStore {
+            capacity_bytes,
+            entries: HashMap::new(),
+            arrival: BTreeMap::new(),
+            bytes: 0,
+            next_seq: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of entries evicted over the store's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn evict_to_fit(&mut self, incoming: u64) -> Vec<(FileId, EntryMeta)> {
+        let mut evicted = Vec::new();
+        while self.bytes + incoming > self.capacity_bytes {
+            let Some((&seq, &victim)) = self.arrival.iter().next() else {
+                break;
+            };
+            self.arrival.remove(&seq);
+            let (meta, _) = self
+                .entries
+                .remove(&victim)
+                .expect("arrival index out of sync with entry map");
+            self.bytes -= meta.size;
+            self.evictions += 1;
+            evicted.push((victim, meta));
+        }
+        evicted
+    }
+}
+
+impl Store for FifoStore {
+    fn peek(&self, id: FileId) -> Option<&EntryMeta> {
+        self.entries.get(&id).map(|(m, _)| m)
+    }
+
+    fn access(&mut self, id: FileId, _now: SimTime) -> Option<&mut EntryMeta> {
+        // FIFO ignores accesses: arrival order is destiny.
+        self.entries.get_mut(&id).map(|(m, _)| m)
+    }
+
+    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
+        // Replacement keeps the original arrival position: refreshing a
+        // body does not renew the object's lease on residency.
+        if let Some((old, seq)) = self.entries.remove(&id) {
+            self.bytes -= old.size;
+            // Detach from the arrival index while evicting so the entry
+            // cannot be selected as its own victim mid-replacement.
+            self.arrival.remove(&seq);
+            if meta.size > self.capacity_bytes {
+                self.evictions += 1;
+                return vec![(id, meta)];
+            }
+            let evicted = self.evict_to_fit(meta.size);
+            self.entries.insert(id, (meta, seq));
+            self.arrival.insert(seq, id);
+            self.bytes += meta.size;
+            return evicted;
+        }
+        if meta.size > self.capacity_bytes {
+            self.evictions += 1;
+            return vec![(id, meta)];
+        }
+        let evicted = self.evict_to_fit(meta.size);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(id, (meta, seq));
+        self.arrival.insert(seq, id);
+        self.bytes += meta.size;
+        evicted
+    }
+
+    fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
+        let (meta, seq) = self.entries.remove(&id)?;
+        self.arrival.remove(&seq);
+        self.bytes -= meta.size;
+        Some(meta)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (FileId, &EntryMeta)> + '_> {
+        Box::new(self.entries.iter().map(|(&k, (m, _))| (k, m)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn meta(size: u64) -> EntryMeta {
+        EntryMeta::fresh(size, t(0), t(0))
+    }
+
+    #[test]
+    fn evicts_in_arrival_order_regardless_of_access() {
+        let mut s = FifoStore::new(300);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        s.insert(FileId(3), meta(100));
+        // Touch 1 heavily; FIFO must still evict it first.
+        for i in 0..10 {
+            s.access(FileId(1), t(i));
+        }
+        let evicted = s.insert(FileId(4), meta(100));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, FileId(1));
+    }
+
+    #[test]
+    fn replacement_keeps_arrival_position() {
+        let mut s = FifoStore::new(300);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        // Refresh 1's body: it stays first in line for eviction.
+        s.insert(FileId(1), meta(120));
+        let evicted = s.insert(FileId(3), meta(150));
+        assert_eq!(evicted[0].0, FileId(1));
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected() {
+        let mut s = FifoStore::new(100);
+        s.insert(FileId(1), meta(60));
+        let rejected = s.insert(FileId(2), meta(500));
+        assert_eq!(rejected[0].0, FileId(2));
+        assert_eq!(s.len(), 1);
+        assert!(s.peek(FileId(1)).is_some());
+    }
+
+    #[test]
+    fn oversized_replacement_drops_the_entry() {
+        let mut s = FifoStore::new(100);
+        s.insert(FileId(1), meta(60));
+        let rejected = s.insert(FileId(1), meta(500));
+        assert_eq!(rejected[0].0, FileId(1));
+        assert!(s.peek(FileId(1)).is_none());
+        assert_eq!(s.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn remove_keeps_ledger_consistent() {
+        let mut s = FifoStore::new(300);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        assert_eq!(s.remove(FileId(1)).unwrap().size, 100);
+        assert_eq!(s.resident_bytes(), 100);
+        assert!(s.remove(FileId(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        FifoStore::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u32, u64),
+        Access(u32),
+        Remove(u32),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u32..20, 1u64..120).prop_map(|(id, sz)| Op::Insert(id, sz)),
+            (0u32..20).prop_map(Op::Access),
+            (0u32..20).prop_map(Op::Remove),
+        ]
+    }
+
+    proptest! {
+        /// Ledger exactness and capacity bounds under arbitrary operation
+        /// sequences, mirroring the LRU invariants.
+        #[test]
+        fn ledger_and_capacity_invariants(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+            let mut s = FifoStore::new(300);
+            for (i, op) in ops.into_iter().enumerate() {
+                match op {
+                    Op::Insert(id, sz) => {
+                        s.insert(FileId(id), EntryMeta::fresh(sz, SimTime::ZERO, SimTime::ZERO));
+                    }
+                    Op::Access(id) => {
+                        s.access(FileId(id), SimTime::from_secs(i as u64));
+                    }
+                    Op::Remove(id) => {
+                        s.remove(FileId(id));
+                    }
+                }
+                let sum: u64 = s.iter().map(|(_, m)| m.size).sum();
+                prop_assert_eq!(sum, s.resident_bytes());
+                prop_assert!(s.resident_bytes() <= s.capacity_bytes());
+                prop_assert_eq!(s.arrival.len(), s.entries.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Cache-hierarchy topology.
+//!
+//! Worrell's simulator modelled hierarchical caching (the Harvest model);
+//! the paper flattens the hierarchy to isolate consistency effects, and
+//! Figure 1 argues the flattening can only *favour* the invalidation
+//! protocol. The hierarchical simulator in `webcache` quantifies that
+//! claim; this module provides the tree structure it runs on: caches with
+//! parent pointers, leaves receiving client requests, the root talking to
+//! the origin server.
+
+use simcore::CacheId;
+
+/// A tree of caches. Node 0 is always the root (the cache closest to the
+/// origin server); requests enter at leaves and miss upward.
+#[derive(Debug, Clone)]
+pub struct HierarchyTopology {
+    parents: Vec<Option<CacheId>>,
+}
+
+impl Default for HierarchyTopology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HierarchyTopology {
+    /// A topology containing only the root cache.
+    pub fn new() -> Self {
+        HierarchyTopology {
+            parents: vec![None],
+        }
+    }
+
+    /// The root cache (attached to the origin).
+    pub fn root(&self) -> CacheId {
+        CacheId(0)
+    }
+
+    /// Add a cache beneath `parent`, returning its id.
+    ///
+    /// # Panics
+    /// Panics if `parent` does not exist.
+    pub fn add_child(&mut self, parent: CacheId) -> CacheId {
+        assert!(
+            parent.index() < self.parents.len(),
+            "parent cache {parent} does not exist"
+        );
+        let id = CacheId::from_index(self.parents.len());
+        self.parents.push(Some(parent));
+        id
+    }
+
+    /// Number of caches in the tree.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Whether the topology is empty (never true: the root always exists).
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Parent of `cache`, `None` for the root.
+    pub fn parent(&self, cache: CacheId) -> Option<CacheId> {
+        self.parents[cache.index()]
+    }
+
+    /// The chain from `cache` (inclusive) up to the root (inclusive) — the
+    /// path a missed request climbs.
+    pub fn path_to_root(&self, cache: CacheId) -> Vec<CacheId> {
+        let mut path = vec![cache];
+        let mut cur = cache;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Depth of `cache` (root = 0).
+    pub fn depth(&self, cache: CacheId) -> usize {
+        self.path_to_root(cache).len() - 1
+    }
+
+    /// All caches, root first, in creation order.
+    pub fn caches(&self) -> impl Iterator<Item = CacheId> + '_ {
+        (0..self.parents.len()).map(CacheId::from_index)
+    }
+
+    /// Leaves of the tree (caches that are nobody's parent) — the entry
+    /// points for client requests.
+    pub fn leaves(&self) -> Vec<CacheId> {
+        let mut is_parent = vec![false; self.parents.len()];
+        for p in self.parents.iter().flatten() {
+            is_parent[p.index()] = true;
+        }
+        self.caches().filter(|c| !is_parent[c.index()]).collect()
+    }
+
+    /// Build the paper's Figure 1 topology: one second-level cache
+    /// ("Cache-2") with two first-level children ("Cache-1a", "Cache-1b").
+    /// Returns `(topology, cache_1a, cache_1b)`; the root is Cache-2.
+    pub fn figure1() -> (HierarchyTopology, CacheId, CacheId) {
+        let mut t = HierarchyTopology::new();
+        let a = t.add_child(t.root());
+        let b = t.add_child(t.root());
+        (t, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_topology_is_just_the_root() {
+        let t = HierarchyTopology::new();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.parent(t.root()), None);
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.leaves(), vec![t.root()]);
+    }
+
+    #[test]
+    fn figure1_topology_shape() {
+        let (t, a, b) = HierarchyTopology::figure1();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.parent(a), Some(t.root()));
+        assert_eq!(t.parent(b), Some(t.root()));
+        assert_eq!(t.depth(a), 1);
+        let mut leaves = t.leaves();
+        leaves.sort();
+        assert_eq!(leaves, vec![a, b]);
+    }
+
+    #[test]
+    fn path_climbs_to_root() {
+        let mut t = HierarchyTopology::new();
+        let l1 = t.add_child(t.root());
+        let l2 = t.add_child(l1);
+        let l3 = t.add_child(l2);
+        assert_eq!(t.path_to_root(l3), vec![l3, l2, l1, t.root()]);
+        assert_eq!(t.depth(l3), 3);
+    }
+
+    #[test]
+    fn deep_chain_leaves() {
+        let mut t = HierarchyTopology::new();
+        let a = t.add_child(t.root());
+        let b = t.add_child(a);
+        assert_eq!(t.leaves(), vec![b]);
+    }
+
+    #[test]
+    fn caches_enumerates_in_creation_order() {
+        let (t, _, _) = HierarchyTopology::figure1();
+        let ids: Vec<u32> = t.caches().map(|c| c.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn bogus_parent_panics() {
+        let mut t = HierarchyTopology::new();
+        t.add_child(CacheId(5));
+    }
+}

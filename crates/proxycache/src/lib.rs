@@ -1,0 +1,26 @@
+//! `proxycache` — the proxy-cache substrate for the *World Wide Web Cache
+//! Consistency* reproduction.
+//!
+//! Provides cache entry metadata ([`EntryMeta`], with the validation
+//! timestamps the Alex protocol reasons over), entry stores (the paper's
+//! infinite [`UnboundedStore`] plus bounded [`LruStore`] and [`FifoStore`]
+//! extensions), and the [`HierarchyTopology`] used by the Figure 1
+//! hierarchy-collapse ablation.
+//!
+//! Consistency *decisions* (is this entry still usable?) live in the
+//! `consistency` crate; this crate only stores and indexes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod entry;
+mod fifo;
+mod hierarchy;
+mod lru;
+mod store;
+
+pub use entry::{EntryMeta, EntryState};
+pub use fifo::FifoStore;
+pub use hierarchy::HierarchyTopology;
+pub use lru::LruStore;
+pub use store::{update_entry_size, Store, UnboundedStore};

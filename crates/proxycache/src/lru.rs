@@ -1,0 +1,286 @@
+//! A byte-capacity-bounded store with LRU eviction.
+//!
+//! The paper assumes infinite caches; this store is the workspace's
+//! extension for studying how capacity pressure interacts with consistency
+//! metadata (an evicted-then-refetched object loses its validation history,
+//! which matters to the Alex protocol: the refetched copy restarts with a
+//! fresh `last_validated` but keeps its origin age).
+//!
+//! Recency is tracked with a sequence-numbered B-tree: O(log n) per access,
+//! fully deterministic eviction order (strict LRU, ties impossible because
+//! sequence numbers are unique).
+
+use std::collections::{BTreeMap, HashMap};
+
+use simcore::{FileId, SimTime};
+
+use crate::entry::EntryMeta;
+use crate::store::Store;
+
+/// LRU store bounded by total entity bytes.
+#[derive(Debug)]
+pub struct LruStore {
+    capacity_bytes: u64,
+    entries: HashMap<FileId, (EntryMeta, u64)>,
+    recency: BTreeMap<u64, FileId>,
+    bytes: u64,
+    next_seq: u64,
+    evictions: u64,
+}
+
+impl LruStore {
+    /// A store that evicts least-recently-used entries once resident bytes
+    /// would exceed `capacity_bytes`.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes == 0`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "LRU capacity must be positive");
+        LruStore {
+            capacity_bytes,
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            bytes: 0,
+            next_seq: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of entries evicted over the store's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn touch(&mut self, id: FileId) {
+        if let Some((_, seq)) = self.entries.get_mut(&id) {
+            self.recency.remove(seq);
+            *seq = self.next_seq;
+            self.recency.insert(self.next_seq, id);
+            self.next_seq += 1;
+        }
+    }
+
+    fn evict_to_fit(&mut self, incoming: u64) -> Vec<(FileId, EntryMeta)> {
+        let mut evicted = Vec::new();
+        while self.bytes + incoming > self.capacity_bytes {
+            let Some((&seq, &victim)) = self.recency.iter().next() else {
+                break; // nothing left to evict; oversized entry handled by caller
+            };
+            self.recency.remove(&seq);
+            let (meta, _) = self
+                .entries
+                .remove(&victim)
+                .expect("recency index out of sync with entry map");
+            self.bytes -= meta.size;
+            self.evictions += 1;
+            evicted.push((victim, meta));
+        }
+        evicted
+    }
+}
+
+impl Store for LruStore {
+    fn peek(&self, id: FileId) -> Option<&EntryMeta> {
+        self.entries.get(&id).map(|(m, _)| m)
+    }
+
+    fn access(&mut self, id: FileId, _now: SimTime) -> Option<&mut EntryMeta> {
+        if !self.entries.contains_key(&id) {
+            return None;
+        }
+        self.touch(id);
+        self.entries.get_mut(&id).map(|(m, _)| m)
+    }
+
+    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
+        // Replacing an entry frees its bytes before fit is judged.
+        if let Some((old, seq)) = self.entries.remove(&id) {
+            self.recency.remove(&seq);
+            self.bytes -= old.size;
+        }
+        if meta.size > self.capacity_bytes {
+            // An entity larger than the whole cache is never admitted;
+            // report it as immediately "evicted" so callers keep ledgers
+            // consistent.
+            self.evictions += 1;
+            return vec![(id, meta)];
+        }
+        let evicted = self.evict_to_fit(meta.size);
+        self.entries.insert(id, (meta, self.next_seq));
+        self.recency.insert(self.next_seq, id);
+        self.next_seq += 1;
+        self.bytes += meta.size;
+        evicted
+    }
+
+    fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
+        let (meta, seq) = self.entries.remove(&id)?;
+        self.recency.remove(&seq);
+        self.bytes -= meta.size;
+        Some(meta)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (FileId, &EntryMeta)> + '_> {
+        Box::new(self.entries.iter().map(|(&k, (m, _))| (k, m)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn meta(size: u64) -> EntryMeta {
+        EntryMeta::fresh(size, t(0), t(0))
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut s = LruStore::new(300);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        s.insert(FileId(3), meta(100));
+        // Touch 1 so 2 becomes the LRU victim.
+        s.access(FileId(1), t(10));
+        let evicted = s.insert(FileId(4), meta(100));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, FileId(2));
+        assert!(s.peek(FileId(1)).is_some());
+        assert!(s.peek(FileId(3)).is_some());
+        assert!(s.peek(FileId(4)).is_some());
+        assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn evicts_multiple_to_fit_large_entry() {
+        let mut s = LruStore::new(300);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        s.insert(FileId(3), meta(100));
+        let evicted = s.insert(FileId(4), meta(250));
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.resident_bytes(), 250);
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected_not_admitted() {
+        let mut s = LruStore::new(100);
+        s.insert(FileId(1), meta(50));
+        let rejected = s.insert(FileId(2), meta(1000));
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].0, FileId(2));
+        // Resident set untouched.
+        assert_eq!(s.len(), 1);
+        assert!(s.peek(FileId(1)).is_some());
+    }
+
+    #[test]
+    fn replace_frees_old_bytes_first() {
+        let mut s = LruStore::new(200);
+        s.insert(FileId(1), meta(150));
+        // Same id, grown: must not evict anything else since old copy is
+        // released first.
+        s.insert(FileId(2), meta(40));
+        let evicted = s.insert(FileId(1), meta(160));
+        assert!(evicted.is_empty());
+        assert_eq!(s.resident_bytes(), 200);
+    }
+
+    #[test]
+    fn remove_updates_ledger_and_recency() {
+        let mut s = LruStore::new(300);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        assert_eq!(s.remove(FileId(1)).unwrap().size, 100);
+        assert_eq!(s.resident_bytes(), 100);
+        // Removed entry no longer appears as an eviction victim.
+        let evicted = s.insert(FileId(3), meta(250));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, FileId(2));
+    }
+
+    #[test]
+    fn access_marks_recency_without_side_effects() {
+        let mut s = LruStore::new(200);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        s.access(FileId(1), t(1));
+        s.access(FileId(1), t(2)); // repeated touches are fine
+        let evicted = s.insert(FileId(3), meta(100));
+        assert_eq!(evicted[0].0, FileId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        LruStore::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u32, u64),
+        Access(u32),
+        Remove(u32),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u32..20, 1u64..120).prop_map(|(id, sz)| Op::Insert(id, sz)),
+            (0u32..20).prop_map(Op::Access),
+            (0u32..20).prop_map(Op::Remove),
+        ]
+    }
+
+    proptest! {
+        /// Under any operation sequence: resident bytes equal the sum of
+        /// entry sizes, never exceed capacity, and the recency index stays
+        /// in bijection with the entry map.
+        #[test]
+        fn ledger_and_capacity_invariants(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+            let mut s = LruStore::new(300);
+            for (i, op) in ops.into_iter().enumerate() {
+                match op {
+                    Op::Insert(id, sz) => {
+                        s.insert(FileId(id), EntryMeta::fresh(sz, SimTime::ZERO, SimTime::ZERO));
+                    }
+                    Op::Access(id) => {
+                        s.access(FileId(id), SimTime::from_secs(i as u64));
+                    }
+                    Op::Remove(id) => {
+                        s.remove(FileId(id));
+                    }
+                }
+                let sum: u64 = s.iter().map(|(_, m)| m.size).sum();
+                prop_assert_eq!(sum, s.resident_bytes());
+                prop_assert!(s.resident_bytes() <= s.capacity_bytes());
+                prop_assert_eq!(s.recency.len(), s.entries.len());
+                for (&seq, &id) in &s.recency {
+                    prop_assert_eq!(s.entries.get(&id).map(|(_, q)| *q), Some(seq));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Cache entry stores.
+//!
+//! The paper's experiments assume a cache large enough that "valid entries
+//! are never evicted" (§4) — [`UnboundedStore`]. The interaction of
+//! consistency metadata with capacity pressure is an extension this
+//! workspace also explores via the LRU store in [`crate::lru`]; both
+//! implement [`Store`].
+
+use std::collections::HashMap;
+
+use simcore::{FileId, SimTime};
+
+use crate::entry::EntryMeta;
+
+/// Common interface over cache entry stores.
+pub trait Store {
+    /// Look up an entry without recording an access.
+    fn peek(&self, id: FileId) -> Option<&EntryMeta>;
+
+    /// Look up an entry mutably, recording an access at `now` (LRU stores
+    /// use the access to maintain recency order).
+    fn access(&mut self, id: FileId, now: SimTime) -> Option<&mut EntryMeta>;
+
+    /// Insert or replace an entry; returns entries evicted to make room
+    /// (always empty for unbounded stores).
+    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)>;
+
+    /// Remove an entry outright.
+    fn remove(&mut self, id: FileId) -> Option<EntryMeta>;
+
+    /// Number of resident entries.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of resident entities.
+    fn resident_bytes(&self) -> u64;
+
+    /// Iterate over resident entries in unspecified order.
+    fn iter(&self) -> Box<dyn Iterator<Item = (FileId, &EntryMeta)> + '_>;
+}
+
+/// A store with no capacity limit — the paper's model.
+#[derive(Debug, Default)]
+pub struct UnboundedStore {
+    entries: HashMap<FileId, EntryMeta>,
+    bytes: u64,
+}
+
+impl UnboundedStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Store for UnboundedStore {
+    fn peek(&self, id: FileId) -> Option<&EntryMeta> {
+        self.entries.get(&id)
+    }
+
+    fn access(&mut self, id: FileId, _now: SimTime) -> Option<&mut EntryMeta> {
+        self.entries.get_mut(&id)
+    }
+
+    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
+        if let Some(old) = self.entries.insert(id, meta) {
+            self.bytes -= old.size;
+        }
+        self.bytes += meta.size;
+        Vec::new()
+    }
+
+    fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
+        let removed = self.entries.remove(&id);
+        if let Some(e) = removed {
+            self.bytes -= e.size;
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (FileId, &EntryMeta)> + '_> {
+        Box::new(self.entries.iter().map(|(&k, v)| (k, v)))
+    }
+}
+
+/// A store mutation helper shared by the consistency layer: update the
+/// entry's body size while keeping the byte ledger exact.
+pub fn update_entry_size<S: Store>(store: &mut S, id: FileId, new_size: u64, now: SimTime) {
+    // Stores track bytes on insert/remove only, so resizing means
+    // reinserting. Retrieve, adjust, reinsert.
+    if let Some(meta) = store.access(id, now).copied() {
+        let mut updated = meta;
+        updated.size = new_size;
+        store.insert(id, updated);
+    }
+}
+
+impl Clone for UnboundedStore {
+    fn clone(&self) -> Self {
+        UnboundedStore {
+            entries: self.entries.clone(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn meta(size: u64) -> EntryMeta {
+        EntryMeta::fresh(size, t(0), t(0))
+    }
+
+    #[test]
+    fn insert_peek_remove_round_trip() {
+        let mut s = UnboundedStore::new();
+        assert!(s.is_empty());
+        let evicted = s.insert(FileId(1), meta(100));
+        assert!(evicted.is_empty());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.resident_bytes(), 100);
+        assert_eq!(s.peek(FileId(1)).unwrap().size, 100);
+        assert_eq!(s.remove(FileId(1)).unwrap().size, 100);
+        assert!(s.is_empty());
+        assert_eq!(s.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_adjusts_bytes() {
+        let mut s = UnboundedStore::new();
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(1), meta(250));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.resident_bytes(), 250);
+    }
+
+    #[test]
+    fn access_is_mutable_and_nondestructive() {
+        let mut s = UnboundedStore::new();
+        s.insert(FileId(7), meta(10));
+        s.access(FileId(7), t(5)).unwrap().mark_invalid();
+        assert!(!s.peek(FileId(7)).unwrap().is_valid());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn missing_entries_are_none() {
+        let mut s = UnboundedStore::new();
+        assert!(s.peek(FileId(9)).is_none());
+        assert!(s.access(FileId(9), t(0)).is_none());
+        assert!(s.remove(FileId(9)).is_none());
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut s = UnboundedStore::new();
+        for i in 0..10 {
+            s.insert(FileId(i), meta(u64::from(i)));
+        }
+        let mut ids: Vec<u32> = s.iter().map(|(id, _)| id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn update_entry_size_keeps_ledger_exact() {
+        let mut s = UnboundedStore::new();
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(50));
+        update_entry_size(&mut s, FileId(1), 400, t(1));
+        assert_eq!(s.resident_bytes(), 450);
+        assert_eq!(s.peek(FileId(1)).unwrap().size, 400);
+        // Resizing an absent entry is a no-op.
+        update_entry_size(&mut s, FileId(99), 1, t(1));
+        assert_eq!(s.resident_bytes(), 450);
+    }
+}

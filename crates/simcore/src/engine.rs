@@ -1,0 +1,296 @@
+//! The simulation driver: a virtual clock plus an event queue, executing
+//! events against a user-supplied world state.
+//!
+//! The simulators in this workspace are sequential and deterministic: the
+//! engine pops the earliest event, advances the clock to its timestamp, and
+//! fires it. Events may schedule further events (invalidation callbacks,
+//! retry timers, TTL expiries) through the [`Scheduler`] they receive.
+
+use crate::queue::{EventHandle, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// An executable simulation event acting on world state `W`.
+///
+/// Implemented for plain closures via a blanket impl, so simple simulations
+/// can schedule `move |world, sched| { .. }` directly.
+pub trait Event<W> {
+    /// Execute the event. `sched` may be used to schedule follow-up events;
+    /// `sched.now()` is the instant this event fires at.
+    fn fire(self: Box<Self>, world: &mut W, sched: &mut Scheduler<W>);
+}
+
+impl<W, F> Event<W> for F
+where
+    F: FnOnce(&mut W, &mut Scheduler<W>),
+{
+    fn fire(self: Box<Self>, world: &mut W, sched: &mut Scheduler<W>) {
+        (*self)(world, sched)
+    }
+}
+
+/// The scheduling surface handed to firing events: the current instant and
+/// the ability to enqueue or cancel future events.
+pub struct Scheduler<W> {
+    now: SimTime,
+    queue: EventQueue<Box<dyn Event<W>>>,
+}
+
+impl<W> Scheduler<W> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — an event cannot rewrite history.
+    pub fn schedule_at<E: Event<W> + 'static>(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={at}",
+            self.now
+        );
+        self.queue.schedule(at, Box::new(event))
+    }
+
+    /// Schedule `event` to fire `delay` after the current instant.
+    pub fn schedule_in<E: Event<W> + 'static>(
+        &mut self,
+        delay: SimDuration,
+        event: E,
+    ) -> EventHandle {
+        let at = self.now.saturating_add(delay);
+        self.queue.schedule(at, Box::new(event))
+    }
+
+    /// Cancel a pending event. Returns `true` if it had not yet fired.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
+    }
+
+    /// Number of live pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A complete simulation: world state plus driver.
+///
+/// ```
+/// use simcore::{SimDuration, SimTime, Simulation, Scheduler};
+///
+/// let mut sim = Simulation::new(Vec::<u64>::new());
+/// sim.scheduler().schedule_at(
+///     SimTime::from_secs(10),
+///     |log: &mut Vec<u64>, sched: &mut Scheduler<Vec<u64>>| {
+///         log.push(sched.now().as_secs());
+///         sched.schedule_in(SimDuration::from_secs(5), |log: &mut Vec<u64>, s: &mut Scheduler<Vec<u64>>| {
+///             log.push(s.now().as_secs());
+///         });
+///     },
+/// );
+/// sim.run_to_completion();
+/// assert_eq!(sim.into_world(), vec![10, 15]);
+/// ```
+pub struct Simulation<W> {
+    world: W,
+    sched: Scheduler<W>,
+    fired: u64,
+}
+
+impl<W> Simulation<W> {
+    /// Wrap `world` in a fresh simulation starting at time zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+            fired: 0,
+        }
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Total number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (for seeding state between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Access the scheduler to seed the initial event set.
+    pub fn scheduler(&mut self) -> &mut Scheduler<W> {
+        &mut self.sched
+    }
+
+    /// Fire the single next event, if any. Returns `true` if an event fired.
+    pub fn step(&mut self) -> bool {
+        match self.sched.queue.pop() {
+            Some((at, event)) => {
+                debug_assert!(at >= self.sched.now, "event queue violated time order");
+                self.sched.now = at;
+                event.fire(&mut self.world, &mut self.sched);
+                self.fired += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue is exhausted. Returns the number of events fired.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let start = self.fired;
+        while self.step() {}
+        self.fired - start
+    }
+
+    /// Run until the queue is exhausted or the next event would fire after
+    /// `deadline`; the clock is then advanced to `deadline`. Returns the
+    /// number of events fired.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.fired;
+        loop {
+            match self.sched.queue.peek_time() {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.sched.now < deadline {
+            self.sched.now = deadline;
+        }
+        self.fired - start
+    }
+
+    /// Consume the simulation and return the final world state.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    fn at(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn events_fire_in_time_order_with_clock_advancing() {
+        let mut sim = Simulation::new(World::default());
+        sim.scheduler()
+            .schedule_at(at(20), |w: &mut World, s: &mut Scheduler<World>| {
+                w.log.push((s.now().as_secs(), "b"));
+            });
+        sim.scheduler()
+            .schedule_at(at(10), |w: &mut World, s: &mut Scheduler<World>| {
+                w.log.push((s.now().as_secs(), "a"));
+            });
+        assert_eq!(sim.run_to_completion(), 2);
+        assert_eq!(sim.world().log, vec![(10, "a"), (20, "b")]);
+        assert_eq!(sim.now(), at(20));
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        let mut sim = Simulation::new(World::default());
+        sim.scheduler()
+            .schedule_at(at(5), |w: &mut World, s: &mut Scheduler<World>| {
+                w.log.push((s.now().as_secs(), "first"));
+                s.schedule_in(
+                    SimDuration::from_secs(7),
+                    |w: &mut World, s: &mut Scheduler<World>| {
+                        w.log.push((s.now().as_secs(), "second"));
+                    },
+                );
+            });
+        sim.run_to_completion();
+        assert_eq!(sim.world().log, vec![(5, "first"), (12, "second")]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Simulation::new(World::default());
+        for s in [10u64, 20, 30] {
+            sim.scheduler()
+                .schedule_at(at(s), move |w: &mut World, sc: &mut Scheduler<World>| {
+                    w.log.push((sc.now().as_secs(), "e"));
+                });
+        }
+        assert_eq!(sim.run_until(at(25)), 2);
+        assert_eq!(sim.now(), at(25));
+        assert_eq!(sim.run_until(at(100)), 1);
+        assert_eq!(sim.now(), at(100));
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn cancellation_prevents_firing() {
+        let mut sim = Simulation::new(World::default());
+        let h = sim
+            .scheduler()
+            .schedule_at(at(10), |w: &mut World, _: &mut Scheduler<World>| {
+                w.log.push((10, "never"));
+            });
+        assert!(sim.scheduler().cancel(h));
+        sim.run_to_completion();
+        assert!(sim.world().log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulation::new(World::default());
+        sim.scheduler()
+            .schedule_at(at(10), |_: &mut World, s: &mut Scheduler<World>| {
+                s.schedule_at(at(5), |_: &mut World, _: &mut Scheduler<World>| {});
+            });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn same_instant_fifo_holds_across_nesting() {
+        let mut sim = Simulation::new(World::default());
+        sim.scheduler()
+            .schedule_at(at(10), |w: &mut World, s: &mut Scheduler<World>| {
+                w.log.push((s.now().as_secs(), "outer1"));
+                s.schedule_at(at(10), |w: &mut World, _: &mut Scheduler<World>| {
+                    w.log.push((10, "nested"));
+                });
+            });
+        sim.scheduler()
+            .schedule_at(at(10), |w: &mut World, _: &mut Scheduler<World>| {
+                w.log.push((10, "outer2"));
+            });
+        sim.run_to_completion();
+        assert_eq!(
+            sim.world().log,
+            vec![(10, "outer1"), (10, "outer2"), (10, "nested")]
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! `simcore` — the discrete-event simulation substrate for the
+//! *World Wide Web Cache Consistency* reproduction.
+//!
+//! This crate provides the pieces every simulator in the workspace builds
+//! on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a second-granularity virtual clock;
+//! * [`EventQueue`] — a deterministic, FIFO-stable pending-event queue;
+//! * [`Simulation`] / [`Scheduler`] — the event-execution driver;
+//! * [`TrafficMeter`], [`CacheStats`], [`ServerLoad`] — the paper's
+//!   bandwidth, cache-behaviour, and server-load metrics;
+//! * [`FileId`], [`CacheId`], [`ClientId`] — typed entity identifiers.
+//!
+//! Determinism is a design requirement: identical inputs produce identical
+//! event orders and therefore bit-identical experiment results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod ids;
+mod metrics;
+mod queue;
+mod time;
+
+pub use engine::{Event, Scheduler, Simulation};
+pub use ids::{CacheId, ClientId, FileId};
+pub use metrics::{CacheStats, ServerLoad, TrafficMeter};
+pub use queue::{EventHandle, EventQueue};
+pub use time::{SimDuration, SimTime};

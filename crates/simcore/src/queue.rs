@@ -1,0 +1,262 @@
+//! The pending-event queue: a time-ordered priority queue with stable FIFO
+//! tie-breaking and O(log n) lazy cancellation.
+//!
+//! Determinism matters more than raw speed here: two events scheduled for
+//! the same instant must fire in the order they were scheduled, on every
+//! run, or trace replays stop being reproducible.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within an
+        // instant, the first-scheduled) entry surfaces first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at `at`. Events at the same instant fire in
+    /// insertion order.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending. Cancellation is lazy: the entry is skipped when it
+    /// reaches the head of the queue.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        // A handle may refer to an event that already fired; inserting it
+        // into the tombstone set anyway is harmless because sequence numbers
+        // are never reused. We cannot cheaply distinguish, so report whether
+        // it was newly tombstoned and still somewhere in the heap.
+        let in_heap = self.heap.iter().any(|e| e.seq == handle.0);
+        if in_heap {
+            self.cancelled.insert(handle.0);
+        }
+        in_heap
+    }
+
+    /// The instant of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Remove and return the next live event together with its scheduled
+    /// instant.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.remove(&head.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let _a = q.schedule(t(1), "a");
+        let b = q.schedule(t(2), "b");
+        let _c = q.schedule(t(3), "c");
+        assert!(q.cancel(b));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(3), "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_of_fired_or_bogus_handle_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert!(!q.cancel(a));
+        assert!(!q.cancel(EventHandle(999)));
+    }
+
+    #[test]
+    fn peek_time_sees_through_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn len_accounts_for_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping everything always yields a non-decreasing time sequence,
+        /// and within equal times, increasing sequence order.
+        #[test]
+        fn pop_order_is_total_and_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &s) in times.iter().enumerate() {
+                q.schedule(SimTime::from_secs(s), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((at, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(at >= lt);
+                    if at == lt {
+                        prop_assert!(idx > lidx);
+                    }
+                }
+                last = Some((at, idx));
+            }
+            prop_assert!(q.is_empty());
+        }
+
+        /// Cancelling an arbitrary subset removes exactly that subset.
+        #[test]
+        fn cancellation_removes_exact_subset(
+            times in proptest::collection::vec(0u64..100, 1..100),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+        ) {
+            let mut q = EventQueue::new();
+            let handles: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (i, q.schedule(SimTime::from_secs(s), i)))
+                .collect();
+            let mut expect: Vec<usize> = Vec::new();
+            for (i, h) in &handles {
+                if cancel_mask[*i % cancel_mask.len()] {
+                    q.cancel(*h);
+                } else {
+                    expect.push(*i);
+                }
+            }
+            let mut got: Vec<usize> = Vec::new();
+            while let Some((_, idx)) = q.pop() {
+                got.push(idx);
+            }
+            got.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

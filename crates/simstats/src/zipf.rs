@@ -1,0 +1,302 @@
+//! Discrete popularity models: Zipf ranks and general weighted choice.
+//!
+//! Web request streams are famously Zipf-like: a handful of objects draw
+//! most of the traffic. The base (Worrell) simulator used a *uniform*
+//! request distribution; the modified-workload simulator needs a skewed
+//! one, plus the Bestavros twist that the most popular files are the least
+//! mutable. [`ZipfDist`] provides ranked popularity; [`AliasTable`]
+//! provides O(1) sampling from arbitrary weights (used when popularity is
+//! permuted against mutability).
+
+use crate::rng::DetRng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank k) ∝ 1 / (k+1)^s`.
+///
+/// Sampling is by inverted-CDF binary search over precomputed cumulative
+/// weights — O(log n) per draw, exact, and independent of the exponent.
+#[derive(Debug, Clone)]
+pub struct ZipfDist {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfDist {
+    /// Zipf over `n` ranks with exponent `s`. `s = 0` degenerates to the
+    /// uniform distribution (the base simulator's model).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalise; the final entry becomes exactly 1.0.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        ZipfDist { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k < self.len(), "rank out of range");
+        if k == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[k] - self.cumulative[k - 1]
+        }
+    }
+
+    /// Draw a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit_f64();
+        // partition_point returns the first index whose cumulative weight
+        // exceeds u.
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.len() - 1)
+    }
+}
+
+/// Walker alias table: O(1) sampling from an arbitrary finite weight
+/// vector.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (not necessarily normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table requires weights");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Residuals are 1.0 up to floating-point noise.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw a category index.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let i = rng.below(self.len() as u64) as usize;
+        if rng.unit_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_rank_zero_is_most_popular() {
+        let d = ZipfDist::new(100, 1.0);
+        let mut rng = DetRng::seed_from_u64(1);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_frequency_matches_pmf() {
+        let d = ZipfDist::new(20, 0.8);
+        let mut rng = DetRng::seed_from_u64(2);
+        let n = 400_000;
+        let mut counts = [0u64; 20];
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            let theo = d.pmf(k);
+            assert!(
+                (emp - theo).abs() < 0.01,
+                "rank {k}: empirical {emp}, theoretical {theo}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let d = ZipfDist::new(10, 0.0);
+        for k in 0..10 {
+            assert!((d.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let d = ZipfDist::new(1, 2.0);
+        let mut rng = DetRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+        assert!((d.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let d = ZipfDist::new(7, 1.5);
+        let mut rng = DetRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&w);
+        let mut rng = DetRng::seed_from_u64(5);
+        let n = 400_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &wi) in w.iter().enumerate() {
+            let emp = counts[i] as f64 / n as f64;
+            let theo = wi / 10.0;
+            assert!((emp - theo).abs() < 0.01, "cat {i}: {emp} vs {theo}");
+        }
+    }
+
+    #[test]
+    fn alias_handles_zero_weight_categories() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = DetRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = DetRng::seed_from_u64(7);
+        assert_eq!(t.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_empty_panics() {
+        ZipfDist::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn alias_all_zero_panics() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn alias_negative_weight_panics() {
+        AliasTable::new(&[1.0, -1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn zipf_pmf_sums_to_one(n in 1usize..500, s in 0.0f64..3.0) {
+            let d = ZipfDist::new(n, s);
+            let sum: f64 = (0..n).map(|k| d.pmf(k)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn zipf_pmf_is_non_increasing(n in 2usize..200, s in 0.0f64..3.0) {
+            let d = ZipfDist::new(n, s);
+            for k in 1..n {
+                prop_assert!(d.pmf(k) <= d.pmf(k - 1) + 1e-12);
+            }
+        }
+
+        #[test]
+        fn alias_samples_valid_indices(
+            weights in proptest::collection::vec(0.0f64..100.0, 1..64),
+            seed in any::<u64>(),
+        ) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let t = AliasTable::new(&weights);
+            let mut rng = DetRng::seed_from_u64(seed);
+            for _ in 0..64 {
+                let i = t.sample(&mut rng);
+                prop_assert!(i < weights.len());
+                // A zero-weight category must never be drawn.
+                prop_assert!(weights[i] > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Trace persistence: write and read extended-log files on disk.
+//!
+//! Synthetic traces are deterministic (regenerable from a seed), but
+//! on-disk logs let experiments be shared, diffed, and re-analyzed by
+//! external tooling — and the reader accepts any file in the documented
+//! format, so *real* server logs converted to this shape drop straight
+//! into the simulators.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use crate::record::LogParseError;
+use crate::trace::ServerTrace;
+
+/// Errors from trace file I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file exists but is not a valid extended log.
+    Parse(LogParseError),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::Parse(e) => write!(f, "trace parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<LogParseError> for TraceIoError {
+    fn from(e: LogParseError) -> Self {
+        TraceIoError::Parse(e)
+    }
+}
+
+/// Write `trace` to `path` in the extended log format (atomic: written to
+/// a sibling temp file, then renamed).
+pub fn save_log(trace: &ServerTrace, path: &Path) -> Result<(), TraceIoError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(trace.to_log().as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read an extended log from `path`, reconstructing the observable trace.
+/// The trace name is the file stem.
+pub fn load_log(path: &Path) -> Result<ServerTrace, TraceIoError> {
+    let text = fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    Ok(ServerTrace::from_log(name, &text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campus::{generate_campus_trace, CampusProfile};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wwwcache-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let campus = generate_campus_trace(&CampusProfile::fas(), 31);
+        let path = temp_path("fas.log");
+        save_log(&campus.trace, &path).expect("save");
+        let loaded = load_log(&path).expect("load");
+        assert_eq!(loaded.request_count(), campus.trace.request_count());
+        assert_eq!(loaded.name, path.file_stem().unwrap().to_string_lossy());
+        // Round-tripping the loaded trace reproduces identical text.
+        assert_eq!(loaded.to_log(), campus.trace.to_log());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err =
+            load_log(Path::new("/nonexistent/definitely/not/here.log")).expect_err("must fail");
+        assert!(matches!(err, TraceIoError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn load_garbage_is_parse_error() {
+        let path = temp_path("garbage.log");
+        fs::write(&path, "this is not a log\n").expect("write");
+        let err = load_log(&path).expect_err("must fail");
+        assert!(matches!(err, TraceIoError::Parse(_)));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let campus = generate_campus_trace(&CampusProfile::fas(), 33);
+        let path = temp_path("atomic.log");
+        save_log(&campus.trace, &path).expect("save");
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists());
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,169 @@
+//! Synthetic Microsoft proxy access log — the access-mix half of Table 2.
+//!
+//! "On an average week day, the Microsoft proxy cache server receives
+//! approximately 150,000 requests for web objects. Of these, 65% are for
+//! image files (gif and jpg)" (§4.2). The real log recorded types and
+//! sizes but *not* last-modified dates, so the paper used it only to
+//! characterise access patterns by file type — and that is all this
+//! generator reproduces: one day of accesses with the Table 2 type shares
+//! and per-type size distributions.
+
+use simcore::SimDuration;
+use simstats::{AliasTable, DetRng, LogNormalDist, Sampler};
+
+use crate::types::FileType;
+
+/// One proxy access (the fields the Microsoft log contained).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProxyAccess {
+    /// Seconds into the day.
+    pub offset: SimDuration,
+    /// Requested object's content class.
+    pub file_type: FileType,
+    /// Transfer size in bytes.
+    pub size: u64,
+    /// Whether the object was dynamically generated (§5 reports 10 % of
+    /// requests were, and rising).
+    pub dynamic: bool,
+}
+
+/// Calibration for the Microsoft proxy generator (Table 2, columns 1–3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicrosoftProfile {
+    /// Requests per weekday.
+    pub requests: usize,
+    /// Access share per type, Table 2 order (gif, html, jpg, cgi, other).
+    pub type_shares: [f64; 5],
+    /// Mean transfer size per type, bytes.
+    pub mean_sizes: [f64; 5],
+}
+
+impl MicrosoftProfile {
+    /// The paper's numbers: 150 k requests/weekday; shares 55/22/10/9/4 %;
+    /// sizes 7791/4786/21608/5980 bytes (no size published for "other";
+    /// 8 kB assumed).
+    pub fn paper() -> Self {
+        MicrosoftProfile {
+            requests: 150_000,
+            type_shares: [0.55, 0.22, 0.10, 0.09, 0.04],
+            mean_sizes: [7_791.0, 4_786.0, 21_608.0, 5_980.0, 8_000.0],
+        }
+    }
+
+    /// A proportionally scaled-down profile for fast tests and benches.
+    pub fn scaled(requests: usize) -> Self {
+        MicrosoftProfile {
+            requests,
+            ..Self::paper()
+        }
+    }
+}
+
+/// Generate one weekday of proxy accesses, deterministically from `seed`.
+pub fn generate_microsoft_log(profile: &MicrosoftProfile, seed: u64) -> Vec<ProxyAccess> {
+    let master = DetRng::seed_from_u64(seed);
+    let mut rng = master.derive_stream("microsoft");
+    let type_table = AliasTable::new(&profile.type_shares);
+    let day = 86_400u64;
+
+    let mut offsets: Vec<u64> = (0..profile.requests).map(|_| rng.below(day)).collect();
+    offsets.sort_unstable();
+
+    offsets
+        .into_iter()
+        .map(|off| {
+            let idx = type_table.sample(&mut rng);
+            let file_type = FileType::ALL[idx];
+            let sigma: f64 = 0.7;
+            let mu = profile.mean_sizes[idx].ln() - sigma * sigma / 2.0;
+            let size = (LogNormalDist::new(mu, sigma).sample(&mut rng).round() as u64).max(64);
+            ProxyAccess {
+                offset: SimDuration::from_secs(off),
+                file_type,
+                size,
+                dynamic: file_type.is_dynamic(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_shares_sum_to_one() {
+        let p = MicrosoftProfile::paper();
+        let total: f64 = p.type_shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(p.requests, 150_000);
+    }
+
+    #[test]
+    fn generated_log_matches_request_count_and_order() {
+        let log = generate_microsoft_log(&MicrosoftProfile::scaled(5_000), 1);
+        assert_eq!(log.len(), 5_000);
+        assert!(log.windows(2).all(|w| w[0].offset <= w[1].offset));
+        assert!(log.iter().all(|a| a.offset < SimDuration::from_days(1)));
+    }
+
+    #[test]
+    fn type_shares_converge_to_table2() {
+        let profile = MicrosoftProfile::scaled(60_000);
+        let log = generate_microsoft_log(&profile, 2);
+        for (i, t) in FileType::ALL.iter().enumerate() {
+            let share = log.iter().filter(|a| a.file_type == *t).count() as f64 / log.len() as f64;
+            assert!(
+                (share - profile.type_shares[i]).abs() < 0.01,
+                "{t}: {share} vs {}",
+                profile.type_shares[i]
+            );
+        }
+    }
+
+    #[test]
+    fn image_share_is_about_65_percent() {
+        let log = generate_microsoft_log(&MicrosoftProfile::scaled(60_000), 3);
+        let images = log
+            .iter()
+            .filter(|a| matches!(a.file_type, FileType::Gif | FileType::Jpg))
+            .count() as f64
+            / log.len() as f64;
+        assert!((images - 0.65).abs() < 0.02, "image share {images}");
+    }
+
+    #[test]
+    fn dynamic_share_is_about_ten_percent() {
+        // §5: "10% of the requests were for dynamically generated pages"
+        // (the cgi share, 9 %, is the static-profile approximation).
+        let log = generate_microsoft_log(&MicrosoftProfile::scaled(60_000), 4);
+        let dynamic = log.iter().filter(|a| a.dynamic).count() as f64 / log.len() as f64;
+        assert!((dynamic - 0.09).abs() < 0.02, "dynamic share {dynamic}");
+    }
+
+    #[test]
+    fn per_type_mean_sizes_converge() {
+        let profile = MicrosoftProfile::scaled(120_000);
+        let log = generate_microsoft_log(&profile, 5);
+        for (i, t) in FileType::ALL.iter().enumerate() {
+            let sizes: Vec<f64> = log
+                .iter()
+                .filter(|a| a.file_type == *t)
+                .map(|a| a.size as f64)
+                .collect();
+            let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+            let target = profile.mean_sizes[i];
+            assert!(
+                (mean - target).abs() / target < 0.08,
+                "{t}: mean {mean} vs {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_microsoft_log(&MicrosoftProfile::scaled(1000), 9);
+        let b = generate_microsoft_log(&MicrosoftProfile::scaled(1000), 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,88 @@
+//! A day in the life of a 1996 proxy cache: replay the Microsoft-style
+//! access mix through a bounded (LRU) proxy cache and watch consistency
+//! metadata interact with capacity pressure — the paper assumes infinite
+//! caches; this is the workspace's bounded-cache extension.
+//!
+//! ```sh
+//! cargo run --release --example proxy_cache_sim [-- <capacity-mb>]
+//! ```
+
+use wwwcache::consistency::{CernPolicy, Policy};
+use wwwcache::proxycache::{EntryMeta, LruStore, Store};
+use wwwcache::simcore::{FileId, SimTime};
+use wwwcache::simstats::{DetRng, ZipfDist};
+use wwwcache::webtrace::microsoft::{generate_microsoft_log, MicrosoftProfile};
+use wwwcache::webtrace::FileType;
+
+fn main() {
+    let capacity_mb: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("capacity must be MB as u64"))
+        .unwrap_or(16);
+
+    // One weekday of accesses with the Table 2 mix, mapped onto a working
+    // set of 20,000 distinct objects (ids drawn Zipf-popular).
+    let accesses = generate_microsoft_log(&MicrosoftProfile::scaled(150_000), 1996);
+    let objects = 20_000u64;
+    let policy = CernPolicy::deployed_default();
+    let mut cache = LruStore::new(capacity_mb * 1024 * 1024);
+
+    let (mut hits, mut misses, mut validations) = (0u64, 0u64, 0u64);
+    let day_start = SimTime::from_secs(0);
+    let zipf = ZipfDist::new(objects as usize, 1.0);
+    let mut rng = DetRng::seed_from_u64(7);
+    for access in &accesses {
+        let now = day_start + access.offset;
+        // Zipf-popular object ids: the Web's access skew.
+        let id = FileId::from_index(zipf.sample(&mut rng));
+        // Dynamic (cgi) responses are never cached, as mid-90s proxies did.
+        if access.file_type == FileType::Cgi {
+            misses += 1;
+            continue;
+        }
+        match cache.access(id, now).copied() {
+            Some(entry) if entry.is_valid() && policy.is_fresh(&entry, 0, now) => {
+                hits += 1;
+            }
+            Some(mut entry) => {
+                // Expired: revalidate (we model the origin as unchanged
+                // within the day, so every validation is a 304).
+                validations += 1;
+                entry.revalidate(now);
+                cache.insert(id, entry);
+                hits += 1;
+            }
+            None => {
+                misses += 1;
+                // Age the object: pretend it was last modified days ago so
+                // the CERN LM-fraction rule gives a sensible TTL.
+                let last_modified = SimTime::ZERO;
+                cache.insert(id, EntryMeta::fresh(access.size, last_modified, now));
+            }
+        }
+    }
+
+    let total = hits + misses;
+    println!(
+        "proxy day: {} requests, {} distinct objects, {capacity_mb} MB cache",
+        accesses.len(),
+        objects
+    );
+    println!("  policy            : {}", policy.name());
+    println!(
+        "  hit rate          : {:.1}%",
+        100.0 * hits as f64 / total as f64
+    );
+    println!("  validations (304) : {validations}");
+    println!("  evictions         : {}", cache.evictions());
+    println!(
+        "  resident          : {} objects / {:.1} MB",
+        cache.len(),
+        cache.resident_bytes() as f64 / 1048576.0
+    );
+    println!(
+        "\nNetscape's 1995 claim was that a local proxy cuts internetwork\n\
+         demand by up to 65% (§1); vary the capacity argument to see the\n\
+         hit rate approach that bound as eviction pressure disappears."
+    );
+}

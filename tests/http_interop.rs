@@ -1,0 +1,134 @@
+//! HTTP interop: drive an origin server through *actual serialized
+//! HTTP/1.0 messages* — the conditional-GET protocol of §3 expressed on
+//! the wire, parsed back, and answered, proving the `httpsim` model and
+//! the `originserver` semantics agree.
+
+use wwwcache::httpsim::{HttpDate, Request, Response, Status, EPOCH_1996};
+use wwwcache::originserver::{CondResult, FilePopulation, FileRecord, OriginServer};
+use wwwcache::simcore::SimTime;
+
+fn wall(t: SimTime) -> HttpDate {
+    HttpDate(EPOCH_1996.0 + t.as_secs())
+}
+
+/// A minimal wire-level origin: parses request text, consults the server
+/// model, and emits response text.
+fn serve(server: &mut OriginServer, request_text: &str, now: SimTime) -> String {
+    let req = Request::parse(request_text).expect("well-formed request");
+    let (file, _) = server
+        .files()
+        .iter()
+        .find(|(_, rec)| rec.path == req.path)
+        .expect("known path");
+    let response = match req.if_modified_since {
+        Some(ims) => {
+            // Wire date -> simulation instant.
+            let since = SimTime::from_secs(ims.0 - EPOCH_1996.0);
+            match server.handle_conditional_get(file, since, now) {
+                CondResult::NotModified => Response::not_modified(wall(now)),
+                CondResult::Modified(v) => Response::ok(wall(now), wall(v.modified_at), v.size),
+            }
+        }
+        None => {
+            let v = server.handle_get(file, now);
+            Response::ok(wall(now), wall(v.modified_at), v.size)
+        }
+    };
+    response.serialize_headers()
+}
+
+fn test_server() -> OriginServer {
+    let mut pop = FilePopulation::new();
+    let mut rec = FileRecord::new("/papers/consistency.html", SimTime::from_secs(0), 4_786);
+    rec.push_modification(SimTime::from_secs(500_000), 5_120);
+    pop.add(rec);
+    OriginServer::new(pop)
+}
+
+#[test]
+fn unconditional_get_returns_full_entity() {
+    let mut server = test_server();
+    let text = Request::get("/papers/consistency.html").serialize();
+    let reply = serve(&mut server, &text, SimTime::from_secs(100_000));
+    let resp = Response::parse(&reply).expect("well-formed response");
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.content_length, Some(4_786));
+    assert_eq!(resp.last_modified, Some(wall(SimTime::from_secs(0))));
+    assert_eq!(server.load().document_requests, 1);
+}
+
+#[test]
+fn conditional_get_gets_304_while_unchanged() {
+    let mut server = test_server();
+    let text =
+        Request::get_if_modified_since("/papers/consistency.html", wall(SimTime::from_secs(0)))
+            .serialize();
+    let reply = serve(&mut server, &text, SimTime::from_secs(400_000));
+    let resp = Response::parse(&reply).expect("parses");
+    assert_eq!(resp.status, Status::NotModified);
+    assert_eq!(resp.content_length, None);
+    assert_eq!(server.load().validation_queries, 1);
+    assert_eq!(server.load().document_requests, 0);
+    // The 304 is a "message" in the paper's sense: tiny.
+    assert!(reply.len() < 100, "304 wire size {}", reply.len());
+}
+
+#[test]
+fn conditional_get_gets_new_body_after_change() {
+    let mut server = test_server();
+    let text =
+        Request::get_if_modified_since("/papers/consistency.html", wall(SimTime::from_secs(0)))
+            .serialize();
+    let reply = serve(&mut server, &text, SimTime::from_secs(600_000));
+    let resp = Response::parse(&reply).expect("parses");
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.content_length, Some(5_120));
+    assert_eq!(resp.last_modified, Some(wall(SimTime::from_secs(500_000))));
+    assert_eq!(server.load().document_requests, 1);
+}
+
+#[test]
+fn full_validate_then_refetch_conversation() {
+    // The optimized simulator's exact message sequence, on the wire:
+    // validate (304), change happens, validate again (200 with new body).
+    let mut server = test_server();
+    let path = "/papers/consistency.html";
+    let mut cached_stamp = wall(SimTime::from_secs(0));
+
+    // t=100000: validation confirms.
+    let r1 = serve(
+        &mut server,
+        &Request::get_if_modified_since(path, cached_stamp).serialize(),
+        SimTime::from_secs(100_000),
+    );
+    assert_eq!(
+        Response::parse(&r1).expect("parses").status,
+        Status::NotModified
+    );
+
+    // t=600000 (after the change): validation delivers the new version.
+    let r2 = serve(
+        &mut server,
+        &Request::get_if_modified_since(path, cached_stamp).serialize(),
+        SimTime::from_secs(600_000),
+    );
+    let resp2 = Response::parse(&r2).expect("parses");
+    assert_eq!(resp2.status, Status::Ok);
+    cached_stamp = resp2.last_modified.expect("200 carries Last-Modified");
+
+    // t=700000: the refreshed copy validates again.
+    let r3 = serve(
+        &mut server,
+        &Request::get_if_modified_since(path, cached_stamp).serialize(),
+        SimTime::from_secs(700_000),
+    );
+    assert_eq!(
+        Response::parse(&r3).expect("parses").status,
+        Status::NotModified
+    );
+
+    // Ledger: 2 validations answered 304, 1 document served.
+    assert_eq!(server.load().validation_queries, 2);
+    assert_eq!(server.load().document_requests, 1);
+    assert_eq!(server.load().total_operations(), 3);
+}

@@ -1,0 +1,147 @@
+//! Cross-crate protocol identities and orderings that must hold on *any*
+//! workload this workspace can generate.
+
+use wwwcache::webcache::{
+    generate_synthetic, run, LifetimeModel, PopularityModel, ProtocolSpec, SimConfig, Workload,
+    WorkloadKnobs, WorrellConfig,
+};
+use wwwcache::webtrace::campus::{generate_campus_trace, CampusProfile};
+
+fn workloads() -> Vec<Workload> {
+    let mut out = vec![generate_synthetic(&WorrellConfig::scaled(120, 5_000), 1)];
+    let mut bimodal = WorrellConfig::scaled(120, 5_000);
+    bimodal.knobs = WorkloadKnobs {
+        lifetimes: LifetimeModel::Bimodal {
+            volatile_fraction: 0.2,
+            min_hours: 2.0,
+            max_hours: 72.0,
+        },
+        popularity: PopularityModel::Zipf {
+            exponent: 1.0,
+            correlate_stability: true,
+        },
+    };
+    out.push(generate_synthetic(&bimodal, 2));
+    out.push(
+        Workload::from_server_trace(&generate_campus_trace(&CampusProfile::fas(), 3).trace)
+            .subsample(6),
+    );
+    out
+}
+
+#[test]
+fn alex_zero_poll_every_time_and_ttl_zero_coincide() {
+    for wl in workloads() {
+        for config in [SimConfig::base(), SimConfig::optimized()] {
+            let alex0 = run(&wl, ProtocolSpec::Alex(0), &config);
+            let poll = run(&wl, ProtocolSpec::PollEveryTime, &config);
+            let ttl0 = run(&wl, ProtocolSpec::Ttl(0), &config);
+            assert_eq!(alex0.cache, poll.cache, "{}", wl.name);
+            assert_eq!(alex0.traffic, poll.traffic, "{}", wl.name);
+            assert_eq!(alex0.cache, ttl0.cache, "{}", wl.name);
+            assert_eq!(alex0.traffic, ttl0.traffic, "{}", wl.name);
+        }
+    }
+}
+
+#[test]
+fn cern_without_expires_headers_equals_alex_at_the_lm_fraction() {
+    // No workload in this suite assigns Expires headers, so the CERN rule
+    // always falls through to its LM-fraction tier — which is the Alex
+    // rule (tier 3, the zero-age default, differs only for entries whose
+    // validation instant equals their Last-Modified stamp; preloaded
+    // populations with pre-window ages never produce those).
+    for wl in workloads() {
+        let config = SimConfig::optimized();
+        let cern = run(
+            &wl,
+            ProtocolSpec::Cern {
+                lm_percent: 10,
+                default_ttl_hours: 24,
+            },
+            &config,
+        );
+        let alex = run(&wl, ProtocolSpec::Alex(10), &config);
+        assert_eq!(cern.cache, alex.cache, "{}", wl.name);
+        assert_eq!(cern.server, alex.server, "{}", wl.name);
+    }
+}
+
+#[test]
+fn bandwidth_orderings_hold_everywhere() {
+    for wl in workloads() {
+        // Conditional retrieval never costs more than eager, per protocol.
+        for spec in [
+            ProtocolSpec::Ttl(100),
+            ProtocolSpec::Alex(25),
+            ProtocolSpec::Alex(75),
+        ] {
+            let eager = run(&wl, spec, &SimConfig::base());
+            let cond = run(&wl, spec, &SimConfig::optimized());
+            assert!(
+                cond.traffic.total_bytes() <= eager.traffic.total_bytes(),
+                "{} on {}",
+                cond.protocol,
+                wl.name
+            );
+        }
+        // Larger parameters never increase bandwidth.
+        let config = SimConfig::optimized();
+        let mut prev = u64::MAX;
+        for pct in [0u32, 10, 30, 60, 100] {
+            let bytes = run(&wl, ProtocolSpec::Alex(pct), &config)
+                .traffic
+                .total_bytes();
+            assert!(bytes <= prev, "Alex non-monotone on {}", wl.name);
+            prev = bytes;
+        }
+    }
+}
+
+#[test]
+fn file_bytes_never_exceed_invalidations_worth_of_transfers() {
+    // §4.1: "neither Alex nor TTL will ever transmit more file
+    // information than the invalidation protocol" (under conditional
+    // retrieval, which transfers only truly-changed bodies).
+    for wl in workloads() {
+        let config = SimConfig::optimized();
+        let inval_files = run(&wl, ProtocolSpec::Invalidation, &config)
+            .traffic
+            .file_bytes;
+        for spec in [ProtocolSpec::Alex(40), ProtocolSpec::Ttl(100)] {
+            let weak = run(&wl, spec, &config);
+            assert!(
+                weak.traffic.file_bytes <= inval_files,
+                "{} moved {} file bytes vs invalidation {} on {}",
+                weak.protocol,
+                weak.traffic.file_bytes,
+                inval_files,
+                wl.name
+            );
+        }
+    }
+}
+
+#[test]
+fn request_conservation_across_all_protocols_and_configs() {
+    for wl in workloads() {
+        for spec in [
+            ProtocolSpec::Alex(33),
+            ProtocolSpec::Ttl(77),
+            ProtocolSpec::Invalidation,
+            ProtocolSpec::SelfTuning,
+            ProtocolSpec::PollEveryTime,
+        ] {
+            for config in [SimConfig::base(), SimConfig::optimized()] {
+                let r = run(&wl, spec, &config);
+                assert_eq!(
+                    r.cache.requests() as usize,
+                    wl.request_count(),
+                    "{} on {}",
+                    r.protocol,
+                    wl.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Seed robustness: the reproduced conclusions must not hinge on one
+//! lucky random seed. Each headline shape claim is checked across several
+//! master seeds on subsampled traces.
+
+use wwwcache::webcache::{run, ProtocolSpec, SimConfig, Workload};
+use wwwcache::webtrace::analyze::MutabilityRow;
+use wwwcache::webtrace::campus::{generate_campus_trace, CampusProfile};
+
+const SEEDS: [u64; 3] = [7, 1996, 424242];
+
+fn hcs(seed: u64) -> Workload {
+    Workload::from_server_trace(&generate_campus_trace(&CampusProfile::hcs(), seed).trace)
+        .subsample(4)
+}
+
+#[test]
+fn table1_counts_hold_for_every_seed() {
+    for seed in SEEDS {
+        for profile in CampusProfile::all() {
+            let row = MutabilityRow::from_trace(&generate_campus_trace(&profile, seed).trace);
+            assert_eq!(row.files, profile.files, "{} seed {seed}", profile.name);
+            assert_eq!(row.requests, profile.requests);
+            assert_eq!(row.total_changes, profile.realised_changes());
+        }
+    }
+}
+
+#[test]
+fn low_staleness_holds_for_every_seed() {
+    for seed in SEEDS {
+        let wl = hcs(seed);
+        let config = SimConfig::optimized();
+        for spec in [ProtocolSpec::Alex(10), ProtocolSpec::Ttl(100)] {
+            let r = run(&wl, spec, &config);
+            assert!(
+                r.stale_pct() < 5.0,
+                "seed {seed}, {}: stale {:.2}%",
+                r.protocol,
+                r.stale_pct()
+            );
+        }
+    }
+}
+
+#[test]
+fn alex_beats_invalidation_bandwidth_for_every_seed() {
+    for seed in SEEDS {
+        let wl = hcs(seed);
+        let config = SimConfig::optimized();
+        let inval = run(&wl, ProtocolSpec::Invalidation, &config);
+        let alex = run(&wl, ProtocolSpec::Alex(64), &config);
+        assert!(
+            alex.traffic.total_bytes() < inval.traffic.total_bytes(),
+            "seed {seed}: Alex@64 {} B vs invalidation {} B",
+            alex.traffic.total_bytes(),
+            inval.traffic.total_bytes()
+        );
+        assert!(
+            alex.server_ops() <= inval.server_ops(),
+            "seed {seed}: Alex@64 {} ops vs invalidation {} ops",
+            alex.server_ops(),
+            inval.server_ops()
+        );
+    }
+}
+
+#[test]
+fn poll_penalty_holds_for_every_seed() {
+    for seed in SEEDS {
+        let wl = hcs(seed);
+        let config = SimConfig::optimized();
+        let inval_ops = run(&wl, ProtocolSpec::Invalidation, &config).server_ops();
+        let poll_ops = run(&wl, ProtocolSpec::Alex(0), &config).server_ops();
+        assert!(
+            poll_ops >= 20 * inval_ops,
+            "seed {seed}: poll {} vs invalidation {}",
+            poll_ops,
+            inval_ops
+        );
+    }
+}

@@ -6,9 +6,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use httpsim::{HttpDate, Request, Response};
 use proxycache::{EntryMeta, LruStore, Store, UnboundedStore};
 use rand::RngCore;
-use simcore::{EventQueue, FileId, SimTime};
+use simcore::{Dispatch, Event, EventQueue, FileId, Scheduler, SimTime, Simulation};
 use simstats::{DetRng, ZipfDist};
 use std::hint::black_box;
+use webcache::{generate_synthetic, run, ProtocolSpec, SimConfig, SweepRunner, WorrellConfig};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("simcore/event_queue_schedule_pop_1k", |b| {
@@ -94,12 +95,86 @@ fn bench_stats(c: &mut Criterion) {
     });
 }
 
+/// Boxed-closure dispatch vs the concrete event enum: the same 10k-event
+/// chain driven through `Simulation` both ways. The enum path is the one
+/// `core::sim` uses for its dominant request/modify events; the boxed path
+/// is the backward-compatible fallback.
+fn bench_event_dispatch(c: &mut Criterion) {
+    const CHAIN: u64 = 10_000;
+
+    struct BoxedTick(u64);
+    impl Event<u64> for BoxedTick {
+        fn fire(self: Box<Self>, world: &mut u64, sched: &mut Scheduler<u64>) {
+            *world += self.0;
+            if self.0 < CHAIN {
+                sched.schedule_in(simcore::SimDuration::from_secs(1), BoxedTick(self.0 + 1));
+            }
+        }
+    }
+    c.bench_function("simcore/dispatch_boxed_closure_10k", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u64> = Simulation::new(0);
+            sim.scheduler().schedule_at(SimTime::ZERO, BoxedTick(1));
+            sim.run_to_completion();
+            black_box(*sim.world())
+        })
+    });
+
+    #[derive(Clone, Copy)]
+    struct EnumTick(u64);
+    impl Dispatch<u64> for EnumTick {
+        fn dispatch(self, world: &mut u64, sched: &mut Scheduler<u64, Self>) {
+            *world += self.0;
+            if self.0 < CHAIN {
+                let at = sched.now() + simcore::SimDuration::from_secs(1);
+                sched.schedule_event_at(at, EnumTick(self.0 + 1));
+            }
+        }
+    }
+    c.bench_function("simcore/dispatch_typed_enum_10k", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u64, EnumTick> = Simulation::new(0);
+            sim.scheduler()
+                .schedule_event_at(SimTime::ZERO, EnumTick(1));
+            sim.run_to_completion();
+            black_box(*sim.world())
+        })
+    });
+}
+
+/// Sequential vs parallel sweep execution over one shared workload: the
+/// tentpole speedup. Both variants produce bit-identical results (see
+/// `tests/determinism.rs`); only the wall-clock differs.
+fn bench_sweep_executor(c: &mut Criterion) {
+    let workload = generate_synthetic(&WorrellConfig::scaled(80, 4_000), 1996);
+    let thresholds: Vec<u32> = vec![0, 10, 20, 30, 50, 75, 100, 150];
+    let config = SimConfig::optimized();
+    let sweep = |runner: &SweepRunner| {
+        runner.map(&thresholds, |&pct| {
+            run(&workload, ProtocolSpec::Alex(pct), &config)
+                .traffic
+                .total_bytes()
+        })
+    };
+
+    let sequential = SweepRunner::sequential();
+    c.bench_function("webcache/sweep_8pt_sequential", |b| {
+        b.iter(|| black_box(sweep(&sequential)))
+    });
+    let parallel = SweepRunner::new(0);
+    c.bench_function("webcache/sweep_8pt_parallel", |b| {
+        b.iter(|| black_box(sweep(&parallel)))
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_stores,
     bench_policies,
     bench_http,
-    bench_stats
+    bench_stats,
+    bench_event_dispatch,
+    bench_sweep_executor
 );
 criterion_main!(benches);

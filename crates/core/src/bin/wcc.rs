@@ -2,31 +2,37 @@
 //! command line.
 //!
 //! ```text
-//! wcc figure <1..8> [--quick]     regenerate one figure
-//! wcc table <1|2>   [--quick]     regenerate one table
-//! wcc ablations                   run the extension ablations
-//! wcc all           [--quick]     everything, in paper order
+//! wcc figure <1..8> [--quick] [--jobs N]     regenerate one figure
+//! wcc table <1|2>   [--quick] [--jobs N]     regenerate one table
+//! wcc ablations               [--jobs N]     run the extension ablations
+//! wcc all           [--quick] [--jobs N]     everything, in paper order
 //! ```
 //!
 //! `--quick` uses the reduced test-scale configuration; the default is the
 //! paper-scale run (slower, but the shape checks are sharper).
+//!
+//! `--jobs N` sizes the sweep executor's worker pool (`0` or omitted:
+//! hardware parallelism, also overridable via `WCC_JOBS`; `1`: fully
+//! sequential). Results are bit-for-bit identical at every setting — the
+//! executor only changes wall-clock time.
 
 use webcache::experiments::report::{
     render_bandwidth_figure, render_figure1, render_missrate_figure, render_server_load_figure,
     render_table1, render_table2,
 };
 use webcache::experiments::{
-    ablations, base::run_base, hierarchy_bias::run_figure1, optimized::run_optimized, tables,
-    traced::run_traced, Scale,
+    ablations, base::run_base_with, hierarchy_bias::run_figure1, optimized::run_optimized_with,
+    tables, traced::run_traced_with, Scale,
 };
-use webcache::{ProtocolSpec, Workload};
+use webcache::{ProtocolSpec, SweepRunner, Workload};
 use webtrace::campus::{generate_campus_trace, CampusProfile};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wcc <figure 1-8 | table 1-2 | ablations | all> [--quick]\n\
+        "usage: wcc <figure 1-8 | table 1-2 | ablations | all> [--quick] [--jobs N]\n\
          regenerates the tables and figures of Gwertzman & Seltzer,\n\
-         'World Wide Web Cache Consistency' (USENIX 1996)"
+         'World Wide Web Cache Consistency' (USENIX 1996)\n\
+         --jobs N  sweep-executor workers (0 = hardware parallelism; 1 = sequential)"
     );
     std::process::exit(2);
 }
@@ -39,62 +45,80 @@ fn scale(quick: bool) -> Scale {
     }
 }
 
-fn figure(n: u32, quick: bool) {
+fn figure(n: u32, quick: bool, runner: &SweepRunner) {
     match n {
         1 => println!("{}", render_figure1(&run_figure1())),
         2 => println!(
             "{}",
-            render_bandwidth_figure("Figure 2: bandwidth", &run_base(&scale(quick)))
+            render_bandwidth_figure("Figure 2: bandwidth", &run_base_with(&scale(quick), runner))
         ),
         3 => println!(
             "{}",
-            render_missrate_figure("Figure 3: miss/stale rates", &run_base(&scale(quick)))
+            render_missrate_figure(
+                "Figure 3: miss/stale rates",
+                &run_base_with(&scale(quick), runner)
+            )
         ),
         4 => println!(
             "{}",
-            render_bandwidth_figure("Figure 4: bandwidth", &run_optimized(&scale(quick)))
+            render_bandwidth_figure(
+                "Figure 4: bandwidth",
+                &run_optimized_with(&scale(quick), runner)
+            )
         ),
         5 => println!(
             "{}",
-            render_missrate_figure("Figure 5: miss/stale rates", &run_optimized(&scale(quick)))
+            render_missrate_figure(
+                "Figure 5: miss/stale rates",
+                &run_optimized_with(&scale(quick), runner)
+            )
         ),
         6 => println!(
             "{}",
-            render_bandwidth_figure("Figure 6: bandwidth", &run_traced(&scale(quick)).averaged)
+            render_bandwidth_figure(
+                "Figure 6: bandwidth",
+                &run_traced_with(&scale(quick), runner).averaged
+            )
         ),
         7 => println!(
             "{}",
             render_missrate_figure(
                 "Figure 7: miss/stale rates",
-                &run_traced(&scale(quick)).averaged
+                &run_traced_with(&scale(quick), runner).averaged
             )
         ),
         8 => println!(
             "{}",
-            render_server_load_figure("Figure 8: server load", &run_traced(&scale(quick)).averaged)
+            render_server_load_figure(
+                "Figure 8: server load",
+                &run_traced_with(&scale(quick), runner).averaged
+            )
         ),
         _ => usage(),
     }
 }
 
-fn table(n: u32, quick: bool) {
+fn table(n: u32, quick: bool, runner: &SweepRunner) {
     match n {
-        1 => println!("{}", render_table1(&tables::table1(1996))),
+        1 => println!("{}", render_table1(&tables::table1_with(1996, runner))),
         2 => {
             let requests = if quick { 20_000 } else { 150_000 };
-            println!("{}", render_table2(&tables::table2(1996, requests)));
+            println!(
+                "{}",
+                render_table2(&tables::table2_with(1996, requests, runner))
+            );
         }
         _ => usage(),
     }
 }
 
-fn run_ablations() {
+fn run_ablations(runner: &SweepRunner) {
     println!("== Ablation: workload properties (Worrell -> trace-like) ==");
     println!(
         "{:<58}{:>10}{:>11}{:>8}{:>7}",
         "variant", "alex20 MB", "inval MB", "stale%", "wins?"
     );
-    for r in ablations::workload_ablation(800, 30_000, 1996) {
+    for r in ablations::workload_ablation_with(800, 30_000, 1996, runner) {
         println!(
             "{:<58}{:>10.3}{:>11.3}{:>8.2}{:>7}",
             r.variant,
@@ -109,7 +133,7 @@ fn run_ablations() {
     let wl = Workload::from_server_trace(&campus.trace);
 
     println!("\n== Ablation: message costing (HCS, Alex@20%) ==");
-    let (paper, wire) = ablations::costing_ablation(&wl, ProtocolSpec::Alex(20));
+    let (paper, wire) = ablations::costing_ablation_with(&wl, ProtocolSpec::Alex(20), runner);
     println!(
         "  43-byte messages: {:.3} MB | serialised HTTP/1.0: {:.3} MB | behaviour identical: {}",
         paper.total_mb(),
@@ -120,7 +144,7 @@ fn run_ablations() {
     println!("\n== Ablation: dynamic (uncacheable) cgi content (HCS, Alex@20%) ==");
     let cgi = webtrace::FileType::Cgi.class_index();
     let (cacheable, dynamic) =
-        ablations::dynamic_content_ablation(&wl, ProtocolSpec::Alex(20), cgi);
+        ablations::dynamic_content_ablation_with(&wl, ProtocolSpec::Alex(20), cgi, runner);
     println!(
         "  cgi cached: {:.3} MB, {:.2}% miss | cgi forwarded: {:.3} MB, {:.2}% miss",
         cacheable.total_mb(),
@@ -130,7 +154,7 @@ fn run_ablations() {
     );
 
     println!("\n== Ablation: self-tuning vs fixed Alex thresholds (HCS) ==");
-    let (tuned, fixed) = ablations::selftuning_comparison(&wl, &[5, 10, 20, 50, 100]);
+    let (tuned, fixed) = ablations::selftuning_comparison_with(&wl, &[5, 10, 20, 50, 100], runner);
     println!(
         "  self-tuning : {:.3} MB, stale {:.2}%, {} ops",
         tuned.total_mb(),
@@ -151,7 +175,9 @@ fn run_ablations() {
         "  {:>10}{:>12}{:>10}{:>9}{:>9}",
         "capacity", "bandwidth", "evicted", "miss%", "stale%"
     );
-    for p in ablations::capacity_sweep(&wl, ProtocolSpec::Alex(30), &[0.02, 0.1, 0.5, 2.0]) {
+    for p in
+        ablations::capacity_sweep_with(&wl, ProtocolSpec::Alex(30), &[0.02, 0.1, 0.5, 2.0], runner)
+    {
         println!(
             "  {:>9.0}%{:>9.3} MB{:>10}{:>9.2}{:>9.2}",
             100.0 * p.capacity_fraction,
@@ -164,7 +190,7 @@ fn run_ablations() {
 
     println!("\n== Ablation: eviction policy at 10% capacity (HCS, Alex@30%) ==");
     let (lru, le, fifo, fe) =
-        ablations::eviction_policy_comparison(&wl, ProtocolSpec::Alex(30), 0.10);
+        ablations::eviction_policy_comparison_with(&wl, ProtocolSpec::Alex(30), 0.10, runner);
     println!(
         "  LRU : {:.3} MB, {:.2}% miss, {le} evictions | FIFO: {:.3} MB, {:.2}% miss, {fe} evictions",
         lru.total_mb(),
@@ -174,7 +200,7 @@ fn run_ablations() {
     );
 
     println!("\n== Ablation: mean request latency (HCS; 150ms RTT, 28.8kbps link) ==");
-    for (name, ms) in ablations::latency_comparison(&wl, 150.0, 3_600.0) {
+    for (name, ms) in ablations::latency_comparison_with(&wl, 150.0, 3_600.0, runner) {
         println!("  {name:<18}: {ms:>8.1} ms/request");
     }
 
@@ -183,7 +209,8 @@ fn run_ablations() {
         from: wl.start + simcore::SimDuration::from_days(5),
         until: wl.start + simcore::SimDuration::from_days(5) + simcore::SimDuration::from_hours(12),
     }];
-    let (part, alex) = webcache::experiments::failure::resilience_comparison(&wl, &outages, 10);
+    let (part, alex) =
+        webcache::experiments::failure::resilience_comparison_with(&wl, &outages, 10, runner);
     println!(
         "  invalidation: {} stale hits, {} failed delivery attempts, {} late notices",
         part.result.cache.stale_hits, part.failed_attempts, part.late_deliveries
@@ -194,7 +221,7 @@ fn run_ablations() {
     );
 
     println!("\n== Extension: staleness severity (HCS; how old is stale data?) ==");
-    for (name, stale_pct, severity) in ablations::severity_comparison(&wl) {
+    for (name, stale_pct, severity) in ablations::severity_comparison_with(&wl, runner) {
         match severity {
             Some(hours) => {
                 println!("  {name:<16}: {stale_pct:>5.2}% stale, {hours:>7.1} h mean staleness age")
@@ -208,9 +235,12 @@ fn run_ablations() {
         "  {:<6}{:>9}{:>12}{:>12}{:>12}{:>11}{:>11}",
         "trace", "remote%", "no-proxy", "boundary", "universal", "bnd-red%", "uni-red%"
     );
-    for row in
-        webcache::experiments::deployment::deployment_comparison(ProtocolSpec::Alex(20), 1996, 1)
-    {
+    for row in webcache::experiments::deployment::deployment_comparison_with(
+        ProtocolSpec::Alex(20),
+        1996,
+        1,
+        runner,
+    ) {
         println!(
             "  {:<6}{:>8.0}%{:>12}{:>12}{:>12}{:>10.1}%{:>10.1}%",
             row.trace,
@@ -237,25 +267,49 @@ fn run_ablations() {
     );
 }
 
+/// Split flags from positionals, consuming `--jobs`'s value so it is not
+/// mistaken for a subcommand argument. Returns `(quick, runner, positional)`.
+fn parse_args(args: &[String]) -> (bool, SweepRunner, Vec<&str>) {
+    let mut quick = false;
+    let mut jobs: usize = 0;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                let value = it.next().unwrap_or_else(|| usage());
+                jobs = value.parse().unwrap_or_else(|_| usage());
+            }
+            flag if flag.starts_with("--jobs=") => {
+                jobs = flag["--jobs=".len()..].parse().unwrap_or_else(|_| usage());
+            }
+            flag if flag.starts_with("--") => usage(),
+            p => positional.push(p),
+        }
+    }
+    let runner = if jobs == 0 {
+        SweepRunner::from_env()
+    } else {
+        SweepRunner::new(jobs)
+    };
+    (quick, runner, positional)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let positional: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let (quick, runner, positional) = parse_args(&args);
     match positional.as_slice() {
-        ["figure", n] => figure(n.parse().unwrap_or_else(|_| usage()), quick),
-        ["table", n] => table(n.parse().unwrap_or_else(|_| usage()), quick),
-        ["ablations"] => run_ablations(),
+        ["figure", n] => figure(n.parse().unwrap_or_else(|_| usage()), quick, &runner),
+        ["table", n] => table(n.parse().unwrap_or_else(|_| usage()), quick, &runner),
+        ["ablations"] => run_ablations(&runner),
         ["all"] => {
-            table(1, quick);
-            table(2, quick);
+            table(1, quick, &runner);
+            table(2, quick, &runner);
             for n in 1..=8 {
-                figure(n, quick);
+                figure(n, quick, &runner);
             }
-            run_ablations();
+            run_ablations(&runner);
         }
         _ => usage(),
     }

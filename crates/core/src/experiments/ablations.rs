@@ -15,6 +15,7 @@ use httpsim::MessageCosting;
 
 use crate::protocol::ProtocolSpec;
 use crate::sim::{run, run_bounded, run_bounded_fifo, RunResult, SimConfig};
+use crate::sweep::SweepRunner;
 use crate::workload::{
     generate_synthetic, LifetimeModel, PopularityModel, Workload, WorkloadKnobs, WorrellConfig,
 };
@@ -46,6 +47,18 @@ impl AblationRow {
 /// Walk from Worrell's workload to the trace-informed one, one knob at a
 /// time, measuring Alex-vs-invalidation at each step.
 pub fn workload_ablation(files: usize, requests: usize, seed: u64) -> Vec<AblationRow> {
+    workload_ablation_with(files, requests, seed, &SweepRunner::default())
+}
+
+/// [`workload_ablation`] with an explicit sweep executor (one worker per
+/// knob variant; each variant generates its own workload and runs both
+/// protocols).
+pub fn workload_ablation_with(
+    files: usize,
+    requests: usize,
+    seed: u64,
+    runner: &SweepRunner,
+) -> Vec<AblationRow> {
     let config = SimConfig::optimized();
     let spec = ProtocolSpec::Alex(20);
     let bimodal = LifetimeModel::Bimodal {
@@ -93,36 +106,46 @@ pub fn workload_ablation(files: usize, requests: usize, seed: u64) -> Vec<Ablati
         ),
     ];
 
-    variants
-        .into_iter()
-        .map(|(variant, knobs)| {
-            let cfg = WorrellConfig {
-                knobs,
-                ..WorrellConfig::scaled(files, requests)
-            };
-            let wl = generate_synthetic(&cfg, seed);
-            AblationRow {
-                variant,
-                alex: run(&wl, spec, &config),
-                invalidation: run(&wl, ProtocolSpec::Invalidation, &config),
-            }
-        })
-        .collect()
+    runner.map(&variants, |&(variant, knobs)| {
+        let cfg = WorrellConfig {
+            knobs,
+            ..WorrellConfig::scaled(files, requests)
+        };
+        let wl = generate_synthetic(&cfg, seed);
+        AblationRow {
+            variant,
+            alex: run(&wl, spec, &config),
+            invalidation: run(&wl, ProtocolSpec::Invalidation, &config),
+        }
+    })
 }
 
 /// Compare the paper's flat 43-byte message accounting against exact
 /// serialised HTTP/1.0 sizes on the same workload and protocol.
 pub fn costing_ablation(workload: &Workload, spec: ProtocolSpec) -> (RunResult, RunResult) {
-    let paper = run(workload, spec, &SimConfig::optimized());
-    let wire = run(
-        workload,
-        spec,
-        &SimConfig {
-            costing: MessageCosting::SerializedHttp,
-            ..SimConfig::optimized()
+    costing_ablation_with(workload, spec, &SweepRunner::default())
+}
+
+/// [`costing_ablation`] with an explicit sweep executor (the two costings
+/// run as a parallel pair).
+pub fn costing_ablation_with(
+    workload: &Workload,
+    spec: ProtocolSpec,
+    runner: &SweepRunner,
+) -> (RunResult, RunResult) {
+    runner.join(
+        || run(workload, spec, &SimConfig::optimized()),
+        || {
+            run(
+                workload,
+                spec,
+                &SimConfig {
+                    costing: MessageCosting::SerializedHttp,
+                    ..SimConfig::optimized()
+                },
+            )
         },
-    );
-    (paper, wire)
+    )
 }
 
 /// The §5 dynamic-content scenario: run the same trace with a class
@@ -133,17 +156,31 @@ pub fn dynamic_content_ablation(
     spec: ProtocolSpec,
     dynamic_class: usize,
 ) -> (RunResult, RunResult) {
+    dynamic_content_ablation_with(workload, spec, dynamic_class, &SweepRunner::default())
+}
+
+/// [`dynamic_content_ablation`] with an explicit sweep executor (the two
+/// treatments run as a parallel pair).
+pub fn dynamic_content_ablation_with(
+    workload: &Workload,
+    spec: ProtocolSpec,
+    dynamic_class: usize,
+    runner: &SweepRunner,
+) -> (RunResult, RunResult) {
     assert!(dynamic_class < 32, "class mask holds 32 classes");
-    let cacheable = run(workload, spec, &SimConfig::optimized());
-    let uncacheable = run(
-        workload,
-        spec,
-        &SimConfig {
-            uncacheable_mask: 1 << dynamic_class,
-            ..SimConfig::optimized()
+    runner.join(
+        || run(workload, spec, &SimConfig::optimized()),
+        || {
+            run(
+                workload,
+                spec,
+                &SimConfig {
+                    uncacheable_mask: 1 << dynamic_class,
+                    ..SimConfig::optimized()
+                },
+            )
         },
-    );
-    (cacheable, uncacheable)
+    )
 }
 
 /// One point of the bounded-cache capacity sweep.
@@ -166,25 +203,33 @@ pub fn capacity_sweep(
     spec: ProtocolSpec,
     fractions: &[f64],
 ) -> Vec<CapacityPoint> {
+    capacity_sweep_with(workload, spec, fractions, &SweepRunner::default())
+}
+
+/// [`capacity_sweep`] with an explicit sweep executor (one worker per
+/// capacity fraction).
+pub fn capacity_sweep_with(
+    workload: &Workload,
+    spec: ProtocolSpec,
+    fractions: &[f64],
+    runner: &SweepRunner,
+) -> Vec<CapacityPoint> {
     let working_set: u64 = workload
         .population
         .iter()
         .filter_map(|(_, r)| r.version_at(workload.start).map(|v| v.size))
         .sum();
     let config = SimConfig::optimized();
-    fractions
-        .iter()
-        .map(|&frac| {
-            assert!(frac > 0.0, "capacity fraction must be positive");
-            let capacity = ((working_set as f64 * frac) as u64).max(1);
-            let (result, evictions) = run_bounded(workload, spec, &config, capacity);
-            CapacityPoint {
-                capacity_fraction: frac,
-                result,
-                evictions,
-            }
-        })
-        .collect()
+    runner.map(fractions, |&frac| {
+        assert!(frac > 0.0, "capacity fraction must be positive");
+        let capacity = ((working_set as f64 * frac) as u64).max(1);
+        let (result, evictions) = run_bounded(workload, spec, &config, capacity);
+        CapacityPoint {
+            capacity_fraction: frac,
+            result,
+            evictions,
+        }
+    })
 }
 
 /// Eviction-policy ablation: the same bounded capacity under LRU versus
@@ -193,6 +238,17 @@ pub fn eviction_policy_comparison(
     workload: &Workload,
     spec: ProtocolSpec,
     capacity_fraction: f64,
+) -> (RunResult, u64, RunResult, u64) {
+    eviction_policy_comparison_with(workload, spec, capacity_fraction, &SweepRunner::default())
+}
+
+/// [`eviction_policy_comparison`] with an explicit sweep executor (LRU and
+/// FIFO run as a parallel pair).
+pub fn eviction_policy_comparison_with(
+    workload: &Workload,
+    spec: ProtocolSpec,
+    capacity_fraction: f64,
+    runner: &SweepRunner,
 ) -> (RunResult, u64, RunResult, u64) {
     assert!(
         capacity_fraction > 0.0,
@@ -208,8 +264,10 @@ pub fn eviction_policy_comparison(
         preload: false,
         ..SimConfig::optimized()
     };
-    let (lru, le) = run_bounded(workload, spec, &config, capacity);
-    let (fifo, fe) = run_bounded_fifo(workload, spec, &config, capacity);
+    let ((lru, le), (fifo, fe)) = runner.join(
+        || run_bounded(workload, spec, &config, capacity),
+        || run_bounded_fifo(workload, spec, &config, capacity),
+    );
     (lru, le, fifo, fe)
 }
 
@@ -221,40 +279,56 @@ pub fn latency_comparison(
     rtt_ms: f64,
     bytes_per_sec: f64,
 ) -> Vec<(String, f64)> {
+    latency_comparison_with(workload, rtt_ms, bytes_per_sec, &SweepRunner::default())
+}
+
+/// [`latency_comparison`] with an explicit sweep executor (one worker per
+/// protocol).
+pub fn latency_comparison_with(
+    workload: &Workload,
+    rtt_ms: f64,
+    bytes_per_sec: f64,
+    runner: &SweepRunner,
+) -> Vec<(String, f64)> {
     let config = SimConfig::optimized();
-    [
+    let specs = [
         ProtocolSpec::PollEveryTime,
         ProtocolSpec::Alex(10),
         ProtocolSpec::Alex(64),
         ProtocolSpec::Ttl(100),
         ProtocolSpec::Invalidation,
-    ]
-    .iter()
-    .map(|&spec| {
+    ];
+    runner.map(&specs, |&spec| {
         let r = run(workload, spec, &config);
         (r.protocol.clone(), r.mean_latency_ms(rtt_ms, bytes_per_sec))
     })
-    .collect()
 }
 
 /// Staleness *severity* comparison (extension metric): the paper counts
 /// stale hits; this also asks how out-of-date the served copies were.
 /// Returns `(protocol label, stale %, mean stale age in hours)` rows.
 pub fn severity_comparison(workload: &Workload) -> Vec<(String, f64, Option<f64>)> {
+    severity_comparison_with(workload, &SweepRunner::default())
+}
+
+/// [`severity_comparison`] with an explicit sweep executor (one worker per
+/// protocol).
+pub fn severity_comparison_with(
+    workload: &Workload,
+    runner: &SweepRunner,
+) -> Vec<(String, f64, Option<f64>)> {
     let config = SimConfig::optimized();
-    [
+    let specs = [
         ProtocolSpec::Alex(10),
         ProtocolSpec::Alex(64),
         ProtocolSpec::Ttl(100),
         ProtocolSpec::Ttl(500),
         ProtocolSpec::Invalidation,
-    ]
-    .iter()
-    .map(|&spec| {
+    ];
+    runner.map(&specs, |&spec| {
         let r = run(workload, spec, &config);
         (r.protocol.clone(), r.stale_pct(), r.mean_stale_age_hours())
     })
-    .collect()
 }
 
 /// Compare the self-tuning policy against a sweep of fixed Alex
@@ -263,13 +337,25 @@ pub fn selftuning_comparison(
     workload: &Workload,
     thresholds: &[u32],
 ) -> (RunResult, Vec<(u32, RunResult)>) {
+    selftuning_comparison_with(workload, thresholds, &SweepRunner::default())
+}
+
+/// [`selftuning_comparison`] with an explicit sweep executor: the tuned
+/// run executes alongside the fixed-threshold sweep.
+pub fn selftuning_comparison_with(
+    workload: &Workload,
+    thresholds: &[u32],
+    runner: &SweepRunner,
+) -> (RunResult, Vec<(u32, RunResult)>) {
     let config = SimConfig::optimized();
-    let tuned = run(workload, ProtocolSpec::SelfTuning, &config);
-    let fixed = thresholds
-        .iter()
-        .map(|&pct| (pct, run(workload, ProtocolSpec::Alex(pct), &config)))
-        .collect();
-    (tuned, fixed)
+    runner.join(
+        || run(workload, ProtocolSpec::SelfTuning, &config),
+        || {
+            runner.map(thresholds, |&pct| {
+                (pct, run(workload, ProtocolSpec::Alex(pct), &config))
+            })
+        },
+    )
 }
 
 #[cfg(test)]

@@ -9,41 +9,62 @@
 use crate::experiments::{Scale, SimReport, Sweep};
 use crate::protocol::ProtocolSpec;
 use crate::sim::{run, SimConfig};
-use crate::workload::generate_synthetic;
+use crate::sweep::SweepRunner;
+use crate::workload::{generate_synthetic, Workload};
 
 /// Run the base-simulator experiment (data for Figures 2 and 3).
 pub fn run_base(scale: &Scale) -> SimReport {
-    run_with_config(scale, SimConfig::base(), "base simulator")
+    run_base_with(scale, &SweepRunner::default())
 }
 
-pub(crate) fn run_with_config(scale: &Scale, config: SimConfig, name: &str) -> SimReport {
+/// [`run_base`] with an explicit sweep executor.
+pub fn run_base_with(scale: &Scale, runner: &SweepRunner) -> SimReport {
+    run_with_config(scale, SimConfig::base(), "base simulator", runner)
+}
+
+pub(crate) fn run_with_config(
+    scale: &Scale,
+    config: SimConfig,
+    name: &str,
+    runner: &SweepRunner,
+) -> SimReport {
     let workload = generate_synthetic(&scale.worrell, scale.seed);
-    let alex = Sweep {
-        family: "Alex",
-        points: scale
-            .alex_thresholds
-            .iter()
-            .map(|&pct| {
-                (
-                    f64::from(pct),
-                    run(&workload, ProtocolSpec::Alex(pct), &config),
-                )
-            })
-            .collect(),
-    };
-    let ttl = Sweep {
-        family: "TTL",
-        points: scale
-            .ttl_hours
-            .iter()
-            .map(|&h| (h as f64, run(&workload, ProtocolSpec::Ttl(h), &config)))
-            .collect(),
-    };
-    let invalidation = run(&workload, ProtocolSpec::Invalidation, &config);
+    let report = sweep_protocols(&workload, scale, config, runner);
     SimReport {
         name: name.to_string(),
-        alex,
-        ttl,
+        ..report
+    }
+}
+
+/// The shared sweep core: both families plus the invalidation reference on
+/// one workload, fanned over `runner`. Point order in the returned sweeps
+/// matches the scale's parameter order exactly, whatever the worker count.
+pub(crate) fn sweep_protocols(
+    workload: &Workload,
+    scale: &Scale,
+    config: SimConfig,
+    runner: &SweepRunner,
+) -> SimReport {
+    let alex_points = runner.map(&scale.alex_thresholds, |&pct| {
+        (
+            f64::from(pct),
+            run(workload, ProtocolSpec::Alex(pct), &config),
+        )
+    });
+    let ttl_points = runner.map(&scale.ttl_hours, |&h| {
+        (h as f64, run(workload, ProtocolSpec::Ttl(h), &config))
+    });
+    let invalidation = run(workload, ProtocolSpec::Invalidation, &config);
+    SimReport {
+        name: workload.name.clone(),
+        alex: Sweep {
+            family: "Alex",
+            points: alex_points,
+        },
+        ttl: Sweep {
+            family: "TTL",
+            points: ttl_points,
+        },
         invalidation,
     }
 }

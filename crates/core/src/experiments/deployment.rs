@@ -19,6 +19,7 @@ use webtrace::campus::{generate_campus_trace, CampusProfile};
 
 use crate::protocol::ProtocolSpec;
 use crate::sim::{run, SimConfig};
+use crate::sweep::SweepRunner;
 use crate::workload::Workload;
 
 /// One trace's deployment comparison.
@@ -62,34 +63,43 @@ pub fn deployment_comparison(
     seed: u64,
     subsample: usize,
 ) -> Vec<DeploymentRow> {
+    deployment_comparison_with(spec, seed, subsample, &SweepRunner::default())
+}
+
+/// [`deployment_comparison`] with an explicit sweep executor (one worker
+/// per campus trace; each replays its local-only and universal runs as a
+/// parallel pair).
+pub fn deployment_comparison_with(
+    spec: ProtocolSpec,
+    seed: u64,
+    subsample: usize,
+    runner: &SweepRunner,
+) -> Vec<DeploymentRow> {
     let config = SimConfig::optimized();
-    CampusProfile::all()
-        .iter()
-        .map(|profile| {
-            let campus = generate_campus_trace(profile, seed);
-            let all = Workload::from_server_trace(&campus.trace).subsample(subsample);
-            let local = Workload::from_server_trace_local_only(&campus.trace).subsample(subsample);
-            let remote =
-                Workload::from_server_trace_remote_only(&campus.trace).subsample(subsample);
+    runner.map(&CampusProfile::all(), |profile| {
+        let campus = generate_campus_trace(profile, seed);
+        let all = Workload::from_server_trace(&campus.trace).subsample(subsample);
+        let local = Workload::from_server_trace_local_only(&campus.trace).subsample(subsample);
+        let remote = Workload::from_server_trace_remote_only(&campus.trace).subsample(subsample);
 
-            // No proxy: every request is one origin document request.
-            let no_proxy_ops = all.request_count() as u64;
-            // Boundary: the protocol covers local clients; every remote
-            // request is a raw origin document request.
-            let local_run = run(&local, spec, &config);
-            let boundary_ops = local_run.server_ops() + remote.request_count() as u64;
-            // Universal: the paper's collapsed model.
-            let universal_ops = run(&all, spec, &config).server_ops();
+        // No proxy: every request is one origin document request.
+        let no_proxy_ops = all.request_count() as u64;
+        // Boundary: the protocol covers local clients; every remote
+        // request is a raw origin document request. Universal: the
+        // paper's collapsed model.
+        let (local_run, universal_run) =
+            runner.join(|| run(&local, spec, &config), || run(&all, spec, &config));
+        let boundary_ops = local_run.server_ops() + remote.request_count() as u64;
+        let universal_ops = universal_run.server_ops();
 
-            DeploymentRow {
-                trace: profile.name.to_string(),
-                remote_fraction: campus.trace.remote_fraction(),
-                no_proxy_ops,
-                boundary_ops,
-                universal_ops,
-            }
-        })
-        .collect()
+        DeploymentRow {
+            trace: profile.name.to_string(),
+            remote_fraction: campus.trace.remote_fraction(),
+            no_proxy_ops,
+            boundary_ops,
+            universal_ops,
+        }
+    })
 }
 
 #[cfg(test)]

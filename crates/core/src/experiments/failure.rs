@@ -19,10 +19,13 @@
 //! results are identical to the unpartitioned run — which is precisely
 //! the paper's point.
 
+use std::sync::Arc;
+
 use originserver::{OriginServer, RetryQueue};
 use proxycache::{EntryMeta, Store, UnboundedStore};
 use simcore::{
-    CacheId, CacheStats, FileId, Scheduler, SimDuration, SimTime, Simulation, TrafficMeter,
+    CacheId, CacheStats, Dispatch, FileId, Scheduler, SimDuration, SimTime, Simulation,
+    TrafficMeter,
 };
 
 use crate::protocol::ProtocolSpec;
@@ -53,6 +56,27 @@ const THE_CACHE: CacheId = CacheId(0);
 const RETRY_BASE: SimDuration = SimDuration::from_mins(2);
 const RETRY_CAP: SimDuration = SimDuration::from_mins(32);
 
+/// The partitioned run's event alphabet: the workload's pre-scheduled
+/// modifications and requests plus the retry timer the failed deliveries
+/// arm. A concrete `Copy` payload, so even the retry storm of a long
+/// outage allocates nothing per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailureEvent {
+    Modify(FileId),
+    Request(FileId),
+    Retry,
+}
+
+impl Dispatch<World> for FailureEvent {
+    fn dispatch(self, world: &mut World, sched: &mut Scheduler<World, Self>) {
+        match self {
+            FailureEvent::Modify(f) => world.on_modification(f, sched.now(), sched),
+            FailureEvent::Request(f) => world.on_request(f, sched.now()),
+            FailureEvent::Retry => world.on_retry(sched.now(), sched),
+        }
+    }
+}
+
 struct World {
     store: UnboundedStore,
     server: OriginServer,
@@ -77,7 +101,12 @@ impl World {
         }
     }
 
-    fn on_modification(&mut self, file: FileId, now: SimTime, sched: &mut Scheduler<World>) {
+    fn on_modification(
+        &mut self,
+        file: FileId,
+        now: SimTime,
+        sched: &mut Scheduler<World, FailureEvent>,
+    ) {
         for cache in self.server.notify_modification(file) {
             debug_assert_eq!(cache, THE_CACHE);
             // Reflect current reachability into the retry queue.
@@ -96,16 +125,14 @@ impl World {
         }
     }
 
-    fn schedule_retry(&mut self, sched: &mut Scheduler<World>) {
+    fn schedule_retry(&mut self, sched: &mut Scheduler<World, FailureEvent>) {
         if let Some(at) = self.retry.next_attempt() {
             let at = at.max(sched.now());
-            sched.schedule_at(at, move |w: &mut World, s: &mut Scheduler<World>| {
-                w.on_retry(s.now(), s);
-            });
+            sched.schedule_event_at(at, FailureEvent::Retry);
         }
     }
 
-    fn on_retry(&mut self, now: SimTime, sched: &mut Scheduler<World>) {
+    fn on_retry(&mut self, now: SimTime, sched: &mut Scheduler<World, FailureEvent>) {
         if self.channel_down(now) {
             self.retry.mark_down(THE_CACHE);
         } else {
@@ -176,7 +203,7 @@ pub fn run_partitioned_invalidation(workload: &Workload, outages: &[Outage]) -> 
     debug_assert_eq!(workload.validate(), Ok(()));
     let mut world = World {
         store: UnboundedStore::new(),
-        server: OriginServer::new(workload.population.clone()),
+        server: OriginServer::new(Arc::clone(&workload.population)),
         retry: RetryQueue::new(RETRY_BASE, RETRY_CAP),
         outages: outages.to_vec(),
         traffic: TrafficMeter::default(),
@@ -195,20 +222,16 @@ pub fn run_partitioned_invalidation(workload: &Workload, outages: &[Outage]) -> 
         }
     }
 
-    let mut sim = Simulation::new(world);
+    let mut sim: Simulation<World, FailureEvent> = Simulation::new(world);
     for (t, f) in workload.population.all_modifications() {
         if t >= workload.start && t <= workload.end {
             sim.scheduler()
-                .schedule_at(t, move |w: &mut World, s: &mut Scheduler<World>| {
-                    w.on_modification(f, s.now(), s);
-                });
+                .schedule_event_at(t, FailureEvent::Modify(f));
         }
     }
     for &(t, f) in &workload.requests {
         sim.scheduler()
-            .schedule_at(t, move |w: &mut World, s: &mut Scheduler<World>| {
-                w.on_request(f, s.now());
-            });
+            .schedule_event_at(t, FailureEvent::Request(f));
     }
     sim.run_to_completion();
     let world = sim.into_world();
@@ -237,15 +260,34 @@ pub fn resilience_comparison(
     outages: &[Outage],
     alex_threshold: u32,
 ) -> (PartitionedResult, RunResult) {
-    let partitioned = run_partitioned_invalidation(workload, outages);
+    resilience_comparison_with(
+        workload,
+        outages,
+        alex_threshold,
+        &crate::sweep::SweepRunner::default(),
+    )
+}
+
+/// [`resilience_comparison`] with an explicit sweep executor (the
+/// partitioned and unpartitioned runs execute as a parallel pair).
+pub fn resilience_comparison_with(
+    workload: &Workload,
+    outages: &[Outage],
+    alex_threshold: u32,
+    runner: &crate::sweep::SweepRunner,
+) -> (PartitionedResult, RunResult) {
     // Alex is oblivious to the notification channel; its run is identical
     // with or without the outage.
-    let alex = run(
-        workload,
-        ProtocolSpec::Alex(alex_threshold),
-        &SimConfig::optimized(),
-    );
-    (partitioned, alex)
+    runner.join(
+        || run_partitioned_invalidation(workload, outages),
+        || {
+            run(
+                workload,
+                ProtocolSpec::Alex(alex_threshold),
+                &SimConfig::optimized(),
+            )
+        },
+    )
 }
 
 #[cfg(test)]

@@ -44,10 +44,27 @@ pub fn measure(
     spec: ProtocolSpec,
     assignment: LeafAssignment,
 ) -> HierarchyTraceRow {
+    measure_with(
+        workload,
+        spec,
+        assignment,
+        &crate::sweep::SweepRunner::default(),
+    )
+}
+
+/// [`measure`] with an explicit sweep executor (the two topologies replay
+/// as a parallel pair).
+pub fn measure_with(
+    workload: &Workload,
+    spec: ProtocolSpec,
+    assignment: LeafAssignment,
+    runner: &crate::sweep::SweepRunner,
+) -> HierarchyTraceRow {
     let (two_level, _, _) = HierarchyTopology::figure1();
-    let (hier_traffic, hier_stale, _) = replay_workload(two_level, workload, spec, assignment);
-    let (collapsed_traffic, collapsed_stale, _) =
-        replay_workload(HierarchyTopology::new(), workload, spec, assignment);
+    let ((hier_traffic, hier_stale, _), (collapsed_traffic, collapsed_stale, _)) = runner.join(
+        || replay_workload(two_level, workload, spec, assignment),
+        || replay_workload(HierarchyTopology::new(), workload, spec, assignment),
+    );
     HierarchyTraceRow {
         protocol: spec.label(),
         hierarchical: hier_traffic,
@@ -64,9 +81,24 @@ pub fn hierarchy_trace_comparison(
     time_based: ProtocolSpec,
     assignment: LeafAssignment,
 ) -> (HierarchyTraceRow, HierarchyTraceRow) {
-    (
-        measure(workload, time_based, assignment),
-        measure(workload, ProtocolSpec::Invalidation, assignment),
+    hierarchy_trace_comparison_with(
+        workload,
+        time_based,
+        assignment,
+        &crate::sweep::SweepRunner::default(),
+    )
+}
+
+/// [`hierarchy_trace_comparison`] with an explicit sweep executor.
+pub fn hierarchy_trace_comparison_with(
+    workload: &Workload,
+    time_based: ProtocolSpec,
+    assignment: LeafAssignment,
+    runner: &crate::sweep::SweepRunner,
+) -> (HierarchyTraceRow, HierarchyTraceRow) {
+    runner.join(
+        || measure_with(workload, time_based, assignment, runner),
+        || measure_with(workload, ProtocolSpec::Invalidation, assignment, runner),
     )
 }
 

@@ -9,10 +9,16 @@
 
 use crate::experiments::{base::run_with_config, Scale, SimReport};
 use crate::sim::SimConfig;
+use crate::sweep::SweepRunner;
 
 /// Run the optimized-simulator experiment (data for Figures 4 and 5).
 pub fn run_optimized(scale: &Scale) -> SimReport {
-    run_with_config(scale, SimConfig::optimized(), "optimized simulator")
+    run_optimized_with(scale, &SweepRunner::default())
+}
+
+/// [`run_optimized`] with an explicit sweep executor.
+pub fn run_optimized_with(scale: &Scale, runner: &SweepRunner) -> SimReport {
+    run_with_config(scale, SimConfig::optimized(), "optimized simulator", runner)
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@ use webtrace::bu::{generate_bu_study, BuProfile};
 use webtrace::campus::{generate_campus_trace, CampusProfile};
 use webtrace::microsoft::{generate_microsoft_log, MicrosoftProfile};
 
+use crate::sweep::SweepRunner;
+
 /// The published Table 1 values, for paper-vs-measured reporting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table1Paper {
@@ -65,10 +67,15 @@ pub const TABLE1_PAPER: [Table1Paper; 3] = [
 /// Regenerate Table 1: generate each campus trace and run the mutability
 /// analyzer over it.
 pub fn table1(seed: u64) -> Vec<MutabilityRow> {
-    CampusProfile::all()
-        .iter()
-        .map(|p| MutabilityRow::from_trace(&generate_campus_trace(p, seed).trace))
-        .collect()
+    table1_with(seed, &SweepRunner::default())
+}
+
+/// [`table1`] with an explicit sweep executor (one worker per campus
+/// trace).
+pub fn table1_with(seed: u64, runner: &SweepRunner) -> Vec<MutabilityRow> {
+    runner.map(&CampusProfile::all(), |p| {
+        MutabilityRow::from_trace(&generate_campus_trace(p, seed).trace)
+    })
 }
 
 /// The published Table 2 values (None = the paper's NA entries).
@@ -129,8 +136,16 @@ pub const TABLE2_PAPER: [Table2Paper; 5] = [
 /// then run the file-type analyzer. `requests` scales the Microsoft log
 /// (150,000 = the paper's weekday).
 pub fn table2(seed: u64, requests: usize) -> Vec<FileTypeRow> {
-    let ms = generate_microsoft_log(&MicrosoftProfile::scaled(requests), seed);
-    let study = generate_bu_study(&BuProfile::paper(), seed);
+    table2_with(seed, requests, &SweepRunner::default())
+}
+
+/// [`table2`] with an explicit sweep executor (the Microsoft log and the
+/// BU study generate as a parallel pair).
+pub fn table2_with(seed: u64, requests: usize, runner: &SweepRunner) -> Vec<FileTypeRow> {
+    let (ms, study) = runner.join(
+        || generate_microsoft_log(&MicrosoftProfile::scaled(requests), seed),
+        || generate_bu_study(&BuProfile::paper(), seed),
+    );
     file_type_table(&ms, &study)
 }
 

@@ -18,9 +18,9 @@
 
 use webtrace::campus::{generate_campus_trace, CampusProfile};
 
-use crate::experiments::{Scale, SimReport, Sweep};
-use crate::protocol::ProtocolSpec;
-use crate::sim::{run, RunResult, SimConfig};
+use crate::experiments::{base::sweep_protocols, Scale, SimReport, Sweep};
+use crate::sim::{RunResult, SimConfig};
+use crate::sweep::SweepRunner;
 use crate::workload::Workload;
 
 /// Per-trace and averaged results for the trace-driven experiments.
@@ -35,6 +35,12 @@ pub struct TracedReport {
 
 /// Run the trace-driven experiment (data for Figures 6, 7, and 8).
 pub fn run_traced(scale: &Scale) -> TracedReport {
+    run_traced_with(scale, &SweepRunner::default())
+}
+
+/// [`run_traced`] with an explicit sweep executor. Traces are replayed in
+/// order; within each trace the parameter points fan over the runner.
+pub fn run_traced_with(scale: &Scale, runner: &SweepRunner) -> TracedReport {
     let config = SimConfig::optimized();
     let workloads: Vec<Workload> = CampusProfile::all()
         .iter()
@@ -46,26 +52,7 @@ pub fn run_traced(scale: &Scale) -> TracedReport {
 
     let per_trace: Vec<SimReport> = workloads
         .iter()
-        .map(|wl| SimReport {
-            name: wl.name.clone(),
-            alex: Sweep {
-                family: "Alex",
-                points: scale
-                    .alex_thresholds
-                    .iter()
-                    .map(|&pct| (f64::from(pct), run(wl, ProtocolSpec::Alex(pct), &config)))
-                    .collect(),
-            },
-            ttl: Sweep {
-                family: "TTL",
-                points: scale
-                    .ttl_hours
-                    .iter()
-                    .map(|&h| (h as f64, run(wl, ProtocolSpec::Ttl(h), &config)))
-                    .collect(),
-            },
-            invalidation: run(wl, ProtocolSpec::Invalidation, &config),
-        })
+        .map(|wl| sweep_protocols(wl, scale, config, runner))
         .collect();
 
     let averaged = SimReport {

@@ -17,6 +17,8 @@
 //!   which forwards to every subscribed child — every change floods the
 //!   whole tree.
 
+use std::sync::Arc;
+
 use consistency::Policy;
 use httpsim::MessageCosting;
 use originserver::FilePopulation;
@@ -29,7 +31,7 @@ use crate::protocol::ProtocolSpec;
 pub struct HierarchySim {
     topo: HierarchyTopology,
     stores: Vec<UnboundedStore>,
-    population: FilePopulation,
+    population: Arc<FilePopulation>,
     policy: Box<dyn Policy>,
     uses_invalidation: bool,
     costing: MessageCosting,
@@ -41,12 +43,16 @@ pub struct HierarchySim {
 
 impl HierarchySim {
     /// Build a simulator over `topo` serving `population` with `spec`.
-    pub fn new(topo: HierarchyTopology, population: FilePopulation, spec: ProtocolSpec) -> Self {
+    pub fn new(
+        topo: HierarchyTopology,
+        population: impl Into<Arc<FilePopulation>>,
+        spec: ProtocolSpec,
+    ) -> Self {
         let stores = (0..topo.len()).map(|_| UnboundedStore::new()).collect();
         HierarchySim {
             topo,
             stores,
-            population,
+            population: population.into(),
             policy: spec.build_policy(),
             uses_invalidation: spec.uses_invalidation(),
             costing: MessageCosting::PaperConstant,
@@ -92,12 +98,15 @@ impl HierarchySim {
         if !self.uses_invalidation {
             return;
         }
-        let path = self.population.get(file).path.clone();
+        // Borrow the path out of the shared population (refcount bump, no
+        // string copy) so the flood below can mutate the rest of `self`.
+        let pop = Arc::clone(&self.population);
+        let path = &pop.get(file).path;
         // Server -> root, then each cache -> its children.
         let mut frontier = vec![self.topo.root()];
         while let Some(cache) = frontier.pop() {
             self.traffic
-                .add_message(self.costing.invalidation_message(&path));
+                .add_message(self.costing.invalidation_message(path));
             if let Some(e) = self.stores[cache.index()].access(file, now) {
                 e.mark_invalid();
             }
@@ -131,11 +140,12 @@ impl HierarchySim {
             // GET (or, for the invalidation protocol, a plain refetch —
             // the copy is known stale).
             let (up_lm, up_size) = self.upstream_version(cache, file, now);
-            let path = self.population.get(file).path.clone();
+            let pop = Arc::clone(&self.population);
+            let path = &pop.get(file).path;
             if !self.uses_invalidation && up_lm == e.last_modified {
                 // 304 on this hop.
                 self.traffic.add_message(self.costing.validation_exchange(
-                    &path,
+                    path,
                     httpsim::HttpDate(e.last_modified.as_secs()),
                     httpsim::HttpDate(now.as_secs()),
                 ));
@@ -147,7 +157,7 @@ impl HierarchySim {
             }
             // Body moves down this hop.
             self.traffic.add_message(self.costing.fetch_overhead(
-                &path,
+                path,
                 None,
                 httpsim::HttpDate(now.as_secs()),
                 httpsim::HttpDate(up_lm.as_secs()),
@@ -162,9 +172,10 @@ impl HierarchySim {
         }
         // Not resident: full fetch from upstream.
         let (up_lm, up_size) = self.upstream_version(cache, file, now);
-        let path = self.population.get(file).path.clone();
+        let pop = Arc::clone(&self.population);
+        let path = &pop.get(file).path;
         self.traffic.add_message(self.costing.fetch_overhead(
-            &path,
+            path,
             None,
             httpsim::HttpDate(now.as_secs()),
             httpsim::HttpDate(up_lm.as_secs()),

@@ -26,11 +26,13 @@ pub mod hierarchy;
 pub mod protocol;
 pub mod scenario;
 pub mod sim;
+pub mod sweep;
 pub mod workload;
 
 pub use protocol::ProtocolSpec;
 pub use scenario::ScenarioBuilder;
 pub use sim::{run, run_bounded, run_bounded_fifo, RetrievalMode, RunResult, SimConfig};
+pub use sweep::SweepRunner;
 pub use workload::{
     generate_synthetic, LifetimeModel, PopularityModel, Workload, WorkloadKnobs, WorrellConfig,
 };

@@ -156,7 +156,7 @@ impl ScenarioBuilder {
             name: self.name,
             start,
             end: start + self.duration,
-            population: self.population,
+            population: std::sync::Arc::new(self.population),
             requests: self.requests,
             classes: self.classes,
             class_expires: self.class_expires,

@@ -19,11 +19,15 @@
 //! * **server operations** — document requests + staleness queries +
 //!   invalidation messages (Figure 8).
 
+use std::sync::Arc;
+
 use consistency::Policy;
 use httpsim::{HttpDate, MessageCosting, EPOCH_1996};
 use originserver::{CondResult, OriginServer};
 use proxycache::{EntryMeta, Store, UnboundedStore};
-use simcore::{CacheId, CacheStats, FileId, ServerLoad, SimTime, Simulation, TrafficMeter};
+use simcore::{
+    CacheId, CacheStats, Dispatch, FileId, Scheduler, ServerLoad, SimTime, Simulation, TrafficMeter,
+};
 
 use crate::protocol::ProtocolSpec;
 use crate::workload::Workload;
@@ -174,12 +178,12 @@ impl RunResult {
     }
 }
 
-struct World<S: Store> {
+struct World<'w, S: Store> {
     store: S,
     server: OriginServer,
     policy: Box<dyn Policy>,
-    classes: Vec<usize>,
-    class_expires: Vec<Option<simcore::SimDuration>>,
+    classes: &'w [usize],
+    class_expires: &'w [Option<simcore::SimDuration>],
     retrieval: RetrievalMode,
     costing: MessageCosting,
     uncacheable_mask: u32,
@@ -192,13 +196,9 @@ struct World<S: Store> {
 
 const THE_CACHE: CacheId = CacheId(0);
 
-impl<S: Store> World<S> {
+impl<S: Store> World<'_, S> {
     fn wall(&self, t: SimTime) -> HttpDate {
         HttpDate(EPOCH_1996.0 + t.as_secs())
-    }
-
-    fn path(&self, file: FileId) -> String {
-        self.server.files().get(file).path.clone()
     }
 
     /// Insert an entry, processing any evictions a bounded store makes:
@@ -234,9 +234,10 @@ impl<S: Store> World<S> {
         let targets = self.server.notify_modification(file);
         for cache in targets {
             debug_assert_eq!(cache, THE_CACHE);
-            let path = self.path(file);
-            self.traffic
-                .add_message(self.costing.invalidation_message(&path));
+            self.traffic.add_message(
+                self.costing
+                    .invalidation_message(&self.server.files().get(file).path),
+            );
             if let Some(entry) = self.store.access(file, _now) {
                 entry.mark_invalid();
             }
@@ -246,9 +247,8 @@ impl<S: Store> World<S> {
     fn fetch_full(&mut self, file: FileId, now: SimTime, since: Option<SimTime>) {
         let class = self.classes[file.index()];
         let v = self.server.handle_get(file, now);
-        let path = self.path(file);
         let overhead = self.costing.fetch_overhead(
-            &path,
+            &self.server.files().get(file).path,
             since.map(|s| self.wall(s)),
             self.wall(now),
             self.wall(v.modified_at),
@@ -350,9 +350,8 @@ impl<S: Store> World<S> {
             .handle_conditional_get(file, entry.last_modified, now)
         {
             CondResult::NotModified => {
-                let path = self.path(file);
                 self.traffic.add_message(self.costing.validation_exchange(
-                    &path,
+                    &self.server.files().get(file).path,
                     self.wall(entry.last_modified),
                     self.wall(now),
                 ));
@@ -365,9 +364,8 @@ impl<S: Store> World<S> {
                 entry.expires = expires;
             }
             CondResult::Modified(v) => {
-                let path = self.path(file);
                 let overhead = self.costing.fetch_overhead(
-                    &path,
+                    &self.server.files().get(file).path,
                     Some(self.wall(entry.last_modified)),
                     self.wall(now),
                     self.wall(v.modified_at),
@@ -430,7 +428,31 @@ pub fn run_bounded_fifo(
     )
 }
 
-fn run_with_store<S: Store + 'static>(
+/// The closed event alphabet of the single-cache simulator.
+///
+/// The workload pre-schedules every modification and request, and neither
+/// handler schedules follow-ups, so two variants cover the whole run. As a
+/// plain `Copy` payload dispatched through [`Dispatch`], scheduling one
+/// costs no heap allocation and firing one costs no virtual call — this is
+/// the per-request hot path of every sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimEvent {
+    /// The origin's copy of the file changes.
+    Modify(FileId),
+    /// A client asks the cache for the file.
+    Request(FileId),
+}
+
+impl<'w, S: Store> Dispatch<World<'w, S>> for SimEvent {
+    fn dispatch(self, world: &mut World<'w, S>, sched: &mut Scheduler<World<'w, S>, Self>) {
+        match self {
+            SimEvent::Modify(f) => world.on_modification(f, sched.now()),
+            SimEvent::Request(f) => world.on_request(f, sched.now()),
+        }
+    }
+}
+
+fn run_with_store<S: Store>(
     workload: &Workload,
     spec: ProtocolSpec,
     config: &SimConfig,
@@ -439,10 +461,10 @@ fn run_with_store<S: Store + 'static>(
     debug_assert_eq!(workload.validate(), Ok(()));
     let mut world = World {
         store,
-        server: OriginServer::new(workload.population.clone()),
+        server: OriginServer::new(Arc::clone(&workload.population)),
         policy: spec.build_policy(),
-        classes: workload.classes.clone(),
-        class_expires: workload.class_expires.clone(),
+        classes: &workload.classes,
+        class_expires: &workload.class_expires,
         retrieval: config.retrieval,
         costing: config.costing,
         uncacheable_mask: config.uncacheable_mask,
@@ -484,51 +506,29 @@ fn run_with_store<S: Store + 'static>(
     // instants a modification precedes a request (a request arriving "at"
     // a change sees the new version, matching HTTP semantics where the
     // origin answers with its current state).
-    #[derive(Clone, Copy)]
-    enum Ev {
-        Modify(FileId),
-        Request(FileId),
-    }
-    let mut events: Vec<(SimTime, u8, Ev)> =
+    let mut events: Vec<(SimTime, u8, SimEvent)> =
         Vec::with_capacity(workload.requests.len() + workload.population.len());
     for (t, f) in workload.population.all_modifications() {
         if t >= workload.start && t <= workload.end {
-            events.push((t, 0, Ev::Modify(f)));
+            events.push((t, 0, SimEvent::Modify(f)));
         }
     }
     for &(t, f) in &workload.requests {
-        events.push((t, 1, Ev::Request(f)));
+        events.push((t, 1, SimEvent::Request(f)));
     }
     events.sort_by_key(|&(t, kind, ev)| {
         (
             t,
             kind,
             match ev {
-                Ev::Modify(f) | Ev::Request(f) => f,
+                SimEvent::Modify(f) | SimEvent::Request(f) => f,
             },
         )
     });
 
-    let mut sim = Simulation::new(world);
+    let mut sim: Simulation<World<'_, S>, SimEvent> = Simulation::new(world);
     for (t, _, ev) in events {
-        match ev {
-            Ev::Modify(f) => {
-                sim.scheduler().schedule_at(
-                    t,
-                    move |w: &mut World<S>, s: &mut simcore::Scheduler<World<S>>| {
-                        w.on_modification(f, s.now());
-                    },
-                );
-            }
-            Ev::Request(f) => {
-                sim.scheduler().schedule_at(
-                    t,
-                    move |w: &mut World<S>, s: &mut simcore::Scheduler<World<S>>| {
-                        w.on_request(f, s.now());
-                    },
-                );
-            }
-        }
+        sim.scheduler().schedule_event_at(t, ev);
     }
     sim.run_to_completion();
     let world = sim.into_world();
@@ -826,7 +826,7 @@ mod tests {
             name: "daily-news".to_string(),
             start,
             end,
-            population: pop,
+            population: pop.into(),
             requests,
             classes: vec![0],
             class_expires: vec![Some(day)],
@@ -1018,7 +1018,7 @@ mod tests {
             name: "tie".to_string(),
             start,
             end: SimTime::from_secs(3000),
-            population: pop,
+            population: pop.into(),
             requests: vec![(SimTime::from_secs(2000), f)],
             classes: vec![0],
             class_expires: Vec::new(),

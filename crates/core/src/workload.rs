@@ -19,6 +19,8 @@
 //! benches that isolate which workload property flips Worrell's
 //! conclusion.
 
+use std::sync::Arc;
+
 use originserver::{FilePopulation, FileRecord};
 use simcore::{FileId, SimDuration, SimTime};
 use simstats::{BoundedParetoDist, DetRng, Sampler, UniformDist, ZipfDist};
@@ -33,8 +35,11 @@ pub struct Workload {
     pub start: SimTime,
     /// Observation end.
     pub end: SimTime,
-    /// File population with full modification histories.
-    pub population: FilePopulation,
+    /// File population with full modification histories. Shared behind an
+    /// [`Arc`] so that cloning a workload — and handing one copy to every
+    /// point of a parameter sweep — shares the (large, immutable)
+    /// population instead of deep-copying it per point.
+    pub population: Arc<FilePopulation>,
     /// `(instant, file)` request stream, sorted by instant.
     pub requests: Vec<(SimTime, FileId)>,
     /// Content-class index per file (for per-class adaptive policies).
@@ -155,7 +160,7 @@ impl Workload {
             name: trace.name.clone(),
             start: trace.start,
             end: trace.end(),
-            population: trace.population.clone(),
+            population: Arc::new(trace.population.clone()),
             requests: trace.requests.iter().map(|r| (r.time, r.file)).collect(),
             classes,
             class_expires: Vec::new(),
@@ -390,7 +395,7 @@ pub fn generate_synthetic(config: &WorrellConfig, seed: u64) -> Workload {
         name: format!("synthetic({} files)", config.files),
         start,
         end,
-        population,
+        population: Arc::new(population),
         requests,
         classes: vec![0; config.files],
         class_expires: Vec::new(),

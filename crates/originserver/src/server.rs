@@ -9,6 +9,7 @@
 //! currently cached").
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use simcore::{CacheId, FileId, ServerLoad, SimTime};
 
@@ -26,16 +27,21 @@ pub enum CondResult {
 /// The origin server.
 #[derive(Debug, Clone, Default)]
 pub struct OriginServer {
-    files: FilePopulation,
+    files: Arc<FilePopulation>,
     subscribers: HashMap<FileId, BTreeSet<CacheId>>,
     load: ServerLoad,
 }
 
 impl OriginServer {
     /// A server publishing `files`.
-    pub fn new(files: FilePopulation) -> Self {
+    ///
+    /// Accepts either an owned [`FilePopulation`] or an
+    /// `Arc<FilePopulation>`; passing the `Arc` shares one population
+    /// across many servers (one per parameter-sweep point) without
+    /// copying it.
+    pub fn new(files: impl Into<Arc<FilePopulation>>) -> Self {
         OriginServer {
-            files,
+            files: files.into(),
             subscribers: HashMap::new(),
             load: ServerLoad::default(),
         }

@@ -5,11 +5,20 @@
 //! engine pops the earliest event, advances the clock to its timestamp, and
 //! fires it. Events may schedule further events (invalidation callbacks,
 //! retry timers, TTL expiries) through the [`Scheduler`] they receive.
+//!
+//! The engine is generic over the queued event payload. The default payload
+//! is `Box<dyn Event<W>>`, which lets tests and examples schedule plain
+//! closures, at the price of one heap allocation and one virtual call per
+//! event. A simulator with a closed set of event kinds supplies a concrete
+//! enum implementing [`Dispatch`] instead and pays neither cost on its hot
+//! path — see `webcache::sim`.
+
+use std::marker::PhantomData;
 
 use crate::queue::{EventHandle, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
-/// An executable simulation event acting on world state `W`.
+/// An executable simulation event acting on world state `W`, boxed.
 ///
 /// Implemented for plain closures via a blanket impl, so simple simulations
 /// can schedule `move |world, sched| { .. }` directly.
@@ -28,18 +37,41 @@ where
     }
 }
 
-/// The scheduling surface handed to firing events: the current instant and
-/// the ability to enqueue or cancel future events.
-pub struct Scheduler<W> {
-    now: SimTime,
-    queue: EventQueue<Box<dyn Event<W>>>,
+/// How a queued event payload executes against the world.
+///
+/// This is the by-value, allocation-free counterpart of [`Event`]: a payload
+/// type (typically a small `Copy` enum) implements it directly, and
+/// [`Simulation`] dispatches with a plain `match` instead of a virtual call.
+/// The boxed [`Event`] path remains available through the blanket impl for
+/// `Box<dyn Event<W>>`.
+pub trait Dispatch<W>: Sized {
+    /// Execute the event. `sched.now()` is the instant it fires at.
+    fn dispatch(self, world: &mut W, sched: &mut Scheduler<W, Self>);
 }
 
-impl<W> Scheduler<W> {
+impl<W> Dispatch<W> for Box<dyn Event<W>> {
+    fn dispatch(self, world: &mut W, sched: &mut Scheduler<W, Self>) {
+        self.fire(world, sched)
+    }
+}
+
+/// The scheduling surface handed to firing events: the current instant and
+/// the ability to enqueue or cancel future events.
+///
+/// `E` is the queued payload type; it defaults to boxed dynamic events, so
+/// `Scheduler<World>` keeps meaning what it always did.
+pub struct Scheduler<W, E = Box<dyn Event<W>>> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    _world: PhantomData<fn(&mut W)>,
+}
+
+impl<W, E> Scheduler<W, E> {
     fn new() -> Self {
         Scheduler {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
+            _world: PhantomData,
         }
     }
 
@@ -48,27 +80,25 @@ impl<W> Scheduler<W> {
         self.now
     }
 
-    /// Schedule `event` at the absolute instant `at`.
+    /// Schedule the payload `event` at the absolute instant `at`, without
+    /// boxing.
     ///
     /// # Panics
     /// Panics if `at` is in the past — an event cannot rewrite history.
-    pub fn schedule_at<E: Event<W> + 'static>(&mut self, at: SimTime, event: E) -> EventHandle {
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) -> EventHandle {
         assert!(
             at >= self.now,
             "cannot schedule into the past: now={}, at={at}",
             self.now
         );
-        self.queue.schedule(at, Box::new(event))
+        self.queue.schedule(at, event)
     }
 
-    /// Schedule `event` to fire `delay` after the current instant.
-    pub fn schedule_in<E: Event<W> + 'static>(
-        &mut self,
-        delay: SimDuration,
-        event: E,
-    ) -> EventHandle {
+    /// Schedule the payload `event` to fire `delay` after the current
+    /// instant, without boxing.
+    pub fn schedule_event_in(&mut self, delay: SimDuration, event: E) -> EventHandle {
         let at = self.now.saturating_add(delay);
-        self.queue.schedule(at, Box::new(event))
+        self.queue.schedule(at, event)
     }
 
     /// Cancel a pending event. Returns `true` if it had not yet fired.
@@ -79,6 +109,26 @@ impl<W> Scheduler<W> {
     /// Number of live pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+}
+
+impl<W> Scheduler<W> {
+    /// Schedule `event` at the absolute instant `at` (boxing it).
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — an event cannot rewrite history.
+    pub fn schedule_at<Ev: Event<W> + 'static>(&mut self, at: SimTime, event: Ev) -> EventHandle {
+        self.schedule_event_at(at, Box::new(event))
+    }
+
+    /// Schedule `event` to fire `delay` after the current instant (boxing
+    /// it).
+    pub fn schedule_in<Ev: Event<W> + 'static>(
+        &mut self,
+        delay: SimDuration,
+        event: Ev,
+    ) -> EventHandle {
+        self.schedule_event_in(delay, Box::new(event))
     }
 }
 
@@ -100,13 +150,13 @@ impl<W> Scheduler<W> {
 /// sim.run_to_completion();
 /// assert_eq!(sim.into_world(), vec![10, 15]);
 /// ```
-pub struct Simulation<W> {
+pub struct Simulation<W, E = Box<dyn Event<W>>> {
     world: W,
-    sched: Scheduler<W>,
+    sched: Scheduler<W, E>,
     fired: u64,
 }
 
-impl<W> Simulation<W> {
+impl<W, E: Dispatch<W>> Simulation<W, E> {
     /// Wrap `world` in a fresh simulation starting at time zero.
     pub fn new(world: W) -> Self {
         Simulation {
@@ -137,7 +187,7 @@ impl<W> Simulation<W> {
     }
 
     /// Access the scheduler to seed the initial event set.
-    pub fn scheduler(&mut self) -> &mut Scheduler<W> {
+    pub fn scheduler(&mut self) -> &mut Scheduler<W, E> {
         &mut self.sched
     }
 
@@ -147,7 +197,7 @@ impl<W> Simulation<W> {
             Some((at, event)) => {
                 debug_assert!(at >= self.sched.now, "event queue violated time order");
                 self.sched.now = at;
-                event.fire(&mut self.world, &mut self.sched);
+                event.dispatch(&mut self.world, &mut self.sched);
                 self.fired += 1;
                 true
             }
@@ -271,6 +321,64 @@ mod tests {
                 s.schedule_at(at(5), |_: &mut World, _: &mut Scheduler<World>| {});
             });
         sim.run_to_completion();
+    }
+
+    #[test]
+    fn typed_enum_events_run_without_boxing() {
+        #[derive(Clone, Copy)]
+        enum Tick {
+            Mark(&'static str),
+            Chain,
+        }
+        impl Dispatch<World> for Tick {
+            fn dispatch(self, world: &mut World, sched: &mut Scheduler<World, Tick>) {
+                match self {
+                    Tick::Mark(label) => world.log.push((sched.now().as_secs(), label)),
+                    Tick::Chain => {
+                        world.log.push((sched.now().as_secs(), "chain"));
+                        sched.schedule_event_in(SimDuration::from_secs(3), Tick::Mark("tail"));
+                    }
+                }
+            }
+        }
+
+        let mut sim: Simulation<World, Tick> = Simulation::new(World::default());
+        sim.scheduler().schedule_event_at(at(10), Tick::Chain);
+        sim.scheduler().schedule_event_at(at(5), Tick::Mark("head"));
+        assert_eq!(sim.run_to_completion(), 3);
+        assert_eq!(
+            sim.world().log,
+            vec![(5, "head"), (10, "chain"), (13, "tail")]
+        );
+    }
+
+    #[test]
+    fn typed_events_can_borrow_non_static_state() {
+        // The typed path has no `'static` bound: a world borrowing local
+        // state is legal. This is what lets simulators share a workload by
+        // reference across a sweep instead of cloning it per point.
+        struct Borrowing<'a> {
+            weights: &'a [u64],
+            total: u64,
+        }
+        #[derive(Clone, Copy)]
+        struct Add(usize);
+        impl<'a> Dispatch<Borrowing<'a>> for Add {
+            fn dispatch(self, world: &mut Borrowing<'a>, _: &mut Scheduler<Borrowing<'a>, Add>) {
+                world.total += world.weights[self.0];
+            }
+        }
+
+        let weights = vec![3, 5, 7];
+        let mut sim: Simulation<Borrowing<'_>, Add> = Simulation::new(Borrowing {
+            weights: &weights,
+            total: 0,
+        });
+        for i in 0..weights.len() {
+            sim.scheduler().schedule_event_at(at(i as u64), Add(i));
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.into_world().total, 15);
     }
 
     #[test]

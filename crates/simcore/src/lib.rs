@@ -23,7 +23,7 @@ mod metrics;
 mod queue;
 mod time;
 
-pub use engine::{Event, Scheduler, Simulation};
+pub use engine::{Dispatch, Event, Scheduler, Simulation};
 pub use ids::{CacheId, ClientId, FileId};
 pub use metrics::{CacheStats, ServerLoad, TrafficMeter};
 pub use queue::{EventHandle, EventQueue};

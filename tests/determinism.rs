@@ -1,8 +1,14 @@
 //! Determinism guarantees: every generator, simulator, and experiment in
 //! the workspace is a pure function of its seed and configuration.
 
-use wwwcache::webcache::experiments::{base::run_base, traced::run_traced, Scale};
-use wwwcache::webcache::{generate_synthetic, run, ProtocolSpec, SimConfig, WorrellConfig};
+use wwwcache::webcache::experiments::{
+    base::{run_base, run_base_with},
+    traced::run_traced,
+    Scale,
+};
+use wwwcache::webcache::{
+    generate_synthetic, run, ProtocolSpec, SimConfig, SweepRunner, WorrellConfig,
+};
 use wwwcache::webtrace::bu::{generate_bu_study, BuProfile};
 use wwwcache::webtrace::campus::{generate_campus_trace, CampusProfile};
 use wwwcache::webtrace::microsoft::{generate_microsoft_log, MicrosoftProfile};
@@ -61,4 +67,58 @@ fn whole_experiments_are_reproducible() {
     };
     assert_eq!(run_base(&scale), run_base(&scale));
     assert_eq!(run_traced(&scale), run_traced(&scale));
+}
+
+#[test]
+fn parallel_sweep_matches_sequential_loop() {
+    // The sweep executor must be a pure wall-clock optimisation: fanning a
+    // sweep over worker threads yields bit-for-bit the results of a plain
+    // sequential loop over the same points.
+    let scale = {
+        let mut s = Scale::quick();
+        s.worrell = WorrellConfig::scaled(60, 2_000);
+        s.alex_thresholds = vec![0, 20, 50, 100];
+        s.ttl_hours = vec![0, 100, 250, 500];
+        s
+    };
+    let wl = generate_synthetic(&scale.worrell, scale.seed);
+    let config = SimConfig::base();
+
+    // Hand-rolled sequential reference: no SweepRunner involved at all.
+    let seq_alex: Vec<_> = scale
+        .alex_thresholds
+        .iter()
+        .map(|&pct| run(&wl, ProtocolSpec::Alex(pct), &config))
+        .collect();
+    let seq_ttl: Vec<_> = scale
+        .ttl_hours
+        .iter()
+        .map(|&h| run(&wl, ProtocolSpec::Ttl(h), &config))
+        .collect();
+    let seq_inval = run(&wl, ProtocolSpec::Invalidation, &config);
+
+    for jobs in [1, 2, 8] {
+        let report = run_base_with(&scale, &SweepRunner::new(jobs));
+        assert_eq!(
+            report.alex.points.len(),
+            seq_alex.len(),
+            "jobs={jobs}: sweep point count"
+        );
+        for (i, (point, expected)) in report.alex.points.iter().zip(&seq_alex).enumerate() {
+            assert_eq!(
+                point.0,
+                f64::from(scale.alex_thresholds[i]),
+                "jobs={jobs}: alex points out of order"
+            );
+            assert_eq!(&point.1, expected, "jobs={jobs}: alex@{}", point.0);
+        }
+        for (i, (point, expected)) in report.ttl.points.iter().zip(&seq_ttl).enumerate() {
+            assert_eq!(
+                point.0, scale.ttl_hours[i] as f64,
+                "jobs={jobs}: ttl points out of order"
+            );
+            assert_eq!(&point.1, expected, "jobs={jobs}: ttl@{}", point.0);
+        }
+        assert_eq!(report.invalidation, seq_inval, "jobs={jobs}: invalidation");
+    }
 }

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! Implements the slice of the criterion API this workspace's benches
+//! use — `Criterion`, `BenchmarkGroup`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple wall-clock
+//! timer instead of criterion's statistical machinery. Two modes:
+//!
+//! * **bench** (default): each benchmark is timed adaptively (enough
+//!   iterations to fill a short measurement window) and the mean time per
+//!   iteration is printed, so relative comparisons (e.g. sequential vs
+//!   parallel sweep) remain meaningful;
+//! * **test** (`cargo bench ... -- --test`): each benchmark body runs
+//!   exactly once with no timing, which is the CI smoke mode.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration measurement window in bench mode.
+const MEASUREMENT_WINDOW: Duration = Duration::from_millis(300);
+
+/// Hard cap on timed iterations per benchmark.
+const MAX_ITERS: u64 = 1_000;
+
+/// The bench harness entry point (a tiny subset of criterion's).
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Read harness flags from the command line. Only `--test` (run each
+    /// bench body once, no timing) is honoured; cargo's own `--bench`
+    /// flag and any filter strings are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Define and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.test_mode, f);
+        self
+    }
+
+    /// Open a named group; group benches report as `group/id`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Criterion prints its closing report here; the stub has none.
+    pub fn final_summary(self) {}
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's timing loop is adaptive
+    /// and does not use a fixed sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Define and immediately run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(id: &str, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        test_mode,
+        mean_ns: None,
+        iters: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("bench (test mode): {id} ... ok");
+    } else if let Some(ns) = b.mean_ns {
+        println!(
+            "{id:<55} time: [{} per iter, {} iters]",
+            fmt_ns(ns),
+            b.iters
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Handed to each benchmark body; [`Bencher::iter`] times a closure.
+pub struct Bencher {
+    test_mode: bool,
+    mean_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time per call
+    /// (once, untimed, in `--test` mode).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(f());
+            self.iters = 1;
+            return;
+        }
+        // One timed warm-up call sizes the measurement loop.
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (MEASUREMENT_WINDOW.as_nanos() / first.as_nanos())
+            .clamp(1, u128::from(MAX_ITERS)) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed() + first;
+        self.iters = iters + 1;
+        self.mean_ns = Some(total.as_nanos() as f64 / self.iters as f64);
+    }
+}
+
+/// Bundle benchmark functions into one named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for the `proptest` property-testing harness.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`]/[`prop_assert!`]/[`prop_assume!`]/
+//! [`prop_oneof!`] macros, the [`strategy::Strategy`] trait with
+//! `prop_map`/`boxed`, integer/float range strategies, tuple strategies,
+//! character-class string strategies, `collection::vec`, `option::of`,
+//! and `any::<T>()`.
+//!
+//! Differences from real proptest, chosen for a dependency-free build:
+//!
+//! * **no shrinking** — a failing case panics immediately and its inputs
+//!   are printed via a drop guard instead of being minimised;
+//! * **deterministic generation** — each test's RNG is seeded from the
+//!   test's module path and name, so runs are bit-reproducible (matching
+//!   this repo's determinism-first design) rather than freshly random;
+//! * `proptest-regressions` files are ignored.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that samples its arguments `config.cases` times
+/// and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @config($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr)) => {};
+    (@config($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                // Describe the inputs up front (bodies may consume them);
+                // the guard prints the description only if the body panics.
+                let mut __desc = format!("case {}:", __case);
+                $(
+                    __desc.push_str(&format!(" {} = {:?};", stringify!($arg), &$arg));
+                )+
+                let __guard = $crate::test_runner::CaseGuard::new(__desc);
+                $body
+                drop(__guard);
+            }
+        }
+        $crate::__proptest_impl! { @config($config) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Skip the current case when its precondition does not hold.
+///
+/// Expands to a `continue` targeting the per-test case loop, so it is
+/// only valid directly inside a [`proptest!`] body (as in real proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,24 @@
+//! Option strategies (`of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<T>` values.
+pub struct OptionStrategy<S>(S);
+
+/// `None` half the time, `Some(value)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 1 == 1 {
+            Some(self.0.sample(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Test execution support: configuration, the deterministic RNG, and the
+//! failing-case reporter.
+
+/// How many cases each property test runs, and (in real proptest) much
+/// more. Only `cases` is honoured here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the repo's large
+        // property suites fast while still exercising edge buckets.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The generator driving strategy sampling: SplitMix64, seeded from the
+/// test's fully qualified name so every run of a given test replays the
+/// same cases (no shrinking means reproducibility is the debugging tool).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name (FNV-1a of the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform integer in `[0, bound)` (multiply-shift; bias is
+    /// negligible for test-sized bounds).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw over a 128-bit span (supports full-width signed
+    /// ranges).
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "below_u128() requires a positive bound");
+        if bound <= u128::from(u64::MAX) {
+            u128::from(self.below(bound as u64))
+        } else {
+            // Wide spans: rejection-free composition of two 64-bit draws
+            // is overkill for tests; take the product-shift over 128 bits.
+            let x = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            ((x >> 1) % bound + x % 2) % bound
+        }
+    }
+}
+
+/// Prints the failing case's inputs when a property body panics.
+///
+/// Proptest shrinks and reports a minimal counterexample; this stub
+/// instead reports the exact inputs of the first failing case.
+pub struct CaseGuard {
+    description: String,
+}
+
+impl CaseGuard {
+    /// Arm the guard with a pre-rendered description of the case inputs.
+    pub fn new(description: String) -> Self {
+        CaseGuard { description }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest (vendored stub) failing {}", self.description);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `rand`: just the [`RngCore`] trait.
+//!
+//! The workspace's generator (`simstats::DetRng`) is implemented in-repo
+//! for bit-reproducibility and only *implements* `rand::RngCore` so rand
+//! combinators can sit on top of it. Nothing here uses those combinators,
+//! so the trait definition alone keeps every call site compiling without
+//! network access to crates.io.
+
+/// The core uniform random-number generator interface (rand 0.9 shape).
+pub trait RngCore {
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}

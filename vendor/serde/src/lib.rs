@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the vendored no-op derive macros and declares the two trait
+//! names so `use serde::{Deserialize, Serialize}` and trait bounds keep
+//! compiling. No serialisation machinery is provided — nothing in this
+//! workspace serialises at runtime; the derives exist for downstream
+//! users, and this stub keeps the annotations compiling without network
+//! access to crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace derives serde traits on a handful of metric and trace
+//! types so downstream users can serialise them, but nothing in the repo
+//! itself (tests, benches, binaries) performs serialisation. The build
+//! container has no network access to crates.io, so this vendored stub
+//! accepts the derive syntax (including `#[serde(...)]` attributes) and
+//! expands to nothing, keeping every annotated type compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and expand to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and expand to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -25,6 +25,47 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(total)
         })
     });
+    // Timer churn: the TTL/Alex/invalidation hot path re-arms expiry timers
+    // constantly, so half of all scheduled events are cancelled before they
+    // fire. A tombstone heap pays a full O(n) scan per cancel here.
+    c.bench_function("simcore/event_queue_schedule_cancel_4k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let handles: Vec<_> = (0..4_096u64)
+                .map(|i| q.schedule(SimTime::from_secs(i * 2_654_435_761 % 4_096), i))
+                .collect();
+            for h in handles.iter().step_by(2) {
+                black_box(q.cancel(*h));
+            }
+            let mut total = 0u64;
+            while let Some((_, v)) = q.pop() {
+                total += v;
+            }
+            black_box(total)
+        })
+    });
+    // Re-arm pattern: a standing population of pending timers, each
+    // cancel immediately followed by a reschedule (what a revalidation
+    // timer does on every touch).
+    c.bench_function("simcore/event_queue_rearm_1k_x8", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut handles: Vec<_> = (0..1_024u64)
+                .map(|i| q.schedule(SimTime::from_secs(i), i))
+                .collect();
+            for round in 1..=8u64 {
+                for (i, h) in handles.iter_mut().enumerate() {
+                    q.cancel(*h);
+                    *h = q.schedule(SimTime::from_secs(round * 10_000 + i as u64), i as u64);
+                }
+            }
+            let mut total = 0u64;
+            while let Some((_, v)) = q.pop() {
+                total += v;
+            }
+            black_box(total)
+        })
+    });
 }
 
 fn bench_stores(c: &mut Criterion) {
@@ -52,6 +93,56 @@ fn bench_stores(c: &mut Criterion) {
                 );
             }
             black_box(s.evictions())
+        })
+    });
+    // Pure metadata lookups over a resident population — the per-request
+    // path every simulator runs millions of times. A HashMap pays a
+    // SipHash per access; a dense slot table pays an array index.
+    c.bench_function("proxycache/store_access_dense_16k", |b| {
+        let mut s = UnboundedStore::new();
+        for i in 0..4_096u32 {
+            s.insert(
+                FileId(i),
+                EntryMeta::fresh(100, SimTime::ZERO, SimTime::ZERO),
+            );
+        }
+        b.iter(|| {
+            let mut live = 0u64;
+            for i in 0..16_384u32 {
+                if s.access(FileId(i.wrapping_mul(2_654_435_761) % 4_096), SimTime::ZERO)
+                    .is_some()
+                {
+                    live += 1;
+                }
+            }
+            black_box(live)
+        })
+    });
+    // Recency maintenance under touch+evict churn: every access reorders
+    // the LRU list, every insert beyond capacity evicts. The BTreeMap
+    // recency pair costs two O(log n) map updates per touch; the intrusive
+    // list costs four pointer writes.
+    c.bench_function("proxycache/lru_touch_evict_16k", |b| {
+        b.iter(|| {
+            // Capacity for half the population: steady-state eviction.
+            let mut s = LruStore::new(2_048 * 100);
+            for i in 0..4_096u32 {
+                s.insert(
+                    FileId(i),
+                    EntryMeta::fresh(100, SimTime::ZERO, SimTime::ZERO),
+                );
+            }
+            let mut live = 0u64;
+            for i in 0..16_384u32 {
+                let id = FileId(i.wrapping_mul(2_654_435_761) % 4_096);
+                match s.access(id, SimTime::from_secs(u64::from(i))) {
+                    Some(_) => live += 1,
+                    None => {
+                        s.insert(id, EntryMeta::fresh(100, SimTime::ZERO, SimTime::ZERO));
+                    }
+                }
+            }
+            black_box((live, s.evictions()))
         })
     });
 }

@@ -8,7 +8,7 @@
 //! scalability burden ("servers must keep track of where their objects are
 //! currently cached").
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use simcore::{CacheId, FileId, ServerLoad, SimTime};
@@ -28,7 +28,15 @@ pub enum CondResult {
 #[derive(Debug, Clone, Default)]
 pub struct OriginServer {
     files: Arc<FilePopulation>,
-    subscribers: HashMap<FileId, BTreeSet<CacheId>>,
+    /// Per-file subscriber sets in a dense table indexed by
+    /// `FileId::index()` — file ids are registry-issued dense `u32`s, so a
+    /// `Vec` lookup replaces the former `HashMap` probe on every
+    /// subscribe/notify. Sets stay `BTreeSet` for deterministic notify
+    /// order.
+    subscribers: Vec<BTreeSet<CacheId>>,
+    /// Total subscription entries, maintained incrementally so
+    /// [`Self::subscription_count`] is O(1).
+    subscription_count: usize,
     load: ServerLoad,
 }
 
@@ -42,7 +50,8 @@ impl OriginServer {
     pub fn new(files: impl Into<Arc<FilePopulation>>) -> Self {
         OriginServer {
             files: files.into(),
-            subscribers: HashMap::new(),
+            subscribers: Vec::new(),
+            subscription_count: 0,
             load: ServerLoad::default(),
         }
     }
@@ -106,17 +115,23 @@ impl OriginServer {
 
     /// Register `cache` for invalidation callbacks on `file`. Idempotent.
     pub fn subscribe(&mut self, cache: CacheId, file: FileId) {
-        self.subscribers.entry(file).or_default().insert(cache);
+        if file.index() >= self.subscribers.len() {
+            self.subscribers
+                .resize_with(file.index() + 1, BTreeSet::new);
+        }
+        if self.subscribers[file.index()].insert(cache) {
+            self.subscription_count += 1;
+        }
     }
 
     /// Remove `cache`'s subscription on `file`. Returns whether it was
     /// subscribed.
     pub fn unsubscribe(&mut self, cache: CacheId, file: FileId) -> bool {
-        match self.subscribers.get_mut(&file) {
+        match self.subscribers.get_mut(file.index()) {
             Some(set) => {
                 let was = set.remove(&cache);
-                if set.is_empty() {
-                    self.subscribers.remove(&file);
+                if was {
+                    self.subscription_count -= 1;
                 }
                 was
             }
@@ -127,7 +142,7 @@ impl OriginServer {
     /// Current subscribers of `file`, in deterministic (id) order.
     pub fn subscribers(&self, file: FileId) -> Vec<CacheId> {
         self.subscribers
-            .get(&file)
+            .get(file.index())
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default()
     }
@@ -135,7 +150,7 @@ impl OriginServer {
     /// Total subscription entries across all files — the bookkeeping state
     /// the paper charges against invalidation protocols.
     pub fn subscription_count(&self) -> usize {
-        self.subscribers.values().map(BTreeSet::len).sum()
+        self.subscription_count
     }
 
     /// A modification of `file` occurred: emit invalidation notices to all

@@ -5,22 +5,43 @@
 //! to maintain than LRU but evicts hot objects that arrived early; the
 //! eviction-policy ablation quantifies the difference under the
 //! consistency protocols.
-
-use std::collections::{BTreeMap, HashMap};
+//!
+//! Arrival order is an **intrusive doubly-linked list threaded through the
+//! dense slot table** (`head` = oldest arrival, `tail` = newest), replacing
+//! the former sequence-numbered `BTreeMap`. Insert and evict are O(1)
+//! pointer splices. Replacing an entry leaves its list node untouched, so
+//! the original arrival position is preserved exactly; during the
+//! replacement's eviction sweep the entry is skipped as a victim (the old
+//! implementation achieved the same by detaching it from the arrival index
+//! for the duration).
 
 use simcore::{FileId, SimTime};
 
 use crate::entry::EntryMeta;
-use crate::store::Store;
+use crate::store::{ensure_slot, SlotTableIter, Store};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    meta: EntryMeta,
+    /// Neighbour towards the oldest arrival (`NIL` if this is the head).
+    prev: u32,
+    /// Neighbour towards the newest arrival (`NIL` if this is the tail).
+    next: u32,
+}
 
 /// FIFO store bounded by total entity bytes.
 #[derive(Debug)]
 pub struct FifoStore {
     capacity_bytes: u64,
-    entries: HashMap<FileId, (EntryMeta, u64)>,
-    arrival: BTreeMap<u64, FileId>,
+    slots: Vec<Option<Slot>>,
+    /// Oldest arrival — the next eviction victim.
+    head: u32,
+    /// Newest arrival.
+    tail: u32,
+    len: usize,
     bytes: u64,
-    next_seq: u64,
     evictions: u64,
 }
 
@@ -34,10 +55,11 @@ impl FifoStore {
         assert!(capacity_bytes > 0, "FIFO capacity must be positive");
         FifoStore {
             capacity_bytes,
-            entries: HashMap::new(),
-            arrival: BTreeMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
             bytes: 0,
-            next_seq: 0,
             evictions: 0,
         }
     }
@@ -52,50 +74,119 @@ impl FifoStore {
         self.evictions
     }
 
-    fn evict_to_fit(&mut self, incoming: u64) -> Vec<(FileId, EntryMeta)> {
+    fn slot(&self, idx: u32) -> &Slot {
+        self.slots[idx as usize]
+            .as_ref()
+            .expect("arrival list points at an empty slot")
+    }
+
+    fn slot_mut(&mut self, idx: u32) -> &mut Slot {
+        self.slots[idx as usize]
+            .as_mut()
+            .expect("arrival list points at an empty slot")
+    }
+
+    /// Splice `idx` out of the arrival list (the slot itself stays put).
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = self.slot(idx);
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slot_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slot_mut(next).prev = prev;
+        }
+    }
+
+    /// Link `idx` at the newest-arrival end of the list.
+    fn link_newest(&mut self, idx: u32) {
+        let tail = self.tail;
+        {
+            let s = self.slot_mut(idx);
+            s.prev = tail;
+            s.next = NIL;
+        }
+        if tail == NIL {
+            self.head = idx;
+        } else {
+            self.slot_mut(tail).next = idx;
+        }
+        self.tail = idx;
+    }
+
+    /// Evict oldest-first until `incoming` fits, never selecting `keep`
+    /// (the entry being replaced, whose bytes are already off the ledger).
+    fn evict_to_fit(&mut self, incoming: u64, keep: u32) -> Vec<(FileId, EntryMeta)> {
         let mut evicted = Vec::new();
         while self.bytes + incoming > self.capacity_bytes {
-            let Some((&seq, &victim)) = self.arrival.iter().next() else {
-                break;
-            };
-            self.arrival.remove(&seq);
-            let (meta, _) = self
-                .entries
-                .remove(&victim)
-                .expect("arrival index out of sync with entry map");
-            self.bytes -= meta.size;
+            let mut victim = self.head;
+            if victim == keep {
+                victim = self.slot(victim).next;
+            }
+            if victim == NIL {
+                break; // nothing left to evict; oversized entry handled by caller
+            }
+            self.unlink(victim);
+            let slot = self.slots[victim as usize]
+                .take()
+                .expect("arrival list points at an empty slot");
+            self.bytes -= slot.meta.size;
+            self.len -= 1;
             self.evictions += 1;
-            evicted.push((victim, meta));
+            evicted.push((FileId::from_index(victim as usize), slot.meta));
         }
         evicted
     }
 }
 
+/// Iterator over a [`FifoStore`]'s resident entries, id order.
+pub struct FifoIter<'a>(SlotTableIter<'a, Slot>);
+
+impl<'a> Iterator for FifoIter<'a> {
+    type Item = (FileId, &'a EntryMeta);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next()
+    }
+}
+
 impl Store for FifoStore {
+    type Iter<'a> = FifoIter<'a>;
+
     fn peek(&self, id: FileId) -> Option<&EntryMeta> {
-        self.entries.get(&id).map(|(m, _)| m)
+        self.slots.get(id.index())?.as_ref().map(|s| &s.meta)
     }
 
     fn access(&mut self, id: FileId, _now: SimTime) -> Option<&mut EntryMeta> {
         // FIFO ignores accesses: arrival order is destiny.
-        self.entries.get_mut(&id).map(|(m, _)| m)
+        self.slots
+            .get_mut(id.index())?
+            .as_mut()
+            .map(|s| &mut s.meta)
     }
 
     fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
+        ensure_slot(&mut self.slots, id);
+        let idx = id.index() as u32;
         // Replacement keeps the original arrival position: refreshing a
         // body does not renew the object's lease on residency.
-        if let Some((old, seq)) = self.entries.remove(&id) {
-            self.bytes -= old.size;
-            // Detach from the arrival index while evicting so the entry
-            // cannot be selected as its own victim mid-replacement.
-            self.arrival.remove(&seq);
+        if self.slots[id.index()].is_some() {
+            self.bytes -= self.slot(idx).meta.size;
             if meta.size > self.capacity_bytes {
+                self.unlink(idx);
+                self.slots[id.index()] = None;
+                self.len -= 1;
                 self.evictions += 1;
                 return vec![(id, meta)];
             }
-            let evicted = self.evict_to_fit(meta.size);
-            self.entries.insert(id, (meta, seq));
-            self.arrival.insert(seq, id);
+            let evicted = self.evict_to_fit(meta.size, idx);
+            self.slot_mut(idx).meta = meta;
             self.bytes += meta.size;
             return evicted;
         }
@@ -103,32 +194,39 @@ impl Store for FifoStore {
             self.evictions += 1;
             return vec![(id, meta)];
         }
-        let evicted = self.evict_to_fit(meta.size);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.entries.insert(id, (meta, seq));
-        self.arrival.insert(seq, id);
+        let evicted = self.evict_to_fit(meta.size, NIL);
+        self.slots[id.index()] = Some(Slot {
+            meta,
+            prev: NIL,
+            next: NIL,
+        });
+        self.link_newest(idx);
         self.bytes += meta.size;
+        self.len += 1;
         evicted
     }
 
     fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
-        let (meta, seq) = self.entries.remove(&id)?;
-        self.arrival.remove(&seq);
-        self.bytes -= meta.size;
-        Some(meta)
+        if self.slots.get(id.index())?.is_none() {
+            return None;
+        }
+        self.unlink(id.index() as u32);
+        let slot = self.slots[id.index()].take().expect("slot vanished");
+        self.bytes -= slot.meta.size;
+        self.len -= 1;
+        Some(slot.meta)
     }
 
     fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     fn resident_bytes(&self) -> u64 {
         self.bytes
     }
 
-    fn iter(&self) -> Box<dyn Iterator<Item = (FileId, &EntryMeta)> + '_> {
-        Box::new(self.entries.iter().map(|(&k, (m, _))| (k, m)))
+    fn iter(&self) -> FifoIter<'_> {
+        FifoIter(SlotTableIter::new(&self.slots, |s| &s.meta))
     }
 }
 
@@ -168,6 +266,20 @@ mod tests {
         s.insert(FileId(1), meta(120));
         let evicted = s.insert(FileId(3), meta(150));
         assert_eq!(evicted[0].0, FileId(1));
+    }
+
+    #[test]
+    fn growing_replacement_cannot_evict_itself() {
+        let mut s = FifoStore::new(300);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        // Growing 1 forces an eviction; the victim must be 2 (the next
+        // oldest), never 1 itself mid-replacement.
+        let evicted = s.insert(FileId(1), meta(250));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, FileId(2));
+        assert_eq!(s.peek(FileId(1)).unwrap().size, 250);
+        assert_eq!(s.resident_bytes(), 250);
     }
 
     #[test]
@@ -211,6 +323,7 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::{BTreeMap, HashMap};
 
     #[derive(Debug, Clone)]
     enum Op {
@@ -227,9 +340,77 @@ mod proptests {
         ]
     }
 
+    /// The previous implementation, kept verbatim as a reference model:
+    /// `HashMap` entries plus a sequence-numbered arrival `BTreeMap`.
+    struct ModelFifo {
+        capacity_bytes: u64,
+        entries: HashMap<FileId, (EntryMeta, u64)>,
+        arrival: BTreeMap<u64, FileId>,
+        bytes: u64,
+        next_seq: u64,
+    }
+
+    impl ModelFifo {
+        fn new(capacity_bytes: u64) -> Self {
+            ModelFifo {
+                capacity_bytes,
+                entries: HashMap::new(),
+                arrival: BTreeMap::new(),
+                bytes: 0,
+                next_seq: 0,
+            }
+        }
+
+        fn evict_to_fit(&mut self, incoming: u64) -> Vec<(FileId, EntryMeta)> {
+            let mut evicted = Vec::new();
+            while self.bytes + incoming > self.capacity_bytes {
+                let Some((&seq, &victim)) = self.arrival.iter().next() else {
+                    break;
+                };
+                self.arrival.remove(&seq);
+                let (meta, _) = self.entries.remove(&victim).unwrap();
+                self.bytes -= meta.size;
+                evicted.push((victim, meta));
+            }
+            evicted
+        }
+
+        fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
+            if let Some((old, seq)) = self.entries.remove(&id) {
+                self.bytes -= old.size;
+                self.arrival.remove(&seq);
+                if meta.size > self.capacity_bytes {
+                    return vec![(id, meta)];
+                }
+                let evicted = self.evict_to_fit(meta.size);
+                self.entries.insert(id, (meta, seq));
+                self.arrival.insert(seq, id);
+                self.bytes += meta.size;
+                return evicted;
+            }
+            if meta.size > self.capacity_bytes {
+                return vec![(id, meta)];
+            }
+            let evicted = self.evict_to_fit(meta.size);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.entries.insert(id, (meta, seq));
+            self.arrival.insert(seq, id);
+            self.bytes += meta.size;
+            evicted
+        }
+
+        fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
+            let (meta, seq) = self.entries.remove(&id)?;
+            self.arrival.remove(&seq);
+            self.bytes -= meta.size;
+            Some(meta)
+        }
+    }
+
     proptest! {
-        /// Ledger exactness and capacity bounds under arbitrary operation
-        /// sequences, mirroring the LRU invariants.
+        /// Ledger exactness, capacity bounds, and list↔slot bijection under
+        /// arbitrary operation sequences, mirroring the LRU invariants.
         #[test]
         fn ledger_and_capacity_invariants(ops in proptest::collection::vec(op_strategy(), 0..200)) {
             let mut s = FifoStore::new(300);
@@ -248,7 +429,66 @@ mod proptests {
                 let sum: u64 = s.iter().map(|(_, m)| m.size).sum();
                 prop_assert_eq!(sum, s.resident_bytes());
                 prop_assert!(s.resident_bytes() <= s.capacity_bytes());
-                prop_assert_eq!(s.arrival.len(), s.entries.len());
+                // Walk the arrival list and check symmetry + coverage.
+                let mut count = 0usize;
+                let mut idx = s.head;
+                let mut prev = NIL;
+                while idx != NIL {
+                    let slot = s.slots[idx as usize].as_ref().expect("list → empty slot");
+                    prop_assert_eq!(slot.prev, prev);
+                    count += 1;
+                    prev = idx;
+                    idx = slot.next;
+                }
+                prop_assert_eq!(s.tail, prev);
+                prop_assert_eq!(count, s.len());
+            }
+        }
+
+        /// The intrusive arrival list reproduces the old BTreeMap
+        /// implementation exactly — including the replacement-keeps-its-
+        /// arrival-slot rule and self-exclusion during replacement sweeps.
+        #[test]
+        fn matches_old_btreemap_implementation(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+            let mut real = FifoStore::new(300);
+            let mut model = ModelFifo::new(300);
+            for (i, op) in ops.into_iter().enumerate() {
+                match op {
+                    Op::Insert(id, sz) => {
+                        let meta = EntryMeta::fresh(sz, SimTime::ZERO, SimTime::ZERO);
+                        let got = real.insert(FileId(id), meta);
+                        let want = model.insert(FileId(id), meta);
+                        prop_assert_eq!(
+                            got.iter().map(|(v, m)| (v.0, m.size)).collect::<Vec<_>>(),
+                            want.iter().map(|(v, m)| (v.0, m.size)).collect::<Vec<_>>()
+                        );
+                    }
+                    Op::Access(id) => {
+                        let got = real
+                            .access(FileId(id), SimTime::from_secs(i as u64))
+                            .map(|m| m.size);
+                        prop_assert_eq!(got, model.entries.get(&FileId(id)).map(|(m, _)| m.size));
+                    }
+                    Op::Remove(id) => {
+                        let got = real.remove(FileId(id)).map(|m| m.size);
+                        prop_assert_eq!(got, model.remove(FileId(id)).map(|m| m.size));
+                    }
+                }
+                prop_assert_eq!(real.len(), model.entries.len());
+                prop_assert_eq!(real.resident_bytes(), model.bytes);
+                // Arrival order must match the model's seq order exactly.
+                let real_order: Vec<u32> = {
+                    let mut order = Vec::new();
+                    let mut idx = real.head;
+                    while idx != NIL {
+                        order.push(idx);
+                        idx = real.slots[idx as usize].as_ref().unwrap().next;
+                    }
+                    order
+                };
+                let model_order: Vec<u32> =
+                    model.arrival.values().map(|id| id.0).collect();
+                prop_assert_eq!(real_order, model_order);
             }
         }
     }

@@ -6,25 +6,41 @@
 //! which matters to the Alex protocol: the refetched copy restarts with a
 //! fresh `last_validated` but keeps its origin age).
 //!
-//! Recency is tracked with a sequence-numbered B-tree: O(log n) per access,
-//! fully deterministic eviction order (strict LRU, ties impossible because
-//! sequence numbers are unique).
-
-use std::collections::{BTreeMap, HashMap};
+//! Recency is an **intrusive doubly-linked list threaded through the dense
+//! slot table**: `head` is the LRU victim, `tail` the most recently used,
+//! and each slot carries `prev`/`next` indices. Touch and evict are O(1)
+//! pointer splices — no `BTreeMap` rebalancing, no per-access sequence
+//! allocation. Eviction order is exactly the order of last use, which is
+//! what the former sequence-numbered B-tree produced; the equivalence is
+//! property-tested against a model of the old implementation below.
 
 use simcore::{FileId, SimTime};
 
 use crate::entry::EntryMeta;
-use crate::store::Store;
+use crate::store::{ensure_slot, SlotTableIter, Store};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    meta: EntryMeta,
+    /// Neighbour towards the LRU end (`NIL` if this is the head).
+    prev: u32,
+    /// Neighbour towards the MRU end (`NIL` if this is the tail).
+    next: u32,
+}
 
 /// LRU store bounded by total entity bytes.
 #[derive(Debug)]
 pub struct LruStore {
     capacity_bytes: u64,
-    entries: HashMap<FileId, (EntryMeta, u64)>,
-    recency: BTreeMap<u64, FileId>,
+    slots: Vec<Option<Slot>>,
+    /// Least recently used entry — the next eviction victim.
+    head: u32,
+    /// Most recently used entry.
+    tail: u32,
+    len: usize,
     bytes: u64,
-    next_seq: u64,
     evictions: u64,
 }
 
@@ -38,10 +54,11 @@ impl LruStore {
         assert!(capacity_bytes > 0, "LRU capacity must be positive");
         LruStore {
             capacity_bytes,
-            entries: HashMap::new(),
-            recency: BTreeMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
             bytes: 0,
-            next_seq: 0,
             evictions: 0,
         }
     }
@@ -56,52 +73,112 @@ impl LruStore {
         self.evictions
     }
 
-    fn touch(&mut self, id: FileId) {
-        if let Some((_, seq)) = self.entries.get_mut(&id) {
-            self.recency.remove(seq);
-            *seq = self.next_seq;
-            self.recency.insert(self.next_seq, id);
-            self.next_seq += 1;
+    fn slot(&self, idx: u32) -> &Slot {
+        self.slots[idx as usize]
+            .as_ref()
+            .expect("recency list points at an empty slot")
+    }
+
+    fn slot_mut(&mut self, idx: u32) -> &mut Slot {
+        self.slots[idx as usize]
+            .as_mut()
+            .expect("recency list points at an empty slot")
+    }
+
+    /// Splice `idx` out of the recency list (the slot itself stays put).
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = self.slot(idx);
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slot_mut(prev).next = next;
         }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slot_mut(next).prev = prev;
+        }
+    }
+
+    /// Link `idx` at the MRU end of the recency list.
+    fn link_mru(&mut self, idx: u32) {
+        let tail = self.tail;
+        {
+            let s = self.slot_mut(idx);
+            s.prev = tail;
+            s.next = NIL;
+        }
+        if tail == NIL {
+            self.head = idx;
+        } else {
+            self.slot_mut(tail).next = idx;
+        }
+        self.tail = idx;
     }
 
     fn evict_to_fit(&mut self, incoming: u64) -> Vec<(FileId, EntryMeta)> {
         let mut evicted = Vec::new();
         while self.bytes + incoming > self.capacity_bytes {
-            let Some((&seq, &victim)) = self.recency.iter().next() else {
+            let victim = self.head;
+            if victim == NIL {
                 break; // nothing left to evict; oversized entry handled by caller
-            };
-            self.recency.remove(&seq);
-            let (meta, _) = self
-                .entries
-                .remove(&victim)
-                .expect("recency index out of sync with entry map");
-            self.bytes -= meta.size;
+            }
+            self.unlink(victim);
+            let slot = self.slots[victim as usize]
+                .take()
+                .expect("recency list points at an empty slot");
+            self.bytes -= slot.meta.size;
+            self.len -= 1;
             self.evictions += 1;
-            evicted.push((victim, meta));
+            evicted.push((FileId::from_index(victim as usize), slot.meta));
         }
         evicted
     }
 }
 
+/// Iterator over an [`LruStore`]'s resident entries, id order.
+pub struct LruIter<'a>(SlotTableIter<'a, Slot>);
+
+impl<'a> Iterator for LruIter<'a> {
+    type Item = (FileId, &'a EntryMeta);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next()
+    }
+}
+
 impl Store for LruStore {
+    type Iter<'a> = LruIter<'a>;
+
     fn peek(&self, id: FileId) -> Option<&EntryMeta> {
-        self.entries.get(&id).map(|(m, _)| m)
+        self.slots.get(id.index())?.as_ref().map(|s| &s.meta)
     }
 
     fn access(&mut self, id: FileId, _now: SimTime) -> Option<&mut EntryMeta> {
-        if !self.entries.contains_key(&id) {
+        let idx = id.index();
+        if self.slots.get(idx)?.is_none() {
             return None;
         }
-        self.touch(id);
-        self.entries.get_mut(&id).map(|(m, _)| m)
+        let idx = idx as u32;
+        if self.tail != idx {
+            self.unlink(idx);
+            self.link_mru(idx);
+        }
+        self.slots[id.index()].as_mut().map(|s| &mut s.meta)
     }
 
     fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
-        // Replacing an entry frees its bytes before fit is judged.
-        if let Some((old, seq)) = self.entries.remove(&id) {
-            self.recency.remove(&seq);
-            self.bytes -= old.size;
+        ensure_slot(&mut self.slots, id);
+        // Replacing an entry frees its bytes before fit is judged, and the
+        // replacement lands at the MRU end (a fresh insert *is* a use).
+        if self.slots[id.index()].is_some() {
+            self.unlink(id.index() as u32);
+            let slot = self.slots[id.index()].take().expect("slot vanished");
+            self.bytes -= slot.meta.size;
+            self.len -= 1;
         }
         if meta.size > self.capacity_bytes {
             // An entity larger than the whole cache is never admitted;
@@ -111,30 +188,38 @@ impl Store for LruStore {
             return vec![(id, meta)];
         }
         let evicted = self.evict_to_fit(meta.size);
-        self.entries.insert(id, (meta, self.next_seq));
-        self.recency.insert(self.next_seq, id);
-        self.next_seq += 1;
+        self.slots[id.index()] = Some(Slot {
+            meta,
+            prev: NIL,
+            next: NIL,
+        });
+        self.link_mru(id.index() as u32);
         self.bytes += meta.size;
+        self.len += 1;
         evicted
     }
 
     fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
-        let (meta, seq) = self.entries.remove(&id)?;
-        self.recency.remove(&seq);
-        self.bytes -= meta.size;
-        Some(meta)
+        if self.slots.get(id.index())?.is_none() {
+            return None;
+        }
+        self.unlink(id.index() as u32);
+        let slot = self.slots[id.index()].take().expect("slot vanished");
+        self.bytes -= slot.meta.size;
+        self.len -= 1;
+        Some(slot.meta)
     }
 
     fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     fn resident_bytes(&self) -> u64 {
         self.bytes
     }
 
-    fn iter(&self) -> Box<dyn Iterator<Item = (FileId, &EntryMeta)> + '_> {
-        Box::new(self.entries.iter().map(|(&k, (m, _))| (k, m)))
+    fn iter(&self) -> LruIter<'_> {
+        LruIter(SlotTableIter::new(&self.slots, |s| &s.meta))
     }
 }
 
@@ -180,6 +265,18 @@ mod tests {
     }
 
     #[test]
+    fn eviction_sweep_reports_victims_lru_first() {
+        let mut s = LruStore::new(300);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        s.insert(FileId(3), meta(100));
+        s.access(FileId(2), t(5));
+        let evicted = s.insert(FileId(4), meta(300));
+        let order: Vec<u32> = evicted.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
     fn oversized_entry_is_rejected_not_admitted() {
         let mut s = LruStore::new(100);
         s.insert(FileId(1), meta(50));
@@ -201,6 +298,17 @@ mod tests {
         let evicted = s.insert(FileId(1), meta(160));
         assert!(evicted.is_empty());
         assert_eq!(s.resident_bytes(), 200);
+    }
+
+    #[test]
+    fn replacement_moves_entry_to_mru() {
+        let mut s = LruStore::new(300);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        // Refresh 1's body: it becomes most recently used, so 2 is evicted.
+        s.insert(FileId(1), meta(100));
+        let evicted = s.insert(FileId(3), meta(150));
+        assert_eq!(evicted[0].0, FileId(2));
     }
 
     #[test]
@@ -238,6 +346,7 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::{BTreeMap, HashMap};
 
     #[derive(Debug, Clone)]
     enum Op {
@@ -254,10 +363,100 @@ mod proptests {
         ]
     }
 
+    /// Walk the intrusive list head→tail, checking link symmetry, and
+    /// return the visited ids in LRU→MRU order.
+    fn walk_recency_list(s: &LruStore) -> Vec<u32> {
+        let mut order = Vec::new();
+        let mut idx = s.head;
+        let mut prev = NIL;
+        while idx != NIL {
+            let slot = s.slots[idx as usize]
+                .as_ref()
+                .expect("list points at empty slot");
+            assert_eq!(slot.prev, prev, "broken back-link at {idx}");
+            order.push(idx);
+            prev = idx;
+            idx = slot.next;
+        }
+        assert_eq!(s.tail, prev, "tail does not terminate the list");
+        order
+    }
+
+    /// The previous implementation, kept verbatim as a reference model:
+    /// `HashMap` entries plus a sequence-numbered `BTreeMap` recency index.
+    struct ModelLru {
+        capacity_bytes: u64,
+        entries: HashMap<FileId, (EntryMeta, u64)>,
+        recency: BTreeMap<u64, FileId>,
+        bytes: u64,
+        next_seq: u64,
+    }
+
+    impl ModelLru {
+        fn new(capacity_bytes: u64) -> Self {
+            ModelLru {
+                capacity_bytes,
+                entries: HashMap::new(),
+                recency: BTreeMap::new(),
+                bytes: 0,
+                next_seq: 0,
+            }
+        }
+
+        fn access(&mut self, id: FileId) -> Option<u64> {
+            if !self.entries.contains_key(&id) {
+                return None;
+            }
+            let (_, seq) = self.entries.get_mut(&id).unwrap();
+            self.recency.remove(seq);
+            *seq = self.next_seq;
+            self.recency.insert(self.next_seq, id);
+            self.next_seq += 1;
+            self.entries.get(&id).map(|(m, _)| m.size)
+        }
+
+        fn evict_to_fit(&mut self, incoming: u64) -> Vec<(FileId, EntryMeta)> {
+            let mut evicted = Vec::new();
+            while self.bytes + incoming > self.capacity_bytes {
+                let Some((&seq, &victim)) = self.recency.iter().next() else {
+                    break;
+                };
+                self.recency.remove(&seq);
+                let (meta, _) = self.entries.remove(&victim).unwrap();
+                self.bytes -= meta.size;
+                evicted.push((victim, meta));
+            }
+            evicted
+        }
+
+        fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
+            if let Some((old, seq)) = self.entries.remove(&id) {
+                self.recency.remove(&seq);
+                self.bytes -= old.size;
+            }
+            if meta.size > self.capacity_bytes {
+                return vec![(id, meta)];
+            }
+            let evicted = self.evict_to_fit(meta.size);
+            self.entries.insert(id, (meta, self.next_seq));
+            self.recency.insert(self.next_seq, id);
+            self.next_seq += 1;
+            self.bytes += meta.size;
+            evicted
+        }
+
+        fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
+            let (meta, seq) = self.entries.remove(&id)?;
+            self.recency.remove(&seq);
+            self.bytes -= meta.size;
+            Some(meta)
+        }
+    }
+
     proptest! {
         /// Under any operation sequence: resident bytes equal the sum of
-        /// entry sizes, never exceed capacity, and the recency index stays
-        /// in bijection with the entry map.
+        /// entry sizes, never exceed capacity, and the intrusive recency
+        /// list stays in bijection with the occupied slots.
         #[test]
         fn ledger_and_capacity_invariants(ops in proptest::collection::vec(op_strategy(), 0..200)) {
             let mut s = LruStore::new(300);
@@ -276,10 +475,57 @@ mod proptests {
                 let sum: u64 = s.iter().map(|(_, m)| m.size).sum();
                 prop_assert_eq!(sum, s.resident_bytes());
                 prop_assert!(s.resident_bytes() <= s.capacity_bytes());
-                prop_assert_eq!(s.recency.len(), s.entries.len());
-                for (&seq, &id) in &s.recency {
-                    prop_assert_eq!(s.entries.get(&id).map(|(_, q)| *q), Some(seq));
+                let listed = walk_recency_list(&s);
+                prop_assert_eq!(listed.len(), s.len());
+                let occupied = s.slots.iter().filter(|o| o.is_some()).count();
+                prop_assert_eq!(occupied, s.len());
+            }
+        }
+
+        /// The intrusive list reproduces the old BTreeMap implementation's
+        /// behaviour exactly: same eviction victims in the same order, same
+        /// resident set, same byte ledger, under any operation sequence.
+        #[test]
+        fn matches_old_btreemap_implementation(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+            let mut real = LruStore::new(300);
+            let mut model = ModelLru::new(300);
+            for (i, op) in ops.into_iter().enumerate() {
+                match op {
+                    Op::Insert(id, sz) => {
+                        let meta = EntryMeta::fresh(sz, SimTime::ZERO, SimTime::ZERO);
+                        let got = real.insert(FileId(id), meta);
+                        let want = model.insert(FileId(id), meta);
+                        prop_assert_eq!(
+                            got.iter().map(|(v, m)| (v.0, m.size)).collect::<Vec<_>>(),
+                            want.iter().map(|(v, m)| (v.0, m.size)).collect::<Vec<_>>()
+                        );
+                    }
+                    Op::Access(id) => {
+                        let got = real
+                            .access(FileId(id), SimTime::from_secs(i as u64))
+                            .map(|m| m.size);
+                        prop_assert_eq!(got, model.access(FileId(id)));
+                    }
+                    Op::Remove(id) => {
+                        let got = real.remove(FileId(id)).map(|m| m.size);
+                        prop_assert_eq!(got, model.remove(FileId(id)).map(|m| m.size));
+                    }
                 }
+                prop_assert_eq!(real.len(), model.entries.len());
+                prop_assert_eq!(real.resident_bytes(), model.bytes);
+                // LRU→MRU order must match the model's seq order exactly.
+                let real_order: Vec<u32> = {
+                    let mut order = Vec::new();
+                    let mut idx = real.head;
+                    while idx != NIL {
+                        order.push(idx);
+                        idx = real.slots[idx as usize].as_ref().unwrap().next;
+                    }
+                    order
+                };
+                let model_order: Vec<u32> =
+                    model.recency.values().map(|id| id.0).collect();
+                prop_assert_eq!(real_order, model_order);
             }
         }
     }

@@ -5,8 +5,14 @@
 //! consistency metadata with capacity pressure is an extension this
 //! workspace also explores via the LRU store in [`crate::lru`]; both
 //! implement [`Store`].
-
-use std::collections::HashMap;
+//!
+//! All stores index entries in **dense slot tables**: [`simcore::FileId`]s
+//! are registry-issued dense `u32`s (`index()`/`from_index()`), so a
+//! `Vec<Option<_>>` indexed by the id replaces the former
+//! `HashMap<FileId, _>` — every lookup on the per-request hot path is an
+//! array index instead of a SipHash probe. Iteration order over a slot
+//! table is id order, which is deterministic by construction (the old
+//! `HashMap` iteration order was unspecified; no caller depended on it).
 
 use simcore::{FileId, SimTime};
 
@@ -14,6 +20,11 @@ use crate::entry::EntryMeta;
 
 /// Common interface over cache entry stores.
 pub trait Store {
+    /// Concrete iterator over resident entries — no boxing per call.
+    type Iter<'a>: Iterator<Item = (FileId, &'a EntryMeta)>
+    where
+        Self: 'a;
+
     /// Look up an entry without recording an access.
     fn peek(&self, id: FileId) -> Option<&EntryMeta>;
 
@@ -39,14 +50,52 @@ pub trait Store {
     /// Total bytes of resident entities.
     fn resident_bytes(&self) -> u64;
 
-    /// Iterate over resident entries in unspecified order.
-    fn iter(&self) -> Box<dyn Iterator<Item = (FileId, &EntryMeta)> + '_>;
+    /// Iterate over resident entries in ascending id order.
+    fn iter(&self) -> Self::Iter<'_>;
+}
+
+/// Shared iterator core for dense slot tables: walks the occupied slots of
+/// a `Vec<Option<T>>` in index order, projecting each slot to its
+/// [`EntryMeta`].
+pub(crate) struct SlotTableIter<'a, T> {
+    inner: std::iter::Enumerate<std::slice::Iter<'a, Option<T>>>,
+    project: fn(&T) -> &EntryMeta,
+}
+
+impl<'a, T> SlotTableIter<'a, T> {
+    pub(crate) fn new(slots: &'a [Option<T>], project: fn(&T) -> &EntryMeta) -> Self {
+        SlotTableIter {
+            inner: slots.iter().enumerate(),
+            project,
+        }
+    }
+}
+
+impl<'a, T> Iterator for SlotTableIter<'a, T> {
+    type Item = (FileId, &'a EntryMeta);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for (i, slot) in self.inner.by_ref() {
+            if let Some(t) = slot {
+                return Some((FileId::from_index(i), (self.project)(t)));
+            }
+        }
+        None
+    }
+}
+
+/// Grow `slots` so that `id` is a valid index.
+pub(crate) fn ensure_slot<T>(slots: &mut Vec<Option<T>>, id: FileId) {
+    if id.index() >= slots.len() {
+        slots.resize_with(id.index() + 1, || None);
+    }
 }
 
 /// A store with no capacity limit — the paper's model.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct UnboundedStore {
-    entries: HashMap<FileId, EntryMeta>,
+    slots: Vec<Option<EntryMeta>>,
+    len: usize,
     bytes: u64,
 }
 
@@ -57,41 +106,58 @@ impl UnboundedStore {
     }
 }
 
+/// Iterator over an [`UnboundedStore`]'s resident entries, id order.
+pub struct UnboundedIter<'a>(SlotTableIter<'a, EntryMeta>);
+
+impl<'a> Iterator for UnboundedIter<'a> {
+    type Item = (FileId, &'a EntryMeta);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next()
+    }
+}
+
 impl Store for UnboundedStore {
+    type Iter<'a> = UnboundedIter<'a>;
+
     fn peek(&self, id: FileId) -> Option<&EntryMeta> {
-        self.entries.get(&id)
+        self.slots.get(id.index())?.as_ref()
     }
 
     fn access(&mut self, id: FileId, _now: SimTime) -> Option<&mut EntryMeta> {
-        self.entries.get_mut(&id)
+        self.slots.get_mut(id.index())?.as_mut()
     }
 
     fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
-        if let Some(old) = self.entries.insert(id, meta) {
-            self.bytes -= old.size;
+        ensure_slot(&mut self.slots, id);
+        let slot = &mut self.slots[id.index()];
+        match slot.replace(meta) {
+            Some(old) => self.bytes -= old.size,
+            None => self.len += 1,
         }
         self.bytes += meta.size;
         Vec::new()
     }
 
     fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
-        let removed = self.entries.remove(&id);
+        let removed = self.slots.get_mut(id.index())?.take();
         if let Some(e) = removed {
             self.bytes -= e.size;
+            self.len -= 1;
         }
         removed
     }
 
     fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     fn resident_bytes(&self) -> u64 {
         self.bytes
     }
 
-    fn iter(&self) -> Box<dyn Iterator<Item = (FileId, &EntryMeta)> + '_> {
-        Box::new(self.entries.iter().map(|(&k, v)| (k, v)))
+    fn iter(&self) -> UnboundedIter<'_> {
+        UnboundedIter(SlotTableIter::new(&self.slots, |m| m))
     }
 }
 
@@ -104,15 +170,6 @@ pub fn update_entry_size<S: Store>(store: &mut S, id: FileId, new_size: u64, now
         let mut updated = meta;
         updated.size = new_size;
         store.insert(id, updated);
-    }
-}
-
-impl Clone for UnboundedStore {
-    fn clone(&self) -> Self {
-        UnboundedStore {
-            entries: self.entries.clone(),
-            bytes: self.bytes,
-        }
     }
 }
 
@@ -166,17 +223,32 @@ mod tests {
         assert!(s.peek(FileId(9)).is_none());
         assert!(s.access(FileId(9), t(0)).is_none());
         assert!(s.remove(FileId(9)).is_none());
+        // Also past the end of a grown table.
+        s.insert(FileId(3), meta(1));
+        assert!(s.peek(FileId(2)).is_none());
+        assert!(s.remove(FileId(2)).is_none());
     }
 
     #[test]
-    fn iter_covers_all_entries() {
+    fn iter_covers_all_entries_in_id_order() {
         let mut s = UnboundedStore::new();
-        for i in 0..10 {
+        for i in (0..10).rev() {
             s.insert(FileId(i), meta(u64::from(i)));
         }
-        let mut ids: Vec<u32> = s.iter().map(|(id, _)| id.0).collect();
-        ids.sort_unstable();
+        let ids: Vec<u32> = s.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iter_skips_removed_entries() {
+        let mut s = UnboundedStore::new();
+        for i in 0..6 {
+            s.insert(FileId(i), meta(1));
+        }
+        s.remove(FileId(2));
+        s.remove(FileId(5));
+        let ids: Vec<u32> = s.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
     }
 
     #[test]

@@ -101,9 +101,16 @@ impl<W, E> Scheduler<W, E> {
         self.queue.schedule(at, event)
     }
 
-    /// Cancel a pending event. Returns `true` if it had not yet fired.
+    /// Cancel a pending event. Returns `true` iff it had neither fired nor
+    /// been cancelled already (the distinction is exact; see
+    /// [`EventQueue::cancel`]).
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
         self.queue.cancel(handle)
+    }
+
+    /// Whether `handle`'s event is still pending. O(1).
+    pub fn is_pending(&self, handle: EventHandle) -> bool {
+        self.queue.is_pending(handle)
     }
 
     /// Number of live pending events.
@@ -215,15 +222,17 @@ impl<W, E: Dispatch<W>> Simulation<W, E> {
     /// Run until the queue is exhausted or the next event would fire after
     /// `deadline`; the clock is then advanced to `deadline`. Returns the
     /// number of events fired.
+    ///
+    /// Each iteration makes a single queue probe: `pop_at_or_before`
+    /// combines the peek (is the head within the deadline?) and the pop,
+    /// instead of probing the head twice per event.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let start = self.fired;
-        loop {
-            match self.sched.queue.peek_time() {
-                Some(at) if at <= deadline => {
-                    self.step();
-                }
-                _ => break,
-            }
+        while let Some((at, event)) = self.sched.queue.pop_at_or_before(deadline) {
+            debug_assert!(at >= self.sched.now, "event queue violated time order");
+            self.sched.now = at;
+            event.dispatch(&mut self.world, &mut self.sched);
+            self.fired += 1;
         }
         if self.sched.now < deadline {
             self.sched.now = deadline;

@@ -5,7 +5,9 @@
 //! on:
 //!
 //! * [`SimTime`] / [`SimDuration`] — a second-granularity virtual clock;
-//! * [`EventQueue`] — a deterministic, FIFO-stable pending-event queue;
+//! * [`EventQueue`] — a deterministic, FIFO-stable pending-event queue
+//!   (indexed 4-ary heap: O(log n) schedule/cancel/pop, O(1) peek and
+//!   handle-liveness);
 //! * [`Simulation`] / [`Scheduler`] — the event-execution driver;
 //! * [`TrafficMeter`], [`CacheStats`], [`ServerLoad`] — the paper's
 //!   bandwidth, cache-behaviour, and server-load metrics;

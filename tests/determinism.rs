@@ -69,6 +69,55 @@ fn whole_experiments_are_reproducible() {
     assert_eq!(run_traced(&scale), run_traced(&scale));
 }
 
+/// FNV-1a over the debug rendering of a full sweep's results. The golden
+/// value below was pinned on the pre-PR-2 substrate (tombstone binary heap,
+/// HashMap stores, BTreeMap recency); the indexed event queue, dense slot
+/// tables, and intrusive LRU list must reproduce it bit-for-bit — the data
+/// structures are pure index changes, never behaviour changes.
+#[test]
+fn sweep_output_matches_pinned_golden_hash() {
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    let scale = {
+        let mut s = Scale::quick();
+        s.worrell = WorrellConfig::scaled(60, 2_000);
+        s.alex_thresholds = vec![0, 25, 50, 100];
+        s.ttl_hours = vec![0, 100, 500];
+        s.trace_subsample = 24;
+        s
+    };
+    let mut rendered = format!("{:?}", run_base(&scale));
+
+    // Exercise every store implementation and the subscriber registry:
+    // bounded LRU + FIFO runs and an invalidation run over one workload.
+    let wl = generate_synthetic(&scale.worrell, scale.seed);
+    let capacity: u64 = 200 * 1_024;
+    let cfg = SimConfig::optimized();
+    rendered.push_str(&format!(
+        "{:?}",
+        wwwcache::webcache::run_bounded(&wl, ProtocolSpec::Alex(30), &cfg, capacity)
+    ));
+    rendered.push_str(&format!(
+        "{:?}",
+        wwwcache::webcache::run_bounded_fifo(&wl, ProtocolSpec::Ttl(100), &cfg, capacity)
+    ));
+    rendered.push_str(&format!("{:?}", run(&wl, ProtocolSpec::Invalidation, &cfg)));
+
+    const GOLDEN: u64 = 4_146_675_487_570_323_321;
+    assert_eq!(
+        fnv1a(rendered.as_bytes()),
+        GOLDEN,
+        "sweep output diverged from the pre-overhaul substrate"
+    );
+}
+
 #[test]
 fn parallel_sweep_matches_sequential_loop() {
     // The sweep executor must be a pure wall-clock optimisation: fanning a

@@ -25,23 +25,38 @@ const MAX_ITERS: u64 = 1_000;
 #[derive(Default)]
 pub struct Criterion {
     test_mode: bool,
+    filters: Vec<String>,
 }
 
 impl Criterion {
-    /// Read harness flags from the command line. Only `--test` (run each
-    /// bench body once, no timing) is honoured; cargo's own `--bench`
-    /// flag and any filter strings are accepted and ignored.
+    /// Read harness flags from the command line. `--test` runs each bench
+    /// body once with no timing; any other non-flag argument is a
+    /// substring filter on benchmark ids (matching criterion's CLI), so
+    /// CI can smoke specific targets. Cargo's own `--bench` flag is
+    /// accepted and ignored.
     pub fn configure_from_args(mut self) -> Self {
-        self.test_mode = std::env::args().any(|a| a == "--test");
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filters.push(arg);
+            }
+        }
         self
     }
 
-    /// Define and immediately run one benchmark.
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Define and immediately run one benchmark (if it passes the filter).
     pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id, self.test_mode, f);
+        if self.selected(id) {
+            run_one(id, self.test_mode, f);
+        }
         self
     }
 
@@ -70,13 +85,16 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Define and immediately run one benchmark in this group.
+    /// Define and immediately run one benchmark in this group (if it
+    /// passes the filter).
     pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{id}", self.name);
-        run_one(&full, self.criterion.test_mode, f);
+        if self.criterion.selected(&full) {
+            run_one(&full, self.criterion.test_mode, f);
+        }
         self
     }
 

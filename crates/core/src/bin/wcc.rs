@@ -6,6 +6,8 @@
 //! wcc table <1|2>   [--quick] [--jobs N]     regenerate one table
 //! wcc ablations               [--jobs N]     run the extension ablations
 //! wcc all           [--quick] [--jobs N]     everything, in paper order
+//! wcc serve   [--smoke | --listen A --control A] [workload flags]
+//! wcc loadgen [--smoke | --bench] [--threads N] [workload flags]
 //! ```
 //!
 //! `--quick` uses the reduced test-scale configuration; the default is the
@@ -15,6 +17,14 @@
 //! hardware parallelism, also overridable via `WCC_JOBS`; `1`: fully
 //! sequential). Results are bit-for-bit identical at every setting — the
 //! executor only changes wall-clock time.
+//!
+//! `serve` and `loadgen` drive the live TCP stack (`liveserve`): a real
+//! HTTP/1.0 origin with invalidation callbacks, fronted by a
+//! consistency-aware proxy cache. `serve --smoke` and `loadgen --smoke`
+//! are self-checking loopback exercises used by CI; `loadgen --bench`
+//! reports closed-loop throughput/latency at 1/4/8 client threads.
+//! Workload flags: `--files N --requests N --seed S` (synthetic
+//! Worrell-style workload).
 
 use webcache::experiments::report::{
     render_bandwidth_figure, render_figure1, render_missrate_figure, render_server_load_figure,
@@ -24,14 +34,17 @@ use webcache::experiments::{
     ablations, base::run_base_with, hierarchy_bias::run_figure1, optimized::run_optimized_with,
     tables, traced::run_traced_with, Scale,
 };
-use webcache::{ProtocolSpec, SweepRunner, Workload};
+use webcache::{generate_synthetic, ProtocolSpec, SweepRunner, Workload, WorrellConfig};
 use webtrace::campus::{generate_campus_trace, CampusProfile};
 
 fn usage() -> ! {
     eprintln!(
         "usage: wcc <figure 1-8 | table 1-2 | ablations | all> [--quick] [--jobs N]\n\
+         \x20      wcc serve   [--smoke | --listen ADDR --control ADDR] [--files N --requests N --seed S]\n\
+         \x20      wcc loadgen [--smoke | --bench] [--threads N] [--files N --requests N --seed S]\n\
          regenerates the tables and figures of Gwertzman & Seltzer,\n\
-         'World Wide Web Cache Consistency' (USENIX 1996)\n\
+         'World Wide Web Cache Consistency' (USENIX 1996), or runs the\n\
+         live TCP origin/proxy stack (serve, loadgen)\n\
          --jobs N  sweep-executor workers (0 = hardware parallelism; 1 = sequential)"
     );
     std::process::exit(2);
@@ -267,6 +280,190 @@ fn run_ablations(runner: &SweepRunner) {
     );
 }
 
+/// Flags shared by the live-stack subcommands (`serve`, `loadgen`).
+struct LiveArgs {
+    smoke: bool,
+    bench: bool,
+    files: usize,
+    requests: usize,
+    seed: u64,
+    threads: usize,
+    listen: String,
+    control: String,
+}
+
+fn parse_live_args(args: &[String]) -> LiveArgs {
+    let mut parsed = LiveArgs {
+        smoke: false,
+        bench: false,
+        files: 120,
+        requests: 4_000,
+        seed: 1996,
+        threads: 1,
+        listen: "127.0.0.1:8080".to_string(),
+        control: "127.0.0.1:8081".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> String {
+            it.next().cloned().unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--bench" => parsed.bench = true,
+            "--files" => parsed.files = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--requests" => parsed.requests = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--seed" => parsed.seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--threads" => parsed.threads = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--listen" => parsed.listen = value(&mut it),
+            "--control" => parsed.control = value(&mut it),
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn live_workload(a: &LiveArgs) -> Workload {
+    generate_synthetic(&WorrellConfig::scaled(a.files, a.requests), a.seed)
+}
+
+/// `wcc serve`: run the live origin. `--smoke` exercises it end to end
+/// on loopback (200 with body, 304 revalidation, one delivered
+/// invalidation) and self-checks; otherwise it binds the given
+/// addresses on the wall clock and publishes scripted modifications as
+/// their instants pass, until killed.
+fn cmd_serve(a: &LiveArgs) {
+    use liveserve::{HttpConn, LiveClock, LiveOrigin, OriginConfig};
+    use std::io::{BufRead, BufReader, Write};
+
+    let wl = live_workload(a);
+
+    if a.smoke {
+        let clock = LiveClock::virtual_at(wl.start);
+        let mut config = OriginConfig::new(std::sync::Arc::clone(&wl.population), clock);
+        config.window_start = wl.start;
+        config.window_end = wl.end;
+        let origin = LiveOrigin::spawn(config).expect("bind loopback origin");
+
+        // 1) A full GET returns the body with its stamps.
+        let path = wl.population.get(wl.requests[0].1).path.clone();
+        let stream = std::net::TcpStream::connect(origin.data_addr()).expect("dial origin");
+        let mut conn = HttpConn::new(stream).expect("wrap origin conn");
+        conn.write_request(&httpsim::Request::get(path.clone()))
+            .expect("send GET");
+        let (resp, body) = conn.read_response().expect("read GET response");
+        let got_200 = resp.status == httpsim::Status::Ok
+            && body.len() as u64 == resp.content_length.unwrap_or(0);
+
+        // 2) A conditional GET against the served Last-Modified is a 304.
+        let lm = resp.last_modified.expect("200 carries Last-Modified");
+        conn.write_request(&httpsim::Request::get_if_modified_since(path, lm))
+            .expect("send conditional GET");
+        let (resp, body) = conn.read_response().expect("read 304");
+        let got_304 = resp.status == httpsim::Status::NotModified && body.is_empty();
+
+        // 3) Subscribing to a file that is scripted to change and
+        // advancing past the change delivers INVALIDATE.
+        let (mod_t, mod_file) = wl
+            .population
+            .all_modifications()
+            .into_iter()
+            .find(|&(t, _)| t >= wl.start && t <= wl.end)
+            .expect("synthetic workload has modifications");
+        let mod_path = wl.population.get(mod_file).path.clone();
+        let control = std::net::TcpStream::connect(origin.control_addr()).expect("dial control");
+        let mut writer = control.try_clone().expect("clone control stream");
+        let mut reader = BufReader::new(control);
+        writeln!(writer, "SUBSCRIBE {mod_path}").expect("send SUBSCRIBE");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read OK");
+        let subscribed = line.trim_end() == "OK";
+        // advance_to blocks until we ACK, so publish from a helper.
+        let invalidated = std::thread::scope(|s| {
+            let h = s.spawn(|| origin.advance_to(mod_t));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read INVALIDATE");
+            let ok = line.trim_end() == format!("INVALIDATE {mod_path}");
+            writeln!(writer, "ACK").expect("send ACK");
+            h.join().expect("publisher thread");
+            ok
+        });
+
+        let load = origin.shutdown();
+        println!(
+            "{{\"mode\":\"serve-smoke\",\"get_200\":{got_200},\"revalidated_304\":{got_304},\
+             \"subscribed\":{subscribed},\"invalidation_delivered\":{invalidated},\
+             \"document_requests\":{},\"validation_queries\":{},\"invalidations_sent\":{}}}",
+            load.document_requests, load.validation_queries, load.invalidations_sent
+        );
+        if !(got_200 && got_304 && subscribed && invalidated) {
+            eprintln!("serve --smoke: live origin failed a check");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Long-running wall-clock mode: scripted instants map to real time
+    // from startup.
+    let clock = LiveClock::wall_from(wl.start);
+    let mut config = OriginConfig::new(std::sync::Arc::clone(&wl.population), clock.clone());
+    config.window_start = wl.start;
+    config.window_end = wl.end;
+    config.data_bind = a.listen.clone();
+    config.control_bind = a.control.clone();
+    let origin = LiveOrigin::spawn(config).expect("bind serve addresses");
+    println!(
+        "{{\"mode\":\"serve\",\"data\":\"{}\",\"control\":\"{}\",\"files\":{}}}",
+        origin.data_addr(),
+        origin.control_addr(),
+        wl.population.len()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        origin.advance_to(clock.now());
+    }
+}
+
+/// `wcc loadgen`: replay the synthetic workload through the live
+/// origin+proxy under each of the paper's three mechanisms, printing one
+/// JSON report per run. `--smoke` self-checks the acceptance conditions;
+/// `--bench` scales client threads instead of policies.
+fn cmd_loadgen(a: &LiveArgs) {
+    let wl = live_workload(a);
+
+    if a.bench {
+        for threads in [1usize, 4, 8] {
+            let report = webcache::live::run_live(&wl, ProtocolSpec::Alex(20), threads)
+                .expect("live bench run");
+            println!("{}", report.to_json());
+        }
+        return;
+    }
+
+    let specs = [
+        ProtocolSpec::Ttl(24),
+        ProtocolSpec::Alex(20),
+        ProtocolSpec::Invalidation,
+    ];
+    let mut saw_hits = true;
+    let mut saw_304 = false;
+    let mut saw_invalidation = false;
+    for spec in specs {
+        let report = webcache::live::run_live(&wl, spec, a.threads).expect("live loadgen run");
+        saw_hits &= report.cache.fresh_hits + report.cache.stale_hits > 0;
+        saw_304 |= report.cache.validations_not_modified > 0;
+        saw_invalidation |= report.invalidations_delivered > 0;
+        println!("{}", report.to_json());
+    }
+    if a.smoke && !(saw_hits && saw_304 && saw_invalidation) {
+        eprintln!(
+            "loadgen --smoke: acceptance checks failed \
+             (hits in every run: {saw_hits}, any 304: {saw_304}, any invalidation: {saw_invalidation})"
+        );
+        std::process::exit(1);
+    }
+}
+
 /// Split flags from positionals, consuming `--jobs`'s value so it is not
 /// mistaken for a subcommand argument. Returns `(quick, runner, positional)`.
 fn parse_args(args: &[String]) -> (bool, SweepRunner, Vec<&str>) {
@@ -298,6 +495,12 @@ fn parse_args(args: &[String]) -> (bool, SweepRunner, Vec<&str>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The live-stack subcommands carry their own flag set.
+    match args.first().map(String::as_str) {
+        Some("serve") => return cmd_serve(&parse_live_args(&args[1..])),
+        Some("loadgen") => return cmd_loadgen(&parse_live_args(&args[1..])),
+        _ => {}
+    }
     let (quick, runner, positional) = parse_args(&args);
     match positional.as_slice() {
         ["figure", n] => figure(n.parse().unwrap_or_else(|_| usage()), quick, &runner),

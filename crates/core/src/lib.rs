@@ -16,13 +16,16 @@
 //!   Tables 1–2), each returning structured rows and rendering the same
 //!   series the paper plots;
 //! * [`scenario`] — a builder for scripted workloads (targeted
-//!   experiments like the daily-news a-priori-TTL case).
+//!   experiments like the daily-news a-priori-TTL case);
+//! * [`live`] — glue from simulator workloads and protocol specs to the
+//!   `liveserve` TCP stack, for live-vs-simulated differential runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod hierarchy;
+pub mod live;
 pub mod protocol;
 pub mod scenario;
 pub mod sim;

@@ -159,7 +159,21 @@ impl FromStr for HttpDate {
         if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
             return Err(err());
         }
-        let parsed = HttpDate::from_civil(year, month, day, hour, min, sec);
+        // `HttpDate` can only carry post-1970 instants (RFC 1123 dates are
+        // four-digit years; anything past 9999 is not this fixed format).
+        if !(1970..=9999).contains(&year) {
+            return Err(err());
+        }
+        let days = days_from_civil(year, month, day);
+        debug_assert!(days >= 0, "year range check keeps days non-negative");
+        let parsed = HttpDate(days as u64 * 86_400 + hour * 3600 + min * 60 + sec);
+        // Reject days that are out of range for their month ("31 Apr",
+        // "30 Feb"): days_from_civil silently normalises them into the next
+        // month, so a round-trip through civil fields exposes the lie.
+        let (y2, m2, d2, ..) = parsed.to_civil();
+        if (y2, m2, d2) != (year, month, day) {
+            return Err(err());
+        }
         // Reject dates whose weekday field lies (e.g. "Mon" on a Sunday);
         // HTTP servers of the era were strict about the fixed format.
         if DAY_NAMES[parsed.weekday()] != wday {
@@ -229,6 +243,44 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_day_not_in_month() {
+        // 1996-05-01 was a Wednesday, so before day-of-month validation
+        // "Wed, 31 Apr 1996" silently normalised to May 1 and *parsed*.
+        for bad in [
+            "Wed, 31 Apr 1996 00:00:00 GMT",
+            "Thu, 30 Feb 1995 12:00:00 GMT",
+            "Thu, 29 Feb 1900 12:00:00 GMT", // 1900 precedes the range anyway
+            "Fri, 29 Feb 1995 12:00:00 GMT", // not a leap year
+            "Sun, 00 Nov 1994 08:49:37 GMT", // day zero
+            "Sat, 32 Dec 1994 08:49:37 GMT",
+        ] {
+            assert!(bad.parse::<HttpDate>().is_err(), "accepted: {bad:?}");
+        }
+        // Feb 29 in an actual leap year still parses.
+        let leap = "Thu, 29 Feb 1996 12:00:00 GMT".parse::<HttpDate>().unwrap();
+        assert_eq!(leap.to_civil(), (1996, 2, 29, 12, 0, 0));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_years_without_panicking() {
+        // Pre-1970 instants are unrepresentable in HttpDate: the parser
+        // must return Err (it used to panic inside from_civil).
+        for bad in [
+            "Sun, 01 Jan 1950 00:00:00 GMT",
+            "Wed, 31 Dec 1969 23:59:59 GMT",
+            "Thu, 01 Jan 0004 00:00:00 GMT",
+            "Mon, 01 Jan -200 00:00:00 GMT",
+            "Sat, 01 Jan 10000 00:00:00 GMT", // five digits: not RFC 1123
+        ] {
+            assert!(bad.parse::<HttpDate>().is_err(), "accepted: {bad:?}");
+        }
+        // The boundary instants themselves are fine.
+        assert!("Thu, 01 Jan 1970 00:00:00 GMT".parse::<HttpDate>().is_ok());
+        let last = HttpDate::from_civil(9999, 12, 31, 23, 59, 59);
+        assert_eq!(last.to_string().parse::<HttpDate>(), Ok(last));
+    }
+
+    #[test]
     fn ordering_is_chronological() {
         let a = HttpDate::from_civil(1996, 1, 1, 0, 0, 0);
         let b = HttpDate::from_civil(1996, 1, 1, 0, 0, 1);
@@ -256,11 +308,17 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Last representable second of the RFC 1123 four-digit-year domain,
+    /// 9999-12-31T23:59:59Z.
+    const MAX_RFC1123_SECS: u64 = 253_402_300_799;
+
     proptest! {
-        /// Display → parse is the identity for every representable second
-        /// in the simulation's plausible range (1970–2100).
+        /// Display → parse is the identity for *every* representable
+        /// second of the format's domain (1970 through year 9999 — beyond
+        /// that the year field stops being the fixed four digits RFC 1123
+        /// prescribes).
         #[test]
-        fn display_parse_round_trip(secs in 0u64..4_102_444_800) {
+        fn display_parse_round_trip(secs in 0u64..=MAX_RFC1123_SECS) {
             let d = HttpDate(secs);
             let s = d.to_string();
             prop_assert_eq!(s.parse::<HttpDate>(), Ok(d));
@@ -269,8 +327,26 @@ mod proptests {
         /// The fixed format always serialises to exactly 29 bytes — this is
         /// what makes HTTP header sizes predictable.
         #[test]
-        fn rfc1123_is_fixed_width(secs in 0u64..4_102_444_800) {
+        fn rfc1123_is_fixed_width(secs in 0u64..=MAX_RFC1123_SECS) {
             prop_assert_eq!(HttpDate(secs).to_string().len(), 29);
+        }
+
+        /// Parsing arbitrary header-shaped input returns Err rather than
+        /// panicking, whatever the field values (pre-1970 years, day 99,
+        /// month overflow...).
+        #[test]
+        fn parse_never_panics(
+            wd in 0usize..7,
+            day in 0u64..100,
+            mon in 0usize..12,
+            year in -10_000i64..20_000,
+            hh in 0u64..30, mm in 0u64..70, ss in 0u64..70,
+        ) {
+            let s = format!(
+                "{}, {:02} {} {} {:02}:{:02}:{:02} GMT",
+                DAY_NAMES[wd], day, MONTH_NAMES[mon], year, hh, mm, ss
+            );
+            let _ = s.parse::<HttpDate>(); // must not panic
         }
     }
 }

@@ -149,6 +149,28 @@ impl Request {
         self.serialize().len() as u64
     }
 
+    /// Serialise to the exact bytes that go on the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.serialize().into_bytes()
+    }
+
+    /// Parse a request from the front of a byte buffer, as a streaming
+    /// reader accumulates it.
+    ///
+    /// Returns `Ok(None)` when the buffer does not yet contain the full
+    /// header section (`\r\n\r\n` not seen) — read more bytes and retry.
+    /// On success returns the request plus the number of bytes it consumed
+    /// from the front of `buf`. Requests carry no body, so the consumed
+    /// length is exactly the header section.
+    pub fn from_bytes(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+        let Some(end) = header_section_end(buf) else {
+            return Ok(None);
+        };
+        let text = std::str::from_utf8(&buf[..end])
+            .map_err(|_| ParseError::new("request is not valid UTF-8"))?;
+        Ok(Some((Request::parse(text)?, end)))
+    }
+
     /// Parse from wire format (inverse of [`Request::serialize`]).
     pub fn parse(text: &str) -> Result<Self, ParseError> {
         let mut lines = text.split("\r\n");
@@ -282,6 +304,49 @@ impl Response {
         self.header_size() + self.content_length.unwrap_or(0)
     }
 
+    /// Serialise status line, headers, and `body` to wire bytes.
+    ///
+    /// # Panics
+    /// Panics if `body.len()` disagrees with the `Content-Length` header
+    /// (`content_length`, or zero when absent) — the framing the peer will
+    /// use to delimit this response.
+    pub fn to_bytes(&self, body: &[u8]) -> Vec<u8> {
+        assert_eq!(
+            body.len() as u64,
+            self.content_length.unwrap_or(0),
+            "body length must match Content-Length framing"
+        );
+        let mut bytes = self.serialize_headers().into_bytes();
+        bytes.extend_from_slice(body);
+        bytes
+    }
+
+    /// Parse a response (headers + `Content-Length`-framed body) from the
+    /// front of a byte buffer, as a streaming reader accumulates it.
+    ///
+    /// Returns `Ok(None)` while the buffer holds less than the full header
+    /// section plus the declared body — read more bytes and retry. On
+    /// success returns the response, its body (empty for bodyless
+    /// statuses), and the number of bytes consumed from the front of
+    /// `buf`.
+    pub fn from_bytes(buf: &[u8]) -> Result<Option<(Response, Vec<u8>, usize)>, ParseError> {
+        let Some(end) = header_section_end(buf) else {
+            return Ok(None);
+        };
+        let text = std::str::from_utf8(&buf[..end])
+            .map_err(|_| ParseError::new("response is not valid UTF-8"))?;
+        let resp = Response::parse(text)?;
+        let body_len = resp.content_length.unwrap_or(0) as usize;
+        let Some(total) = end.checked_add(body_len) else {
+            return Err(ParseError::new("Content-Length overflows"));
+        };
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let body = buf[end..total].to_vec();
+        Ok(Some((resp, body, total)))
+    }
+
     /// Parse the header section (inverse of
     /// [`Response::serialize_headers`]).
     pub fn parse(text: &str) -> Result<Self, ParseError> {
@@ -336,6 +401,12 @@ impl Response {
             content_length,
         })
     }
+}
+
+/// Index just past the `\r\n\r\n` terminating a header section, or `None`
+/// if the terminator has not arrived in `buf` yet.
+pub fn header_section_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
 }
 
 /// Error produced by the message parsers.
@@ -453,6 +524,87 @@ mod tests {
         assert_eq!("HEAD".parse::<Method>(), Ok(Method::Head));
         assert!("POST".parse::<Method>().is_err());
     }
+
+    #[test]
+    fn request_wire_bytes_round_trip() {
+        let req = Request::get_if_modified_since("/a/b.gif", day(3));
+        let bytes = req.to_bytes();
+        assert_eq!(bytes, req.serialize().as_bytes());
+        let (parsed, used) = Request::from_bytes(&bytes).unwrap().unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn request_from_bytes_waits_for_full_headers() {
+        let bytes = Request::get("/index.html").to_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(Request::from_bytes(&bytes[..cut]), Ok(None), "cut={cut}");
+        }
+        // Trailing bytes of a pipelined next request are not consumed.
+        let mut two = bytes.clone();
+        two.extend_from_slice(&bytes);
+        let (_, used) = Request::from_bytes(&two).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn request_from_bytes_rejects_garbage_and_non_utf8() {
+        assert!(Request::from_bytes(b"FROB / HTTP/1.0\r\n\r\n").is_err());
+        assert!(Request::from_bytes(b"GET /\xff\xfe HTTP/1.0\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_wire_bytes_round_trip_with_body() {
+        let body = b"<html>hello</html>";
+        let resp = Response::ok(day(10), day(2), body.len() as u64).with_expires(day(20));
+        let bytes = resp.to_bytes(body);
+        let (parsed, got_body, used) = Response::from_bytes(&bytes).unwrap().unwrap();
+        assert_eq!(parsed, resp);
+        assert_eq!(got_body, body);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn response_from_bytes_waits_for_full_body() {
+        let body = vec![0xABu8; 100];
+        let resp = Response::ok(day(1), day(0), 100);
+        let bytes = resp.to_bytes(&body);
+        // Headers complete but body short: still incomplete.
+        for cut in [0, 10, bytes.len() - 100, bytes.len() - 1] {
+            assert_eq!(Response::from_bytes(&bytes[..cut]), Ok(None), "cut={cut}");
+        }
+        // Keep-alive: a following response's bytes are not consumed.
+        let mut two = bytes.clone();
+        two.extend_from_slice(&Response::not_modified(day(2)).to_bytes(b""));
+        let (_, _, used) = Response::from_bytes(&two).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        let (next, next_body, _) = Response::from_bytes(&two[used..]).unwrap().unwrap();
+        assert_eq!(next.status, Status::NotModified);
+        assert!(next_body.is_empty());
+    }
+
+    #[test]
+    fn bodyless_304_frames_as_zero_length() {
+        let resp = Response::not_modified(day(1));
+        let bytes = resp.to_bytes(b"");
+        let (parsed, body, used) = Response::from_bytes(&bytes).unwrap().unwrap();
+        assert_eq!(parsed, resp);
+        assert!(body.is_empty());
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "Content-Length framing")]
+    fn response_to_bytes_rejects_mismatched_body() {
+        Response::ok(day(1), day(0), 10).to_bytes(b"short");
+    }
+
+    #[test]
+    fn header_section_end_finds_terminator() {
+        assert_eq!(header_section_end(b"GET / HTTP/1.0\r\n"), None);
+        assert_eq!(header_section_end(b"a\r\n\r\nbody"), Some(5));
+    }
 }
 
 #[cfg(test)]
@@ -501,6 +653,25 @@ mod proptests {
         fn request_wire_size_is_serialized_length(path in path_strategy()) {
             let req = Request::get(path);
             prop_assert_eq!(req.wire_size() as usize, req.serialize().len());
+        }
+
+        /// Byte-level framing round-trips responses with arbitrary binary
+        /// bodies, and consumes exactly the framed length.
+        #[test]
+        fn response_bytes_round_trip(
+            date in 0u64..4_000_000_000,
+            lm in 0u64..4_000_000_000,
+            body in proptest::collection::vec(any::<u8>(), 0..512),
+            trailer in proptest::collection::vec(any::<u8>(), 0..16),
+        ) {
+            let resp = Response::ok(HttpDate(date), HttpDate(lm), body.len() as u64);
+            let mut bytes = resp.to_bytes(&body);
+            let framed = bytes.len();
+            bytes.extend_from_slice(&trailer);
+            let (parsed, got, used) = Response::from_bytes(&bytes).unwrap().unwrap();
+            prop_assert_eq!(parsed, resp);
+            prop_assert_eq!(got, body);
+            prop_assert_eq!(used, framed);
         }
     }
 }

@@ -1,0 +1,43 @@
+//! `liveserve` — the consistency protocols on real sockets.
+//!
+//! The simulators in `webcache` evaluate the paper's three consistency
+//! mechanisms analytically; this crate runs them over actual TCP on
+//! loopback or a LAN, with real HTTP/1.0 wire bytes, real concurrency,
+//! and real connection management:
+//!
+//! * [`LiveOrigin`] — a multi-threaded origin server backed by an
+//!   `originserver::FilePopulation`. Serves bodies, answers
+//!   `If-Modified-Since` with `304 Not Modified`, stamps
+//!   `Last-Modified`/`Expires`, and pushes invalidation notices to
+//!   subscribed proxies over persistent control connections.
+//! * [`LiveProxy`] — a caching proxy fronting the origin. Reuses the
+//!   `proxycache` stores, the `consistency::Policy` trait, and the
+//!   `simcore::metrics` accounting types unchanged; its request handling
+//!   is a port of the optimized simulator's, so a single-threaded run is
+//!   counter-for-counter equivalent to `webcache::run` (the differential
+//!   test in the workspace root pins this).
+//! * [`run_closed_loop`] — a closed-loop load generator replaying a
+//!   deterministic workload through N client threads, reporting hit
+//!   rates, bytes moved, and latency percentiles as a [`LoadReport`].
+//!
+//! Everything is `std::net` + scoped threads (the build environment has
+//! no async runtime); see `DESIGN.md` §8 for the thread model, the
+//! control-channel protocol, the shutdown sequence, and the determinism
+//! argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod control;
+mod loadgen;
+mod netio;
+mod origin;
+mod proxy;
+mod report;
+
+pub use clock::LiveClock;
+pub use loadgen::{run_closed_loop, LiveRunConfig, LiveWorkload, LoadReport};
+pub use netio::HttpConn;
+pub use origin::{LiveOrigin, OriginConfig};
+pub use proxy::{LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind};

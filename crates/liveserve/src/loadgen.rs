@@ -1,0 +1,389 @@
+//! The closed-loop load generator.
+//!
+//! [`run_closed_loop`] stands up a [`LiveOrigin`] and a [`LiveProxy`] on
+//! loopback, then replays a scripted workload through N client threads.
+//! Clients are *closed-loop*: each issues its next request only after
+//! the previous response fully arrives, so offered load adapts to
+//! service rate and the run always terminates.
+//!
+//! The run drives a shared **virtual clock**: before sending the
+//! request scheduled at instant `t`, a client calls
+//! [`LiveOrigin::advance_to`]`(t)`, which advances the clock and
+//! publishes (and waits out) every scripted modification due by `t`.
+//! With one client thread this reproduces the simulator's event order
+//! exactly — modification before request at equal instants, requests in
+//! schedule order — which is what the differential test relies on. With
+//! several threads, requests race (that's the point of a load test) and
+//! only aggregate behaviour is meaningful.
+//!
+//! Requests are dealt round-robin (`i % threads`), so thread counts
+//! change interleaving but not the request mix.
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use httpsim::{Request, Status};
+use originserver::FilePopulation;
+use simcore::{CacheStats, FileId, LatencyStats, ServerLoad, SimDuration, SimTime, TrafficMeter};
+
+use crate::clock::LiveClock;
+use crate::netio::HttpConn;
+use crate::origin::{LiveOrigin, OriginConfig};
+use crate::proxy::{LivePolicy, LiveProxy, ProxyConfig, StoreKind};
+use crate::report::JsonObj;
+
+/// A scripted workload for the live stack — the same fields
+/// `webcache::Workload` carries, decoupled so `liveserve` does not
+/// depend on the simulator crate.
+#[derive(Debug, Clone)]
+pub struct LiveWorkload {
+    /// Label for reports.
+    pub name: String,
+    /// Simulation window start; the clock begins here.
+    pub start: SimTime,
+    /// Simulation window end; modifications after this are not
+    /// published (matching the simulator's event filter).
+    pub end: SimTime,
+    /// The origin's file set with its scripted modification history.
+    pub population: Arc<FilePopulation>,
+    /// `(instant, file)` request schedule, sorted by instant.
+    pub requests: Vec<(SimTime, FileId)>,
+    /// Per-file document class (empty ⇒ class 0).
+    pub classes: Vec<usize>,
+    /// Per-class origin `Expires` lifetimes.
+    pub class_expires: Vec<Option<SimDuration>>,
+}
+
+/// Configuration for one [`run_closed_loop`] execution.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveRunConfig {
+    /// Client threads (0 is treated as 1).
+    pub threads: usize,
+    /// Consistency mechanism under test.
+    pub policy: LivePolicy,
+    /// Proxy store.
+    pub store: StoreKind,
+    /// Uncacheable-class bitmask, as in `SimConfig`.
+    pub uncacheable_mask: u32,
+}
+
+impl LiveRunConfig {
+    /// One client thread, unbounded store, everything cacheable.
+    pub fn new(policy: LivePolicy) -> Self {
+        LiveRunConfig {
+            threads: 1,
+            policy,
+            store: StoreKind::Unbounded,
+            uncacheable_mask: 0,
+        }
+    }
+}
+
+/// Everything one closed-loop run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Policy label (`LivePolicy::label`).
+    pub policy: String,
+    /// Client threads used.
+    pub threads: usize,
+    /// Requests replayed.
+    pub requests: u64,
+    /// Wall-clock seconds spent replaying.
+    pub wall_seconds: f64,
+    /// Hit/miss/validation classification (comparable to the
+    /// simulator's).
+    pub cache: CacheStats,
+    /// Proxy↔origin traffic (real wire bytes).
+    pub traffic: TrafficMeter,
+    /// Origin-side load counters.
+    pub server: ServerLoad,
+    /// Total staleness-severity across stale hits.
+    pub stale_age_total: SimDuration,
+    /// `INVALIDATE` notices the proxy received and acknowledged.
+    pub invalidations_delivered: u64,
+    /// Proxy store evictions.
+    pub evictions: u64,
+    /// Per-request client-observed service times.
+    pub latency: LatencyStats,
+    /// Bytes the proxy returned to clients (headers + bodies).
+    pub bytes_to_clients: u64,
+}
+
+impl LoadReport {
+    /// Fraction of requests served from cache (fresh or stale).
+    pub fn hit_rate(&self) -> f64 {
+        ratio(self.cache.fresh_hits + self.cache.stale_hits, self.requests)
+    }
+
+    /// Fraction of requests served stale from cache.
+    pub fn stale_hit_rate(&self) -> f64 {
+        ratio(self.cache.stale_hits, self.requests)
+    }
+
+    /// Client-observed throughput.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The report as one JSON object (single line).
+    pub fn to_json(&self) -> String {
+        let cache = JsonObj::new()
+            .u64("fresh_hits", self.cache.fresh_hits)
+            .u64("stale_hits", self.cache.stale_hits)
+            .u64("misses", self.cache.misses)
+            .u64(
+                "validations_not_modified",
+                self.cache.validations_not_modified,
+            )
+            .u64("validations_modified", self.cache.validations_modified)
+            .finish();
+        let traffic = JsonObj::new()
+            .u64("messages", self.traffic.messages)
+            .u64("message_bytes", self.traffic.message_bytes)
+            .u64("file_transfers", self.traffic.file_transfers)
+            .u64("file_bytes", self.traffic.file_bytes)
+            .finish();
+        let server = JsonObj::new()
+            .u64("document_requests", self.server.document_requests)
+            .u64("validation_queries", self.server.validation_queries)
+            .u64("invalidations_sent", self.server.invalidations_sent)
+            .finish();
+        let mut latency = JsonObj::new();
+        latency.u64("samples", self.latency.count());
+        if let (Some(p50), Some(p99), Some(mean)) = (
+            self.latency.p50_ns(),
+            self.latency.p99_ns(),
+            self.latency.mean_ns(),
+        ) {
+            latency
+                .u64("p50_ns", p50)
+                .u64("p99_ns", p99)
+                .f64("mean_ns", mean);
+        }
+        let latency = latency.finish();
+
+        JsonObj::new()
+            .str("policy", &self.policy)
+            .u64("threads", self.threads as u64)
+            .u64("requests", self.requests)
+            .f64("wall_seconds", self.wall_seconds)
+            .f64("requests_per_sec", self.requests_per_sec())
+            .f64("hit_rate", self.hit_rate())
+            .f64("stale_hit_rate", self.stale_hit_rate())
+            .raw("cache", &cache)
+            .raw("traffic", &traffic)
+            .raw("server", &server)
+            .u64("stale_age_total_secs", self.stale_age_total.as_secs())
+            .u64("invalidations_delivered", self.invalidations_delivered)
+            .u64("evictions", self.evictions)
+            .raw("latency", &latency)
+            .u64("bytes_to_clients", self.bytes_to_clients)
+            .finish()
+    }
+}
+
+fn ratio(num: u64, denom: u64) -> f64 {
+    if denom == 0 {
+        0.0
+    } else {
+        num as f64 / denom as f64
+    }
+}
+
+/// One client thread's share of the replay: requests `i` with
+/// `i % threads == k`, each preceded by publishing the modifications due
+/// at its scheduled instant.
+fn client_thread(
+    workload: &LiveWorkload,
+    origin: &LiveOrigin,
+    proxy_addr: std::net::SocketAddr,
+    threads: usize,
+    k: usize,
+) -> io::Result<(LatencyStats, u64)> {
+    let mut conn = HttpConn::new(TcpStream::connect(proxy_addr)?)?;
+    let mut latency = LatencyStats::new();
+    let mut bytes = 0u64;
+    for (i, &(t, file)) in workload.requests.iter().enumerate() {
+        if i % threads != k {
+            continue;
+        }
+        origin.advance_to(t);
+        let path = &workload.population.get(file).path;
+        let started = Instant::now();
+        conn.write_request(&Request::get(path.clone()))?;
+        let (resp, body) = conn.read_response()?;
+        latency.record_ns(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        bytes += resp.header_size() + body.len() as u64;
+        if resp.status != Status::Ok {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("proxy answered {:?} for scripted path {path}", resp.status),
+            ));
+        }
+    }
+    Ok((latency, bytes))
+}
+
+/// Replay `workload` through a freshly-spawned loopback origin + proxy
+/// under `config`, returning the aggregated report.
+pub fn run_closed_loop(workload: &LiveWorkload, config: &LiveRunConfig) -> io::Result<LoadReport> {
+    let threads = config.threads.max(1);
+    let clock = LiveClock::virtual_at(workload.start);
+
+    let mut origin_config = OriginConfig::new(Arc::clone(&workload.population), clock.clone());
+    origin_config.classes = workload.classes.clone();
+    origin_config.class_expires = workload.class_expires.clone();
+    origin_config.window_start = workload.start;
+    origin_config.window_end = workload.end;
+    let origin = LiveOrigin::spawn(origin_config)?;
+
+    let mut proxy_config = ProxyConfig::new(
+        origin.data_addr(),
+        origin.control_addr(),
+        config.policy,
+        clock,
+    );
+    proxy_config.store = config.store;
+    proxy_config.ground_truth = Some(Arc::clone(&workload.population));
+    proxy_config.classes = workload.classes.clone();
+    proxy_config.uncacheable_mask = config.uncacheable_mask;
+    let proxy = LiveProxy::spawn(proxy_config)?;
+    let proxy_addr = proxy.addr();
+
+    let started = Instant::now();
+    let mut latency = LatencyStats::new();
+    let mut bytes_to_clients = 0u64;
+    let origin_ref = &origin;
+    let outcome: io::Result<()> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|k| s.spawn(move || client_thread(workload, origin_ref, proxy_addr, threads, k)))
+            .collect();
+        for h in handles {
+            let (lat, bytes) = h.join().expect("client thread never panics")?;
+            latency.merge(&lat);
+            bytes_to_clients += bytes;
+        }
+        Ok(())
+    });
+    outcome?;
+    // Trailing modifications (after the last request but inside the
+    // window) still count — the simulator schedules them as events.
+    origin.advance_to(workload.end);
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let snapshot = proxy.shutdown();
+    let server = origin.shutdown();
+
+    Ok(LoadReport {
+        policy: config.policy.label(),
+        threads,
+        requests: workload.requests.len() as u64,
+        wall_seconds,
+        cache: snapshot.cache,
+        traffic: snapshot.traffic,
+        server,
+        stale_age_total: snapshot.stale_age_total,
+        invalidations_delivered: snapshot.invalidations_delivered,
+        evictions: snapshot.evictions,
+        latency,
+        bytes_to_clients,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use originserver::FileRecord;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Two files; /b is modified mid-run. Requests hit both repeatedly.
+    fn tiny_workload() -> LiveWorkload {
+        let mut pop = FilePopulation::new();
+        let a = pop.add(FileRecord::new("/a.html", t(0), 400));
+        let b = pop.add(FileRecord::new("/b.html", t(0), 900));
+        pop.get_mut(b).push_modification(t(500), 950);
+        let requests = vec![
+            (t(10), a),
+            (t(20), b),
+            (t(30), a),
+            (t(600), b),
+            (t(700), a),
+            (t(800), b),
+        ];
+        LiveWorkload {
+            name: "tiny".to_string(),
+            start: SimTime::ZERO,
+            end: t(1000),
+            population: Arc::new(pop),
+            requests,
+            classes: vec![0, 0],
+            class_expires: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ttl_run_hits_after_first_fetch() {
+        let report =
+            run_closed_loop(&tiny_workload(), &LiveRunConfig::new(LivePolicy::Ttl(500))).unwrap();
+        assert_eq!(report.requests, 6);
+        assert_eq!(report.cache.requests(), 6);
+        // Compulsory misses for /a and /b; the 500h TTL keeps both
+        // copies "fresh" forever afterwards, so the /b refetch never
+        // happens and its post-modification hits are stale.
+        assert_eq!(report.cache.misses, 2);
+        assert_eq!(report.cache.fresh_hits + report.cache.stale_hits, 4);
+        assert_eq!(report.cache.stale_hits, 2);
+        assert_eq!(report.traffic.file_transfers, 2);
+        assert_eq!(report.server.document_requests, 2);
+        assert_eq!(report.latency.count(), 6);
+        assert!(report.bytes_to_clients > 0);
+    }
+
+    #[test]
+    fn invalidation_run_delivers_notices_and_refetches() {
+        let report = run_closed_loop(
+            &tiny_workload(),
+            &LiveRunConfig::new(LivePolicy::Invalidation),
+        )
+        .unwrap();
+        // The /b modification at t=500 invalidates the subscribed copy,
+        // so the t=600 request refetches: 3 misses total, no staleness.
+        assert_eq!(report.cache.misses, 3);
+        assert_eq!(report.cache.stale_hits, 0);
+        assert_eq!(report.invalidations_delivered, 1);
+        assert_eq!(report.server.invalidations_sent, 1);
+        assert_eq!(report.stale_age_total, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn multi_threaded_run_preserves_request_totals() {
+        let mut config = LiveRunConfig::new(LivePolicy::Alex(20));
+        config.threads = 3;
+        let report = run_closed_loop(&tiny_workload(), &config).unwrap();
+        assert_eq!(report.cache.requests(), 6);
+        assert_eq!(report.latency.count(), 6);
+        assert_eq!(report.threads, 3);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report =
+            run_closed_loop(&tiny_workload(), &LiveRunConfig::new(LivePolicy::Alex(10))).unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"policy\":\"Alex 10%\""));
+        assert!(json.contains("\"requests\":6"));
+        assert!(json.contains("\"cache\":{\"fresh_hits\":"));
+        assert!(json.contains("\"p50_ns\":"));
+    }
+}

@@ -1,0 +1,593 @@
+//! The live origin server.
+//!
+//! [`LiveOrigin`] serves an `originserver::FilePopulation` over real TCP:
+//! a **data port** speaking framed HTTP/1.0 (bodies, `If-Modified-Since`
+//! → `304`, `Last-Modified`/`Expires` stamps) and a **control port**
+//! carrying the invalidation protocol of `control`. All request
+//! accounting flows through the existing [`OriginServer`], so
+//! [`LiveOrigin::shutdown`] returns the same
+//! [`ServerLoad`](simcore::ServerLoad) counters the simulator reports.
+//!
+//! Modifications are scripted: the population's version history *is* the
+//! modification schedule, and a driver (the load generator, or the wall
+//! clock loop in `wcc serve`) publishes them by calling
+//! [`LiveOrigin::advance_to`]. Each due modification runs
+//! `notify_modification` and pushes `INVALIDATE` to every subscribed
+//! proxy, waiting for each `ACK` before the next event — the live
+//! equivalent of the simulator's instantaneous callbacks.
+//!
+//! Locking: the [`OriginServer`] mutex is only ever held for in-memory
+//! bookkeeping, never across socket IO; invalidation targets are
+//! collected under the lock, then written to peers after it is released.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use httpsim::{Request, Response};
+use originserver::{CondResult, FilePopulation, OriginServer, Version};
+use simcore::{CacheId, FileId, ServerLoad, SimDuration, SimTime};
+
+use crate::clock::{sim_instant, wall_date, LiveClock};
+use crate::control::{write_msg, ControlMsg, LineConn};
+use crate::netio::{HttpConn, POLL_TICK};
+
+/// Configuration for [`LiveOrigin::spawn`].
+#[derive(Debug, Clone)]
+pub struct OriginConfig {
+    /// The file set to serve, with its scripted modification history.
+    pub population: Arc<FilePopulation>,
+    /// Per-file document class (empty ⇒ every file is class 0).
+    pub classes: Vec<usize>,
+    /// Per-class origin-assigned `Expires` lifetime, indexed by class.
+    pub class_expires: Vec<Option<SimDuration>>,
+    /// The clock requests are stamped against.
+    pub clock: LiveClock,
+    /// Only modifications in `[window_start, window_end]` are published —
+    /// the same window the simulator schedules (`run` drops modification
+    /// events outside the workload's span).
+    pub window_start: SimTime,
+    /// See `window_start`.
+    pub window_end: SimTime,
+    /// Bind address for the data (HTTP) listener; port 0 picks an
+    /// ephemeral port.
+    pub data_bind: String,
+    /// Bind address for the control (invalidation) listener.
+    pub control_bind: String,
+}
+
+impl OriginConfig {
+    /// Serve `population` on loopback ephemeral ports with no document
+    /// classes and the whole timeline as the modification window.
+    pub fn new(population: Arc<FilePopulation>, clock: LiveClock) -> Self {
+        OriginConfig {
+            population,
+            classes: Vec::new(),
+            class_expires: Vec::new(),
+            clock,
+            window_start: SimTime::ZERO,
+            window_end: SimTime::MAX,
+            data_bind: "127.0.0.1:0".to_string(),
+            control_bind: "127.0.0.1:0".to_string(),
+        }
+    }
+}
+
+/// One connected proxy's control channel, as seen from the origin.
+///
+/// The writer stream is shared between the reader thread (which answers
+/// `SUBSCRIBE`/`UNSUBSCRIBE` with `OK`) and invalidation publishers; the
+/// mutex keeps their lines from interleaving. `ACK`s arrive on the
+/// reader thread and are forwarded through the channel to whichever
+/// publisher is waiting.
+#[derive(Debug)]
+struct ControlPeer {
+    writer: Mutex<TcpStream>,
+    acks: Mutex<mpsc::Receiver<()>>,
+}
+
+#[derive(Debug)]
+struct OriginShared {
+    server: Mutex<OriginServer>,
+    population: Arc<FilePopulation>,
+    path_ids: HashMap<String, FileId>,
+    classes: Vec<usize>,
+    class_expires: Vec<Option<SimDuration>>,
+    clock: LiveClock,
+    shutdown: AtomicBool,
+    peers: Mutex<Vec<Option<Arc<ControlPeer>>>>,
+}
+
+impl OriginShared {
+    fn class_of(&self, file: FileId) -> usize {
+        self.classes.get(file.index()).copied().unwrap_or(0)
+    }
+
+    fn attach_expires(&self, file: FileId, now: SimTime, resp: Response) -> Response {
+        match self
+            .class_expires
+            .get(self.class_of(file))
+            .copied()
+            .flatten()
+        {
+            Some(d) => resp.with_expires(wall_date(now.saturating_add(d))),
+            None => resp,
+        }
+    }
+
+    fn full_response(&self, file: FileId, v: Version, now: SimTime) -> (Response, Vec<u8>) {
+        let resp = Response::ok(wall_date(now), wall_date(v.modified_at), v.size);
+        (self.attach_expires(file, now, resp), synth_body(file, v))
+    }
+
+    /// Answer one data-port request at instant `now`.
+    fn respond(&self, req: &Request, now: SimTime) -> (Response, Vec<u8>) {
+        let Some(&file) = self.path_ids.get(&req.path) else {
+            return (Response::not_found(wall_date(now)), Vec::new());
+        };
+        // Pre-creation requests 404 (the accounting server panics on
+        // them; a real origin just doesn't have the file yet).
+        if self.population.get(file).version_at(now).is_none() {
+            return (Response::not_found(wall_date(now)), Vec::new());
+        }
+        match req.if_modified_since {
+            None => {
+                let v = self.server.lock().unwrap().handle_get(file, now);
+                self.full_response(file, v, now)
+            }
+            Some(ims) => {
+                let since = sim_instant(ims);
+                let result = self
+                    .server
+                    .lock()
+                    .unwrap()
+                    .handle_conditional_get(file, since, now);
+                match result {
+                    CondResult::NotModified => {
+                        let resp =
+                            self.attach_expires(file, now, Response::not_modified(wall_date(now)));
+                        (resp, Vec::new())
+                    }
+                    CondResult::Modified(v) => self.full_response(file, v, now),
+                }
+            }
+        }
+    }
+
+    /// Publish one modification: collect subscribers under the server
+    /// lock, then (lock released) push `INVALIDATE` to each and wait for
+    /// its `ACK`.
+    fn deliver_invalidation(&self, file: FileId) {
+        let targets = self.server.lock().unwrap().notify_modification(file);
+        if targets.is_empty() {
+            return;
+        }
+        let path = &self.population.get(file).path;
+        for cache in targets {
+            let peer = {
+                let peers = self.peers.lock().unwrap();
+                peers.get(cache.index()).and_then(|p| p.clone())
+            };
+            let Some(peer) = peer else { continue };
+            if write_msg(
+                &mut peer.writer.lock().unwrap(),
+                &ControlMsg::Invalidate(path.clone()),
+            )
+            .is_err()
+            {
+                continue;
+            }
+            let acks = peer.acks.lock().unwrap();
+            loop {
+                match acks.recv_timeout(POLL_TICK) {
+                    Ok(()) => break,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+    }
+
+    /// Serve one persistent data connection until the peer hangs up or
+    /// shutdown.
+    fn serve_data_conn(&self, stream: TcpStream) -> io::Result<()> {
+        let mut conn = HttpConn::server_side(stream)?;
+        while let Some(req) = conn.read_request(&self.shutdown)? {
+            let now = self.clock.now();
+            let (resp, body) = self.respond(&req, now);
+            conn.write_response(&resp, &body)?;
+        }
+        Ok(())
+    }
+
+    /// Read one proxy's control channel until it hangs up, then drop all
+    /// of its subscriptions.
+    fn serve_control_conn(&self, cache: CacheId, mut conn: LineConn, acks: mpsc::Sender<()>) {
+        let result: io::Result<()> = (|| {
+            while let Some(msg) = conn.read_msg(&self.shutdown)? {
+                match msg {
+                    ControlMsg::Subscribe(path) => {
+                        if let Some(&file) = self.path_ids.get(&path) {
+                            self.server.lock().unwrap().subscribe(cache, file);
+                        }
+                        self.reply(cache, &ControlMsg::Ok)?;
+                    }
+                    ControlMsg::Unsubscribe(path) => {
+                        if let Some(&file) = self.path_ids.get(&path) {
+                            self.server.lock().unwrap().unsubscribe(cache, file);
+                        }
+                        self.reply(cache, &ControlMsg::Ok)?;
+                    }
+                    ControlMsg::Ack => {
+                        // Forward to whichever invalidation publisher is
+                        // waiting; ignore sends after shutdown.
+                        let _ = acks.send(());
+                    }
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected control message at origin: {other:?}"),
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        })();
+        drop(result); // a dead peer's channel errors are not actionable
+        self.server.lock().unwrap().unsubscribe_all(cache);
+        self.peers.lock().unwrap()[cache.index()] = None;
+    }
+
+    fn reply(&self, cache: CacheId, msg: &ControlMsg) -> io::Result<()> {
+        let peer = {
+            let peers = self.peers.lock().unwrap();
+            peers.get(cache.index()).and_then(|p| p.clone())
+        };
+        match peer {
+            Some(peer) => write_msg(&mut peer.writer.lock().unwrap(), msg).map(|_| ()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "control peer deregistered",
+            )),
+        }
+    }
+}
+
+/// Accept connections until shutdown, handing each to `serve`; joins all
+/// per-connection workers before returning.
+fn accept_loop(
+    shared: Arc<OriginShared>,
+    listener: TcpListener,
+    serve: impl Fn(Arc<OriginShared>, TcpStream) -> JoinHandle<()>,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+    let mut workers = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted sockets must block (with the read timeout the
+                // conn type arms); on Linux they do not inherit the
+                // listener's nonblocking flag, but be explicit.
+                if stream.set_nonblocking(false).is_ok() {
+                    workers.push(serve(Arc::clone(&shared), stream));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// A running origin server; dropping it (or calling
+/// [`LiveOrigin::shutdown`]) stops all of its threads.
+#[derive(Debug)]
+pub struct LiveOrigin {
+    shared: Arc<OriginShared>,
+    /// Scripted modifications still to publish: `(schedule, cursor)`.
+    /// The mutex serialises concurrent `advance_to` callers so events
+    /// are always published in schedule order.
+    mods: Mutex<(Vec<(SimTime, FileId)>, usize)>,
+    data_addr: SocketAddr,
+    control_addr: SocketAddr,
+    data_thread: Option<JoinHandle<()>>,
+    control_thread: Option<JoinHandle<()>>,
+}
+
+impl LiveOrigin {
+    /// Bind both listeners and start serving.
+    pub fn spawn(config: OriginConfig) -> io::Result<LiveOrigin> {
+        let data_listener = TcpListener::bind(&config.data_bind)?;
+        let control_listener = TcpListener::bind(&config.control_bind)?;
+        let data_addr = data_listener.local_addr()?;
+        let control_addr = control_listener.local_addr()?;
+
+        let mods: Vec<(SimTime, FileId)> = config
+            .population
+            .all_modifications()
+            .into_iter()
+            .filter(|&(t, _)| t >= config.window_start && t <= config.window_end)
+            .collect();
+
+        let shared = Arc::new(OriginShared {
+            server: Mutex::new(OriginServer::new(Arc::clone(&config.population))),
+            path_ids: config.population.path_index(),
+            population: config.population,
+            classes: config.classes,
+            class_expires: config.class_expires,
+            clock: config.clock,
+            shutdown: AtomicBool::new(false),
+            peers: Mutex::new(Vec::new()),
+        });
+
+        let data_thread = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                accept_loop(shared, data_listener, |shared, stream| {
+                    thread::spawn(move || {
+                        let _ = shared.serve_data_conn(stream);
+                    })
+                })
+            })
+        };
+
+        let control_thread = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                accept_loop(shared, control_listener, |shared, stream| {
+                    // Register the peer (writer + ack channel) under the
+                    // next CacheId before its reader starts, so replies
+                    // and invalidations always find it.
+                    let (ack_tx, ack_rx) = mpsc::channel();
+                    let registered = stream.try_clone().ok().map(|writer| {
+                        let mut peers = shared.peers.lock().unwrap();
+                        let idx = peers.len();
+                        peers.push(Some(Arc::new(ControlPeer {
+                            writer: Mutex::new(writer),
+                            acks: Mutex::new(ack_rx),
+                        })));
+                        CacheId::from_index(idx)
+                    });
+                    thread::spawn(move || {
+                        let Some(cache) = registered else { return };
+                        match LineConn::new(stream) {
+                            Ok(conn) => shared.serve_control_conn(cache, conn, ack_tx),
+                            Err(_) => {
+                                shared.peers.lock().unwrap()[cache.index()] = None;
+                            }
+                        }
+                    })
+                })
+            })
+        };
+
+        Ok(LiveOrigin {
+            shared,
+            mods: Mutex::new((mods, 0)),
+            data_addr,
+            control_addr,
+            data_thread: Some(data_thread),
+            control_thread: Some(control_thread),
+        })
+    }
+
+    /// Address of the HTTP data listener.
+    pub fn data_addr(&self) -> SocketAddr {
+        self.data_addr
+    }
+
+    /// Address of the invalidation control listener.
+    pub fn control_addr(&self) -> SocketAddr {
+        self.control_addr
+    }
+
+    /// Advance the shared clock to `t` and publish every scripted
+    /// modification due at or before `t` (in `(instant, file)` order,
+    /// each fully acknowledged before the next).
+    pub fn advance_to(&self, t: SimTime) {
+        self.shared.clock.advance_to(t);
+        let mut guard = self.mods.lock().unwrap();
+        let (schedule, cursor) = &mut *guard;
+        while *cursor < schedule.len() && schedule[*cursor].0 <= t {
+            let (_, file) = schedule[*cursor];
+            *cursor += 1;
+            self.shared.deliver_invalidation(file);
+        }
+    }
+
+    /// Current subscription count (for tests and the serve status line).
+    pub fn subscription_count(&self) -> usize {
+        self.shared.server.lock().unwrap().subscription_count()
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.data_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.control_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop serving and return the accumulated [`ServerLoad`].
+    pub fn shutdown(mut self) -> ServerLoad {
+        self.stop();
+        *self.shared.server.lock().unwrap().load()
+    }
+}
+
+impl Drop for LiveOrigin {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Deterministic body for a file version: an LCG keyed on the file id
+/// and the version's modification instant, so every server process
+/// synthesises identical bytes for the same version.
+pub(crate) fn synth_body(file: FileId, v: Version) -> Vec<u8> {
+    let mut state = 0xcbf2_9ce4_8422_2325u64
+        ^ (file.index() as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        ^ v.modified_at.as_secs().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut out = Vec::with_capacity(v.size as usize);
+    for _ in 0..v.size {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        out.push((state >> 56) as u8);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpsim::Status;
+    use originserver::FileRecord;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn small_origin() -> (LiveOrigin, LiveClock) {
+        let mut pop = FilePopulation::new();
+        pop.add(FileRecord::new("/a.html", t(0), 100));
+        let b = pop.add(FileRecord::new("/b.html", t(0), 50));
+        pop.get_mut(b).push_modification(t(1000), 60);
+        let clock = LiveClock::virtual_at(t(10));
+        let origin = LiveOrigin::spawn(OriginConfig::new(Arc::new(pop), clock.clone())).unwrap();
+        (origin, clock)
+    }
+
+    fn connect(origin: &LiveOrigin) -> HttpConn {
+        HttpConn::new(TcpStream::connect(origin.data_addr()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn serves_bodies_with_stamps_and_404s_unknown_paths() {
+        let (origin, _clock) = small_origin();
+        let mut conn = connect(&origin);
+
+        conn.write_request(&Request::get("/a.html")).unwrap();
+        let (resp, body) = conn.read_response().unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.content_length, Some(100));
+        assert_eq!(body.len(), 100);
+        assert_eq!(resp.last_modified, Some(wall_date(t(0))));
+        assert_eq!(resp.date, wall_date(t(10)));
+
+        conn.write_request(&Request::get("/missing.html")).unwrap();
+        let (resp, body) = conn.read_response().unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+        assert!(body.is_empty());
+
+        let load = origin.shutdown();
+        assert_eq!(load.document_requests, 1);
+    }
+
+    #[test]
+    fn conditional_get_returns_304_until_modified() {
+        let (origin, clock) = small_origin();
+        let mut conn = connect(&origin);
+
+        let req = Request::get_if_modified_since("/b.html", wall_date(t(0)));
+        conn.write_request(&req).unwrap();
+        let (resp, _) = conn.read_response().unwrap();
+        assert_eq!(resp.status, Status::NotModified);
+
+        // After the scripted modification at t=1000 the same conditional
+        // request yields the new version.
+        clock.advance_to(t(2000));
+        conn.write_request(&req).unwrap();
+        let (resp, body) = conn.read_response().unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.last_modified, Some(wall_date(t(1000))));
+        assert_eq!(body.len(), 60);
+
+        let load = origin.shutdown();
+        assert_eq!(load.validation_queries, 1);
+        assert_eq!(load.document_requests, 1);
+    }
+
+    #[test]
+    fn subscribed_proxy_receives_invalidation_on_advance() {
+        let (origin, _clock) = small_origin();
+
+        let stream = TcpStream::connect(origin.control_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut conn = LineConn::new(stream).unwrap();
+        let shutdown = AtomicBool::new(false);
+
+        write_msg(&mut writer, &ControlMsg::Subscribe("/b.html".into())).unwrap();
+        assert_eq!(conn.read_msg(&shutdown).unwrap(), Some(ControlMsg::Ok));
+        assert_eq!(origin.subscription_count(), 1);
+
+        // Publish from a helper thread: advance_to blocks on our ACK.
+        thread::scope(|s| {
+            let h = s.spawn(|| origin.advance_to(t(1500)));
+            assert_eq!(
+                conn.read_msg(&shutdown).unwrap(),
+                Some(ControlMsg::Invalidate("/b.html".into()))
+            );
+            write_msg(&mut writer, &ControlMsg::Ack).unwrap();
+            h.join().unwrap();
+        });
+
+        let load = origin.shutdown();
+        assert_eq!(load.invalidations_sent, 1);
+    }
+
+    #[test]
+    fn expires_header_follows_class_lifetime() {
+        let mut pop = FilePopulation::new();
+        pop.add(FileRecord::new("/x", t(0), 10));
+        let clock = LiveClock::virtual_at(t(100));
+        let mut config = OriginConfig::new(Arc::new(pop), clock);
+        config.classes = vec![0];
+        config.class_expires = vec![Some(SimDuration::from_secs(500))];
+        let origin = LiveOrigin::spawn(config).unwrap();
+
+        let mut conn = connect(&origin);
+        conn.write_request(&Request::get("/x")).unwrap();
+        let (resp, _) = conn.read_response().unwrap();
+        assert_eq!(resp.expires, Some(wall_date(t(600))));
+
+        conn.write_request(&Request::get_if_modified_since("/x", wall_date(t(0))))
+            .unwrap();
+        let (resp, _) = conn.read_response().unwrap();
+        assert_eq!(resp.status, Status::NotModified);
+        assert_eq!(resp.expires, Some(wall_date(t(600))));
+        drop(origin);
+    }
+
+    #[test]
+    fn synth_body_is_deterministic_and_version_dependent() {
+        let v1 = Version {
+            modified_at: t(0),
+            size: 64,
+        };
+        let v2 = Version {
+            modified_at: t(9),
+            size: 64,
+        };
+        let f = FileId(3);
+        assert_eq!(synth_body(f, v1), synth_body(f, v1));
+        assert_ne!(synth_body(f, v1), synth_body(f, v2));
+        assert_ne!(synth_body(f, v1), synth_body(FileId(4), v1));
+        assert_eq!(synth_body(f, v1).len(), 64);
+    }
+}

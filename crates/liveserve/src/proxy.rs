@@ -1,0 +1,746 @@
+//! The live caching proxy.
+//!
+//! [`LiveProxy`] fronts a [`LiveOrigin`](crate::LiveOrigin) (or any
+//! server speaking the same HTTP/1.0 subset): clients connect to its
+//! data port, and each request is served from the in-memory cache or
+//! fetched/revalidated upstream over a persistent per-worker origin
+//! connection. The cache reuses the workspace's existing pieces
+//! unchanged — a `proxycache` store (via [`AnyStore`]), the
+//! `consistency::Policy` trait for freshness, and `simcore::metrics`
+//! for accounting — and its request handling is a line-for-line port of
+//! the optimized simulator's `World::on_request` (conditional
+//! retrieval), so a single-threaded replay produces identical counters.
+//!
+//! Under the invalidation policy the proxy keeps one persistent control
+//! connection to the origin: it subscribes before inserting an entry
+//! (exactly where the simulator calls `subscribe`), unsubscribes
+//! evicted victims, and a dedicated reader thread applies `INVALIDATE`
+//! notices (marking resident entries invalid) before acknowledging.
+//!
+//! Locking: one mutex guards the whole cache state (store + bodies +
+//! policy + counters) and is only ever held for in-memory work. Workers
+//! copy the entry out, talk to the origin with the lock released, then
+//! re-lock to apply the outcome — the same copy-out/reinsert shape the
+//! simulator uses, which is what makes the port exact.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use consistency::{AdaptiveTtl, FixedTtl, NeverExpire, Policy};
+use httpsim::{Request, Response, Status};
+use originserver::FilePopulation;
+use proxycache::{AnyStore, EntryMeta, Store};
+use simcore::{CacheStats, FileId, SimDuration, SimTime, TrafficMeter};
+
+use crate::clock::{sim_instant, wall_date, LiveClock};
+use crate::control::{write_msg, ControlMsg, LineConn};
+use crate::netio::{HttpConn, POLL_TICK};
+
+/// The consistency mechanisms the live stack runs — the paper's three,
+/// as cache-side policies plus the invalidation wiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivePolicy {
+    /// Fixed TTL in hours.
+    Ttl(u64),
+    /// The Alex protocol with an update threshold in percent.
+    Alex(u32),
+    /// Server-driven invalidation callbacks.
+    Invalidation,
+}
+
+impl LivePolicy {
+    /// Instantiate the cache-side policy object.
+    pub fn build(self) -> Box<dyn Policy + Send> {
+        match self {
+            LivePolicy::Ttl(hours) => Box::new(FixedTtl::hours(hours)),
+            LivePolicy::Alex(pct) => Box::new(AdaptiveTtl::percent(pct)),
+            LivePolicy::Invalidation => Box::new(NeverExpire),
+        }
+    }
+
+    /// Whether this mechanism needs the control channel.
+    pub fn uses_invalidation(self) -> bool {
+        matches!(self, LivePolicy::Invalidation)
+    }
+
+    /// Report label, matching `ProtocolSpec::label`.
+    pub fn label(self) -> String {
+        match self {
+            LivePolicy::Ttl(h) => format!("TTL {h}h"),
+            LivePolicy::Alex(p) => format!("Alex {p}%"),
+            LivePolicy::Invalidation => "Invalidation".to_string(),
+        }
+    }
+}
+
+/// Which `proxycache` store backs the proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// The paper's infinite cache.
+    Unbounded,
+    /// Byte-bounded LRU.
+    Lru(u64),
+    /// Byte-bounded FIFO.
+    Fifo(u64),
+}
+
+impl StoreKind {
+    fn build(self) -> AnyStore {
+        match self {
+            StoreKind::Unbounded => AnyStore::unbounded(),
+            StoreKind::Lru(cap) => AnyStore::lru(cap),
+            StoreKind::Fifo(cap) => AnyStore::fifo(cap),
+        }
+    }
+}
+
+/// Configuration for [`LiveProxy::spawn`].
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// The origin's HTTP data address.
+    pub origin_data: SocketAddr,
+    /// The origin's invalidation control address (dialled only when the
+    /// policy uses invalidation).
+    pub origin_control: SocketAddr,
+    /// Consistency mechanism.
+    pub policy: LivePolicy,
+    /// Cache store.
+    pub store: StoreKind,
+    /// The clock freshness decisions are made against.
+    pub clock: LiveClock,
+    /// When present, the origin's scripted population: ids/paths are
+    /// prefilled from it and local hits are classified fresh-vs-stale
+    /// against it (the simulator's omniscient-observer measurement).
+    /// Without it every local hit counts as fresh.
+    pub ground_truth: Option<Arc<FilePopulation>>,
+    /// Per-file document class, indexed by [`FileId`] (empty ⇒ class 0).
+    pub classes: Vec<usize>,
+    /// Uncacheable-class bitmask, as in `SimConfig`.
+    pub uncacheable_mask: u32,
+    /// Bind address for the client-facing listener.
+    pub bind: String,
+}
+
+impl ProxyConfig {
+    /// A loopback proxy in front of the given origin addresses.
+    pub fn new(
+        origin_data: SocketAddr,
+        origin_control: SocketAddr,
+        policy: LivePolicy,
+        clock: LiveClock,
+    ) -> Self {
+        ProxyConfig {
+            origin_data,
+            origin_control,
+            policy,
+            store: StoreKind::Unbounded,
+            clock,
+            ground_truth: None,
+            classes: Vec::new(),
+            uncacheable_mask: 0,
+            bind: "127.0.0.1:0".to_string(),
+        }
+    }
+}
+
+/// The counters a run accumulates, frozen at shutdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProxySnapshot {
+    /// Hit/miss/validation classification (same type the simulator
+    /// reports).
+    pub cache: CacheStats,
+    /// Proxy↔origin traffic. `message_bytes` counts real wire bytes
+    /// (the simulator's `PaperConstant` costing charges 43 per message
+    /// instead); message and file-transfer *counts* match the simulator.
+    pub traffic: TrafficMeter,
+    /// Total staleness-severity across stale hits.
+    pub stale_age_total: SimDuration,
+    /// `INVALIDATE` notices received and acknowledged.
+    pub invalidations_delivered: u64,
+    /// Entries evicted by a bounded store.
+    pub evictions: u64,
+}
+
+/// Everything the cache mutex guards.
+struct CacheState {
+    store: AnyStore,
+    bodies: HashMap<FileId, Arc<Vec<u8>>>,
+    policy: Box<dyn Policy + Send>,
+    traffic: TrafficMeter,
+    stats: CacheStats,
+    stale_age_total: SimDuration,
+    invalidations_delivered: u64,
+    evictions: u64,
+}
+
+/// Path ⇄ id mapping. Prefilled from ground truth when available;
+/// otherwise ids are handed out on first sight of a path.
+#[derive(Default)]
+struct Names {
+    by_path: HashMap<String, FileId>,
+    paths: Vec<String>,
+}
+
+/// The proxy's half of the control channel: commands go out through the
+/// shared writer; the reader thread forwards `OK`s to whichever
+/// subscriber is waiting.
+struct ControlHandle {
+    writer: Mutex<TcpStream>,
+    ok_rx: Mutex<mpsc::Receiver<()>>,
+}
+
+struct ProxyShared {
+    state: Mutex<CacheState>,
+    names: Mutex<Names>,
+    classes: Vec<usize>,
+    uncacheable_mask: u32,
+    uses_invalidation: bool,
+    ground_truth: Option<Arc<FilePopulation>>,
+    clock: LiveClock,
+    origin_data: SocketAddr,
+    control: Option<ControlHandle>,
+    shutdown: AtomicBool,
+}
+
+/// What the lock-free middle of a request has to do, decided under the
+/// cache lock (mirrors the branch structure of `World::on_request`).
+enum Action {
+    /// Fresh (and valid) local copy: serve it.
+    ServeLocal(Response, Arc<Vec<u8>>),
+    /// No usable copy (compulsory miss, uncacheable class, or known
+    /// stale under invalidation/eager): unconditional GET.
+    FetchFull,
+    /// Possibly stale timed-out copy: conditional GET against its
+    /// `Last-Modified`.
+    Validate(EntryMeta),
+}
+
+impl ProxyShared {
+    fn class_of(&self, file: FileId) -> usize {
+        self.classes.get(file.index()).copied().unwrap_or(0)
+    }
+
+    fn is_uncacheable(&self, class: usize) -> bool {
+        class < 32 && self.uncacheable_mask & (1 << class) != 0
+    }
+
+    fn resolve(&self, path: &str) -> FileId {
+        let mut names = self.names.lock().unwrap();
+        if let Some(&id) = names.by_path.get(path) {
+            return id;
+        }
+        let id = FileId::from_index(names.paths.len());
+        names.by_path.insert(path.to_string(), id);
+        names.paths.push(path.to_string());
+        id
+    }
+
+    fn path_of(&self, file: FileId) -> String {
+        self.names.lock().unwrap().paths[file.index()].clone()
+    }
+
+    /// The simulator's omniscient fresh/stale classification of a local
+    /// hit, charging staleness severity. Without ground truth every
+    /// local hit is (optimistically) fresh.
+    fn classify_local_hit(
+        &self,
+        st: &mut CacheState,
+        file: FileId,
+        entry: &EntryMeta,
+        now: SimTime,
+    ) {
+        let Some(gt) = self.ground_truth.as_ref() else {
+            st.stats.fresh_hits += 1;
+            return;
+        };
+        let rec = gt.get(file);
+        let live = rec.version_at(now).expect("requested file exists");
+        if live.modified_at == entry.last_modified {
+            st.stats.fresh_hits += 1;
+        } else {
+            st.stats.stale_hits += 1;
+            if let Some(missed) = rec.first_change_after(entry.last_modified) {
+                st.stale_age_total = st
+                    .stale_age_total
+                    .saturating_add(now.saturating_since(missed.modified_at));
+            }
+        }
+    }
+
+    /// Did the origin copy change since `entry` was fetched? (Oracle
+    /// feedback for `Policy::on_validation` on the refetch path; only
+    /// answerable with ground truth, else assume changed — the entry was
+    /// invalidated, after all.)
+    fn changed_since(&self, file: FileId, entry: &EntryMeta, now: SimTime) -> bool {
+        match self.ground_truth.as_ref() {
+            Some(gt) => {
+                let live = gt.get(file).version_at(now).expect("requested file exists");
+                live.modified_at != entry.last_modified
+            }
+            None => true,
+        }
+    }
+
+    /// Insert an entry, bumping the eviction counter and returning the
+    /// victims whose subscriptions and bodies must be dropped.
+    fn insert_entry(st: &mut CacheState, file: FileId, meta: EntryMeta) -> Vec<FileId> {
+        let mut victims = Vec::new();
+        for (victim, _) in st.store.insert(file, meta) {
+            if victim != file {
+                st.evictions += 1;
+            }
+            st.bodies.remove(&victim);
+            victims.push(victim);
+        }
+        victims
+    }
+
+    /// The client-facing response for a locally-served copy.
+    fn local_response(entry: &EntryMeta, body: &Arc<Vec<u8>>, now: SimTime) -> Response {
+        let mut resp = Response::ok(
+            wall_date(now),
+            wall_date(entry.last_modified),
+            body.len() as u64,
+        );
+        if let Some(exp) = entry.expires {
+            resp = resp.with_expires(wall_date(exp));
+        }
+        resp
+    }
+
+    // --- control channel -------------------------------------------------
+
+    /// Send one subscription command and wait for its `OK`. Never called
+    /// with any lock held (the reader thread needs the writer to `ACK`
+    /// invalidations, and the cache lock to apply them).
+    fn control_roundtrip(&self, msg: &ControlMsg) {
+        let Some(control) = self.control.as_ref() else {
+            return;
+        };
+        if write_msg(&mut control.writer.lock().unwrap(), msg).is_err() {
+            return;
+        }
+        let ok_rx = control.ok_rx.lock().unwrap();
+        loop {
+            match ok_rx.recv_timeout(POLL_TICK) {
+                Ok(()) => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    fn subscribe_sync(&self, file: FileId) {
+        self.control_roundtrip(&ControlMsg::Subscribe(self.path_of(file)));
+    }
+
+    fn unsubscribe_victims(&self, victims: &[FileId]) {
+        if !self.uses_invalidation {
+            return;
+        }
+        for &victim in victims {
+            self.control_roundtrip(&ControlMsg::Unsubscribe(self.path_of(victim)));
+        }
+    }
+
+    /// The control reader thread: applies `INVALIDATE` notices, then
+    /// acknowledges; forwards `OK`s to waiting subscribers.
+    fn control_reader(&self, mut conn: LineConn, ok_tx: mpsc::Sender<()>) {
+        let result: io::Result<()> = (|| {
+            while let Some(msg) = conn.read_msg(&self.shutdown)? {
+                match msg {
+                    ControlMsg::Invalidate(path) => {
+                        let file = self.resolve(&path);
+                        let inv_bytes = msg_len(&ControlMsg::Invalidate(path));
+                        let ack_bytes = msg_len(&ControlMsg::Ack);
+                        {
+                            let mut st = self.state.lock().unwrap();
+                            // One invalidation = one control message
+                            // (notice + ack), as in the simulator's
+                            // `invalidation_message` costing.
+                            st.traffic.add_message(inv_bytes + ack_bytes);
+                            st.invalidations_delivered += 1;
+                            let now = self.clock.now();
+                            if let Some(entry) = st.store.access(file, now) {
+                                entry.mark_invalid();
+                            }
+                        }
+                        // Ack only after the entry is marked: once the
+                        // origin sees the ACK, no client can be served
+                        // the stale copy.
+                        if let Some(control) = self.control.as_ref() {
+                            write_msg(&mut control.writer.lock().unwrap(), &ControlMsg::Ack)?;
+                        }
+                    }
+                    ControlMsg::Ok => {
+                        let _ = ok_tx.send(());
+                    }
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected control message at proxy: {other:?}"),
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        })();
+        drop(result); // channel death is handled by the run winding down
+    }
+
+    // --- request path ----------------------------------------------------
+
+    /// Unconditional fetch from the origin — the port of the simulator's
+    /// `fetch_full` (always called with `since = None`, as there).
+    fn fetch_full(
+        &self,
+        upstream: &mut HttpConn,
+        file: FileId,
+        path: &str,
+        now: SimTime,
+    ) -> io::Result<(Response, Arc<Vec<u8>>)> {
+        let class = self.class_of(file);
+        let sent = upstream.write_request(&Request::get(path))?;
+        let (resp, body) = upstream.read_response()?;
+        let header_bytes = resp.header_size();
+
+        if resp.status != Status::Ok {
+            // The simulator never requests nonexistent files; pass the
+            // origin's answer through, charging the exchange as one
+            // message and dropping any cached copy.
+            let mut st = self.state.lock().unwrap();
+            st.traffic.add_message(sent + header_bytes);
+            st.stats.misses += 1;
+            st.store.remove(file);
+            st.bodies.remove(&file);
+            return Ok((resp, Arc::new(body)));
+        }
+
+        let body = Arc::new(body);
+        let last_modified = sim_instant(resp.last_modified.expect("200 carries Last-Modified"));
+        let expires = resp.expires.map(sim_instant);
+
+        if self.is_uncacheable(class) {
+            let mut st = self.state.lock().unwrap();
+            st.traffic.add_message(sent + header_bytes);
+            st.traffic.add_file_transfer(body.len() as u64);
+            st.stats.misses += 1;
+            st.store.remove(file);
+            st.bodies.remove(&file);
+            return Ok((resp, body));
+        }
+
+        // New entries subscribe *before* insertion, exactly where the
+        // simulator does; the peek is racy but only this worker inserts
+        // this file during a deterministic (single-client) run.
+        let is_new = self.state.lock().unwrap().store.peek(file).is_none();
+        if is_new && self.uses_invalidation {
+            self.subscribe_sync(file);
+        }
+
+        let victims = {
+            let mut st = self.state.lock().unwrap();
+            st.traffic.add_message(sent + header_bytes);
+            st.traffic.add_file_transfer(body.len() as u64);
+            st.stats.misses += 1;
+            let meta = match st.store.access(file, now).copied() {
+                Some(mut entry) => {
+                    entry.replace_body(body.len() as u64, last_modified, now);
+                    entry.expires = expires;
+                    entry
+                }
+                None => {
+                    let mut fresh = EntryMeta::fresh(body.len() as u64, last_modified, now);
+                    fresh.expires = expires;
+                    fresh
+                }
+            };
+            let victims = Self::insert_entry(&mut st, file, meta);
+            if st.store.peek(file).is_some() {
+                st.bodies.insert(file, Arc::clone(&body));
+            }
+            victims
+        };
+        self.unsubscribe_victims(&victims);
+        Ok((resp, body))
+    }
+
+    /// Serve one client request — the port of `World::on_request`.
+    fn handle(
+        &self,
+        upstream: &mut HttpConn,
+        req: &Request,
+    ) -> io::Result<(Response, Arc<Vec<u8>>)> {
+        let file = self.resolve(&req.path);
+        let class = self.class_of(file);
+        let now = self.clock.now();
+
+        let action = if self.is_uncacheable(class) {
+            Action::FetchFull
+        } else {
+            let mut st = self.state.lock().unwrap();
+            match st.store.access(file, now).copied() {
+                None => Action::FetchFull, // compulsory miss
+                Some(entry) => {
+                    if entry.is_valid() && st.policy.is_fresh(&entry, class, now) {
+                        self.classify_local_hit(&mut st, file, &entry, now);
+                        let body =
+                            Arc::clone(st.bodies.get(&file).expect("resident entry has a body"));
+                        Action::ServeLocal(Self::local_response(&entry, &body, now), body)
+                    } else if self.uses_invalidation {
+                        // Known stale: refetch without a conditional
+                        // round-trip (the simulator's eager branch).
+                        let changed = self.changed_since(file, &entry, now);
+                        st.policy.on_validation(class, changed);
+                        Action::FetchFull
+                    } else {
+                        Action::Validate(entry)
+                    }
+                }
+            }
+        };
+
+        let entry = match action {
+            Action::ServeLocal(resp, body) => return Ok((resp, body)),
+            Action::FetchFull => return self.fetch_full(upstream, file, &req.path, now),
+            Action::Validate(entry) => entry,
+        };
+
+        // Combined query-and-fetch via If-Modified-Since.
+        let ims = wall_date(entry.last_modified);
+        let sent = upstream.write_request(&Request::get_if_modified_since(&req.path, ims))?;
+        let (resp, body) = upstream.read_response()?;
+        let header_bytes = resp.header_size();
+
+        match resp.status {
+            Status::NotModified => {
+                let expires = resp.expires.map(sim_instant);
+                let (client_resp, body) = {
+                    let mut st = self.state.lock().unwrap();
+                    st.traffic.add_message(sent + header_bytes);
+                    st.stats.validations_not_modified += 1;
+                    st.stats.fresh_hits += 1;
+                    st.policy.on_validation(class, false);
+                    let entry = st.store.access(file, now).expect("entry is resident");
+                    entry.revalidate(now);
+                    entry.expires = expires;
+                    let entry = *entry;
+                    let body = Arc::clone(st.bodies.get(&file).expect("resident entry has a body"));
+                    (Self::local_response(&entry, &body, now), body)
+                };
+                Ok((client_resp, body))
+            }
+            Status::Ok => {
+                let body = Arc::new(body);
+                let last_modified =
+                    sim_instant(resp.last_modified.expect("200 carries Last-Modified"));
+                let expires = resp.expires.map(sim_instant);
+                let victims = {
+                    let mut st = self.state.lock().unwrap();
+                    st.traffic.add_message(sent + header_bytes);
+                    st.traffic.add_file_transfer(body.len() as u64);
+                    st.stats.validations_modified += 1;
+                    st.stats.misses += 1;
+                    st.policy.on_validation(class, true);
+                    let mut entry = *st.store.access(file, now).expect("entry is resident");
+                    entry.replace_body(body.len() as u64, last_modified, now);
+                    entry.expires = expires;
+                    let victims = Self::insert_entry(&mut st, file, entry);
+                    if st.store.peek(file).is_some() {
+                        st.bodies.insert(file, Arc::clone(&body));
+                    }
+                    victims
+                };
+                self.unsubscribe_victims(&victims);
+                Ok((resp, body))
+            }
+            Status::NotFound => {
+                let mut st = self.state.lock().unwrap();
+                st.traffic.add_message(sent + header_bytes);
+                st.stats.misses += 1;
+                st.store.remove(file);
+                st.bodies.remove(&file);
+                drop(st);
+                Ok((resp, Arc::new(body)))
+            }
+        }
+    }
+
+    /// Serve one client connection with a lazily-dialled persistent
+    /// origin connection.
+    fn serve_client(&self, stream: TcpStream) -> io::Result<()> {
+        let mut conn = HttpConn::server_side(stream)?;
+        let mut upstream: Option<HttpConn> = None;
+        while let Some(req) = conn.read_request(&self.shutdown)? {
+            if upstream.is_none() {
+                upstream = Some(HttpConn::new(TcpStream::connect(self.origin_data)?)?);
+            }
+            let (resp, body) = self.handle(upstream.as_mut().expect("just dialled"), &req)?;
+            conn.write_response(&resp, &body)?;
+        }
+        Ok(())
+    }
+}
+
+fn msg_len(msg: &ControlMsg) -> u64 {
+    msg.encode().len() as u64
+}
+
+/// A running proxy; stop it with [`LiveProxy::shutdown`] (or drop it).
+pub struct LiveProxy {
+    shared: Arc<ProxyShared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    control_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LiveProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveProxy")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl LiveProxy {
+    /// Dial the origin's control port (when the policy needs it), bind
+    /// the client listener, and start serving.
+    pub fn spawn(config: ProxyConfig) -> io::Result<LiveProxy> {
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+
+        let mut names = Names::default();
+        if let Some(gt) = config.ground_truth.as_ref() {
+            for (id, rec) in gt.iter() {
+                debug_assert_eq!(id.index(), names.paths.len());
+                names.by_path.insert(rec.path.clone(), id);
+                names.paths.push(rec.path.clone());
+            }
+        }
+
+        let uses_invalidation = config.policy.uses_invalidation();
+        let (ok_tx, ok_rx) = mpsc::channel();
+        let (control, control_stream) = if uses_invalidation {
+            let stream = TcpStream::connect(config.origin_control)?;
+            let writer = stream.try_clone()?;
+            (
+                Some(ControlHandle {
+                    writer: Mutex::new(writer),
+                    ok_rx: Mutex::new(ok_rx),
+                }),
+                Some(stream),
+            )
+        } else {
+            (None, None)
+        };
+
+        let shared = Arc::new(ProxyShared {
+            state: Mutex::new(CacheState {
+                store: config.store.build(),
+                bodies: HashMap::new(),
+                policy: config.policy.build(),
+                traffic: TrafficMeter::default(),
+                stats: CacheStats::default(),
+                stale_age_total: SimDuration::ZERO,
+                invalidations_delivered: 0,
+                evictions: 0,
+            }),
+            names: Mutex::new(names),
+            classes: config.classes,
+            uncacheable_mask: config.uncacheable_mask,
+            uses_invalidation,
+            ground_truth: config.ground_truth,
+            clock: config.clock,
+            origin_data: config.origin_data,
+            control,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let control_thread = control_stream.map(|stream| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                if let Ok(conn) = LineConn::new(stream) {
+                    shared.control_reader(conn, ok_tx);
+                }
+            })
+        });
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                listener
+                    .set_nonblocking(true)
+                    .expect("set_nonblocking on listener");
+                let mut workers = Vec::new();
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(false).is_ok() {
+                                let shared = Arc::clone(&shared);
+                                workers.push(thread::spawn(move || {
+                                    let _ = shared.serve_client(stream);
+                                }));
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            })
+        };
+
+        Ok(LiveProxy {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            control_thread,
+        })
+    }
+
+    /// Address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.control_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop serving and return the accumulated counters.
+    pub fn shutdown(mut self) -> ProxySnapshot {
+        self.stop();
+        let st = self.shared.state.lock().unwrap();
+        ProxySnapshot {
+            cache: st.stats,
+            traffic: st.traffic,
+            stale_age_total: st.stale_age_total,
+            invalidations_delivered: st.invalidations_delivered,
+            evictions: st.evictions,
+        }
+    }
+}
+
+impl Drop for LiveProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

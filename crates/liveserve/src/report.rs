@@ -1,0 +1,127 @@
+//! Minimal JSON emission for load reports.
+//!
+//! The workspace's `serde` is a vendored no-op stub (the build
+//! environment has no registry access), so reports build their JSON by
+//! hand. Only what [`LoadReport`](crate::LoadReport) needs: objects with
+//! string / integer / float / nested-object members, with proper string
+//! escaping.
+
+use std::fmt::Write as _;
+
+/// Incrementally built JSON object.
+#[derive(Debug)]
+pub(crate) struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObj {
+    pub(crate) fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write!(self.buf, "{}:", quote(name)).expect("string formatting is infallible");
+    }
+
+    pub(crate) fn str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&quote(value));
+        self
+    }
+
+    pub(crate) fn u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        write!(self.buf, "{value}").expect("string formatting is infallible");
+        self
+    }
+
+    /// A float member, emitted with enough precision for timings and
+    /// rates. Non-finite values (never expected) become `null`.
+    pub(crate) fn f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        if value.is_finite() {
+            write!(self.buf, "{value:.6}").expect("string formatting is infallible");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// A nested object member from an already-rendered JSON string.
+    pub(crate) fn raw(&mut self, name: &str, rendered: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(rendered);
+        self
+    }
+
+    pub(crate) fn finish(&mut self) -> String {
+        let mut out = std::mem::take(&mut self.buf);
+        out.push('}');
+        out
+    }
+}
+
+/// JSON string literal with escaping for quotes, backslashes, and
+/// control characters.
+pub(crate) fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("string formatting is infallible")
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_objects() {
+        let inner = JsonObj::new().u64("a", 1).u64("b", 2).finish();
+        let outer = JsonObj::new()
+            .str("name", "x")
+            .f64("rate", 0.5)
+            .raw("inner", &inner)
+            .finish();
+        assert_eq!(
+            outer,
+            r#"{"name":"x","rate":0.500000,"inner":{"a":1,"b":2}}"#
+        );
+    }
+
+    #[test]
+    fn empty_object_is_braces() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(quote("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonObj::new().f64("x", f64::NAN).finish(), r#"{"x":null}"#);
+    }
+}

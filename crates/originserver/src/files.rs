@@ -160,6 +160,15 @@ impl FilePopulation {
             .map(|(i, r)| (FileId::from_index(i), r))
     }
 
+    /// Request-path → id map over the whole population — how a live
+    /// server resolves an HTTP request line to a file. Later files win on
+    /// duplicate paths (populations built from traces keep paths unique).
+    pub fn path_index(&self) -> std::collections::HashMap<String, FileId> {
+        self.iter()
+            .map(|(id, rec)| (rec.path.clone(), id))
+            .collect()
+    }
+
     /// Every modification event across all files as `(instant, file)`
     /// pairs, sorted by instant (creation events excluded). This is the
     /// modification half of a simulation's event stream.
@@ -181,6 +190,18 @@ mod tests {
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn path_index_maps_every_path_to_its_id() {
+        let mut pop = FilePopulation::new();
+        let a = pop.add(FileRecord::new("/a.html", t(0), 1));
+        let b = pop.add(FileRecord::new("/b.html", t(0), 1));
+        let idx = pop.path_index();
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get("/a.html"), Some(&a));
+        assert_eq!(idx.get("/b.html"), Some(&b));
+        assert_eq!(idx.get("/c.html"), None);
     }
 
     #[test]

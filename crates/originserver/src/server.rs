@@ -61,6 +61,12 @@ impl OriginServer {
         &self.files
     }
 
+    /// A shared handle to the published file set (for components that
+    /// outlive a borrow of the server, like the live stack's workers).
+    pub fn files_arc(&self) -> Arc<FilePopulation> {
+        Arc::clone(&self.files)
+    }
+
     /// Accumulated operation counts (Figure 8's metric).
     pub fn load(&self) -> &ServerLoad {
         &self.load
@@ -137,6 +143,21 @@ impl OriginServer {
             }
             None => false,
         }
+    }
+
+    /// Drop every subscription `cache` holds, returning how many were
+    /// removed. Used when a cache disconnects entirely (a live proxy
+    /// closing its control channel): the server must stop addressing
+    /// invalidations to it.
+    pub fn unsubscribe_all(&mut self, cache: CacheId) -> usize {
+        let mut removed = 0;
+        for set in &mut self.subscribers {
+            if set.remove(&cache) {
+                removed += 1;
+            }
+        }
+        self.subscription_count -= removed;
+        removed
     }
 
     /// Current subscribers of `file`, in deterministic (id) order.
@@ -265,6 +286,28 @@ mod tests {
         assert!(!s.unsubscribe(CacheId(1), f));
         assert!(s.notify_modification(f).is_empty());
         assert_eq!(s.subscription_count(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_all_clears_every_file() {
+        let mut pop = FilePopulation::new();
+        let a = pop.add(FileRecord::new("/a", t(0), 1));
+        let b = pop.add(FileRecord::new("/b", t(0), 1));
+        let mut s = OriginServer::new(pop);
+        s.subscribe(CacheId(1), a);
+        s.subscribe(CacheId(1), b);
+        s.subscribe(CacheId(2), b);
+        assert_eq!(s.unsubscribe_all(CacheId(1)), 2);
+        assert_eq!(s.subscription_count(), 1);
+        assert_eq!(s.subscribers(b), vec![CacheId(2)]);
+        assert_eq!(s.unsubscribe_all(CacheId(1)), 0);
+    }
+
+    #[test]
+    fn files_arc_shares_the_population() {
+        let (s, f) = server_with_one_file();
+        let arc = s.files_arc();
+        assert_eq!(arc.get(f).path, s.files().get(f).path);
     }
 
     #[test]

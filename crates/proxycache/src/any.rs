@@ -1,0 +1,199 @@
+//! Runtime-selected entry store.
+//!
+//! [`Store`] has a lifetime-generic associated iterator, so it is not
+//! object-safe; code that picks a store at runtime (the live proxy's
+//! `--store` flag, sweep drivers comparing eviction policies) cannot hold
+//! a `Box<dyn Store>`. [`AnyStore`] is the enum-dispatch alternative: one
+//! concrete type covering the three stores, itself implementing [`Store`].
+
+use simcore::{FileId, SimTime};
+
+use crate::entry::EntryMeta;
+use crate::fifo::{FifoIter, FifoStore};
+use crate::lru::{LruIter, LruStore};
+use crate::store::{Store, UnboundedIter, UnboundedStore};
+
+/// One of the three entry stores, selected at runtime.
+#[derive(Debug)]
+pub enum AnyStore {
+    /// The paper's infinite store.
+    Unbounded(UnboundedStore),
+    /// Byte-bounded with least-recently-used eviction.
+    Lru(LruStore),
+    /// Byte-bounded with first-in-first-out eviction.
+    Fifo(FifoStore),
+}
+
+impl AnyStore {
+    /// An unbounded store.
+    pub fn unbounded() -> Self {
+        AnyStore::Unbounded(UnboundedStore::new())
+    }
+
+    /// A byte-bounded LRU store.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes` is zero.
+    pub fn lru(capacity_bytes: u64) -> Self {
+        AnyStore::Lru(LruStore::new(capacity_bytes))
+    }
+
+    /// A byte-bounded FIFO store.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes` is zero.
+    pub fn fifo(capacity_bytes: u64) -> Self {
+        AnyStore::Fifo(FifoStore::new(capacity_bytes))
+    }
+
+    /// Capacity-eviction count (zero for the unbounded store, which never
+    /// evicts).
+    pub fn evictions(&self) -> u64 {
+        match self {
+            AnyStore::Unbounded(_) => 0,
+            AnyStore::Lru(s) => s.evictions(),
+            AnyStore::Fifo(s) => s.evictions(),
+        }
+    }
+
+    /// Short label for reports (`unbounded` / `lru` / `fifo`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnyStore::Unbounded(_) => "unbounded",
+            AnyStore::Lru(_) => "lru",
+            AnyStore::Fifo(_) => "fifo",
+        }
+    }
+}
+
+impl Default for AnyStore {
+    fn default() -> Self {
+        AnyStore::unbounded()
+    }
+}
+
+/// Iterator over an [`AnyStore`]'s resident entries, id order.
+pub struct AnyStoreIter<'a>(Inner<'a>);
+
+enum Inner<'a> {
+    Unbounded(UnboundedIter<'a>),
+    Lru(LruIter<'a>),
+    Fifo(FifoIter<'a>),
+}
+
+impl<'a> Iterator for AnyStoreIter<'a> {
+    type Item = (FileId, &'a EntryMeta);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.0 {
+            Inner::Unbounded(it) => it.next(),
+            Inner::Lru(it) => it.next(),
+            Inner::Fifo(it) => it.next(),
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $s:pat => $body:expr) => {
+        match $self {
+            AnyStore::Unbounded($s) => $body,
+            AnyStore::Lru($s) => $body,
+            AnyStore::Fifo($s) => $body,
+        }
+    };
+}
+
+impl Store for AnyStore {
+    type Iter<'a> = AnyStoreIter<'a>;
+
+    fn peek(&self, id: FileId) -> Option<&EntryMeta> {
+        dispatch!(self, s => s.peek(id))
+    }
+
+    fn access(&mut self, id: FileId, now: SimTime) -> Option<&mut EntryMeta> {
+        dispatch!(self, s => s.access(id, now))
+    }
+
+    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
+        dispatch!(self, s => s.insert(id, meta))
+    }
+
+    fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
+        dispatch!(self, s => s.remove(id))
+    }
+
+    fn len(&self) -> usize {
+        dispatch!(self, s => s.len())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        dispatch!(self, s => s.resident_bytes())
+    }
+
+    fn iter(&self) -> AnyStoreIter<'_> {
+        match self {
+            AnyStore::Unbounded(s) => AnyStoreIter(Inner::Unbounded(s.iter())),
+            AnyStore::Lru(s) => AnyStoreIter(Inner::Lru(s.iter())),
+            AnyStore::Fifo(s) => AnyStoreIter(Inner::Fifo(s.iter())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn meta(size: u64) -> EntryMeta {
+        EntryMeta::fresh(size, t(0), t(0))
+    }
+
+    #[test]
+    fn variants_report_their_kind() {
+        assert_eq!(AnyStore::unbounded().kind(), "unbounded");
+        assert_eq!(AnyStore::lru(10).kind(), "lru");
+        assert_eq!(AnyStore::fifo(10).kind(), "fifo");
+        assert_eq!(AnyStore::default().kind(), "unbounded");
+    }
+
+    #[test]
+    fn store_operations_dispatch_to_each_variant() {
+        for mut s in [
+            AnyStore::unbounded(),
+            AnyStore::lru(1000),
+            AnyStore::fifo(1000),
+        ] {
+            assert!(s.is_empty());
+            assert!(s.insert(FileId(1), meta(100)).is_empty());
+            s.insert(FileId(3), meta(50));
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.resident_bytes(), 150);
+            assert_eq!(s.peek(FileId(1)).unwrap().size, 100);
+            s.access(FileId(1), t(5)).unwrap().mark_invalid();
+            assert!(!s.peek(FileId(1)).unwrap().is_valid());
+            let ids: Vec<u32> = s.iter().map(|(id, _)| id.0).collect();
+            assert_eq!(ids, vec![1, 3], "{}", s.kind());
+            assert_eq!(s.remove(FileId(1)).unwrap().size, 100);
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.evictions(), 0);
+        }
+    }
+
+    #[test]
+    fn bounded_variants_evict_under_pressure() {
+        for mut s in [AnyStore::lru(100), AnyStore::fifo(100)] {
+            s.insert(FileId(1), meta(60));
+            s.insert(FileId(2), meta(60));
+            assert_eq!(s.evictions(), 1, "{}", s.kind());
+            assert_eq!(s.len(), 1);
+        }
+        let mut u = AnyStore::unbounded();
+        u.insert(FileId(1), meta(60));
+        u.insert(FileId(2), meta(60));
+        assert_eq!(u.evictions(), 0);
+        assert_eq!(u.len(), 2);
+    }
+}

@@ -13,14 +13,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod any;
 mod entry;
 mod fifo;
 mod hierarchy;
 mod lru;
 mod store;
 
+pub use any::{AnyStore, AnyStoreIter};
 pub use entry::{EntryMeta, EntryState};
-pub use fifo::FifoStore;
+pub use fifo::{FifoIter, FifoStore};
 pub use hierarchy::HierarchyTopology;
-pub use lru::LruStore;
-pub use store::{update_entry_size, Store, UnboundedStore};
+pub use lru::{LruIter, LruStore};
+pub use store::{update_entry_size, Store, UnboundedIter, UnboundedStore};

@@ -27,6 +27,6 @@ mod time;
 
 pub use engine::{Dispatch, Event, Scheduler, Simulation};
 pub use ids::{CacheId, ClientId, FileId};
-pub use metrics::{CacheStats, ServerLoad, TrafficMeter};
+pub use metrics::{CacheStats, LatencyStats, ServerLoad, TrafficMeter};
 pub use queue::{EventHandle, EventQueue};
 pub use time::{SimDuration, SimTime};

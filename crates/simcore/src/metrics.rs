@@ -185,6 +185,85 @@ impl fmt::Display for ServerLoad {
     }
 }
 
+/// Per-request service-latency samples with percentile reporting — the
+/// live serving stack's counterpart to the simulator's analytic link
+/// model. Workers record raw nanosecond samples locally and
+/// [`merge`](LatencyStats::merge) them at aggregation time, like the
+/// other meters here.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request's service time in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.samples_ns.push(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.samples_ns.len() as u64
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, by the
+    /// nearest-rank method on the sorted samples. `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Median service time in nanoseconds.
+    pub fn p50_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile service time in nanoseconds.
+    pub fn p99_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.99)
+    }
+
+    /// Mean service time in nanoseconds.
+    pub fn mean_ns(&self) -> Option<f64> {
+        (!self.samples_ns.is_empty())
+            .then(|| self.samples_ns.iter().sum::<u64>() as f64 / self.samples_ns.len() as f64)
+    }
+
+    /// Absorb another worker's samples.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.p50_ns(), self.p99_ns()) {
+            (Some(p50), Some(p99)) => write!(
+                f,
+                "{} samples: p50 {:.1}us, p99 {:.1}us",
+                self.count(),
+                p50 as f64 / 1000.0,
+                p99 as f64 / 1000.0
+            ),
+            _ => write!(f, "no samples"),
+        }
+    }
+}
+
 fn ratio(num: u64, denom: u64) -> f64 {
     if denom == 0 {
         0.0
@@ -290,6 +369,50 @@ mod tests {
         };
         e.merge(&f);
         assert_eq!(e.total_operations(), 3);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let mut l = LatencyStats::new();
+        for ns in [50, 10, 40, 30, 20] {
+            l.record_ns(ns);
+        }
+        assert_eq!(l.count(), 5);
+        assert_eq!(l.quantile_ns(0.0), Some(10)); // rank clamps to 1
+        assert_eq!(l.p50_ns(), Some(30));
+        assert_eq!(l.p99_ns(), Some(50));
+        assert_eq!(l.quantile_ns(1.0), Some(50));
+        assert_eq!(l.mean_ns(), Some(30.0));
+    }
+
+    #[test]
+    fn empty_latency_has_no_percentiles() {
+        let l = LatencyStats::new();
+        assert_eq!(l.p50_ns(), None);
+        assert_eq!(l.p99_ns(), None);
+        assert_eq!(l.mean_ns(), None);
+        assert_eq!(l.to_string(), "no samples");
+    }
+
+    #[test]
+    fn latency_merge_pools_samples() {
+        let mut a = LatencyStats::new();
+        a.record_ns(1);
+        let mut b = LatencyStats::new();
+        b.record_ns(3);
+        b.record_ns(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.p50_ns(), Some(3));
+        assert!(a.to_string().contains("p50"));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn latency_rejects_bad_quantile() {
+        let mut l = LatencyStats::new();
+        l.record_ns(1);
+        l.quantile_ns(1.5);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!   policies;
 //! * [`webtrace`] — trace formats, calibrated generators, analyzers;
 //! * [`proxycache`], [`originserver`] — the cache and server substrates;
+//! * [`liveserve`] — the real-TCP origin, proxy, and load generator;
 //! * [`httpsim`] — the HTTP/1.0 message model;
 //! * [`simcore`], [`simstats`] — the simulation and statistics substrates.
 //!
@@ -28,6 +29,7 @@
 
 pub use consistency;
 pub use httpsim;
+pub use liveserve;
 pub use originserver;
 pub use proxycache;
 pub use simcore;

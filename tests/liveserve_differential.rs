@@ -1,0 +1,104 @@
+//! Differential test: the live TCP stack against the optimized simulator.
+//!
+//! The same synthetic workload is replayed twice — once through
+//! `webcache::run` (conditional retrieval, no preload) and once through
+//! `liveserve`'s loopback origin + proxy with a single client thread —
+//! and the behavioural counters must match *exactly*: every hit, miss,
+//! stale hit, validation, server operation, and staleness second.
+//!
+//! The one deliberate divergence is `TrafficMeter::message_bytes`: the
+//! simulator charges the paper's 43-byte constant per control message
+//! while the live stack counts real wire bytes. Message and
+//! file-transfer *counts* (and body bytes) still have to agree, so the
+//! assertion covers those fields individually instead of the whole
+//! meter.
+
+use wwwcache::webcache::live::run_live;
+use wwwcache::webcache::{
+    generate_synthetic, run, ProtocolSpec, RunResult, SimConfig, Workload, WorrellConfig,
+};
+
+/// The simulator configuration the live stack mirrors: conditional
+/// (If-Modified-Since) retrieval, no cache pre-load.
+fn live_equivalent_config() -> SimConfig {
+    SimConfig {
+        preload: false,
+        ..SimConfig::optimized()
+    }
+}
+
+fn assert_live_matches_sim(workload: &Workload, spec: ProtocolSpec) {
+    let sim: RunResult = run(workload, spec, &live_equivalent_config());
+    let live = run_live(workload, spec, 1).expect("live loopback run");
+
+    assert_eq!(live.policy, sim.protocol, "policy label");
+    assert_eq!(live.cache, sim.cache, "{spec:?}: CacheStats diverged");
+    assert_eq!(
+        live.server, sim.server,
+        "{spec:?}: ServerLoad diverged (origin-side operation counts)"
+    );
+    assert_eq!(
+        live.stale_age_total, sim.stale_age_total,
+        "{spec:?}: summed staleness age diverged"
+    );
+    assert_eq!(
+        live.traffic.messages, sim.traffic.messages,
+        "{spec:?}: control-message count diverged"
+    );
+    assert_eq!(
+        live.traffic.file_transfers, sim.traffic.file_transfers,
+        "{spec:?}: file-transfer count diverged"
+    );
+    assert_eq!(
+        live.traffic.file_bytes, sim.traffic.file_bytes,
+        "{spec:?}: file-body bytes diverged"
+    );
+    // Real wire bytes are never cheaper than zero-length messages, and a
+    // run with traffic must have counted some.
+    if live.traffic.messages > 0 {
+        assert!(live.traffic.message_bytes > 0, "{spec:?}: no wire bytes");
+    }
+}
+
+fn differential_workload() -> Workload {
+    generate_synthetic(&WorrellConfig::scaled(80, 2_500), 1996)
+}
+
+#[test]
+fn ttl_live_run_matches_optimized_simulator() {
+    assert_live_matches_sim(&differential_workload(), ProtocolSpec::Ttl(24));
+}
+
+#[test]
+fn alex_live_run_matches_optimized_simulator() {
+    assert_live_matches_sim(&differential_workload(), ProtocolSpec::Alex(20));
+}
+
+#[test]
+fn invalidation_live_run_matches_optimized_simulator() {
+    let workload = differential_workload();
+    assert_live_matches_sim(&workload, ProtocolSpec::Invalidation);
+
+    // Invalidation is the interesting protocol for the live stack: the
+    // agreement above only means something if callbacks actually flowed.
+    let live = run_live(&workload, ProtocolSpec::Invalidation, 1).unwrap();
+    assert!(
+        live.invalidations_delivered > 0,
+        "no invalidations crossed the control channel"
+    );
+    assert_eq!(
+        live.invalidations_delivered, live.server.invalidations_sent,
+        "every INVALIDATE the origin sent must be delivered and ACKed"
+    );
+    assert_eq!(
+        live.cache.stale_hits, 0,
+        "invalidation must never serve stale"
+    );
+}
+
+#[test]
+fn a_second_seed_also_agrees() {
+    let workload = generate_synthetic(&WorrellConfig::scaled(50, 1_200), 7);
+    assert_live_matches_sim(&workload, ProtocolSpec::Alex(10));
+    assert_live_matches_sim(&workload, ProtocolSpec::Invalidation);
+}

@@ -8,6 +8,7 @@
 //! wcc all           [--quick] [--jobs N]     everything, in paper order
 //! wcc serve   [--smoke | --listen A --control A] [workload flags]
 //! wcc loadgen [--smoke | --bench] [--threads N] [workload flags]
+//! wcc analyze [--json] [--check-fixtures [DIR]]  run the invariant linter
 //! ```
 //!
 //! `--quick` uses the reduced test-scale configuration; the default is the
@@ -42,6 +43,7 @@ fn usage() -> ! {
         "usage: wcc <figure 1-8 | table 1-2 | ablations | all> [--quick] [--jobs N]\n\
          \x20      wcc serve   [--smoke | --listen ADDR --control ADDR] [--files N --requests N --seed S]\n\
          \x20      wcc loadgen [--smoke | --bench] [--threads N] [--files N --requests N --seed S]\n\
+         \x20      wcc analyze [--json] [--check-fixtures [DIR]] [--quiet]\n\
          regenerates the tables and figures of Gwertzman & Seltzer,\n\
          'World Wide Web Cache Consistency' (USENIX 1996), or runs the\n\
          live TCP origin/proxy stack (serve, loadgen)\n\
@@ -499,6 +501,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&parse_live_args(&args[1..])),
         Some("loadgen") => return cmd_loadgen(&parse_live_args(&args[1..])),
+        Some("analyze") => std::process::exit(wcc_analyze::cli::run(&args[1..])),
         _ => {}
     }
     let (quick, runner, positional) = parse_args(&args);

@@ -18,6 +18,11 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+/// Hard cap on one control line. Paths are short; a peer that streams
+/// this much without a newline is broken or hostile, and the channel is
+/// closed instead of buffering without bound.
+const MAX_LINE: usize = 64 * 1024;
+
 /// A newline-delimited message-framed view of a control stream.
 #[derive(Debug)]
 pub(crate) struct LineConn {
@@ -103,7 +108,16 @@ impl LineConn {
                         ))
                     };
                 }
-                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    if self.rbuf.len().saturating_add(n) > MAX_LINE {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "control line exceeds MAX_LINE without a newline",
+                        ));
+                    }
+                    // wcc-allow: r5 growth capped at MAX_LINE by the check above
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e)
                     if matches!(
                         e.kind(),

@@ -15,6 +15,7 @@
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 use httpsim::{Request, Response};
@@ -24,6 +25,27 @@ use httpsim::{Request, Response};
 pub(crate) const POLL_TICK: Duration = Duration::from_millis(25);
 
 const READ_CHUNK: usize = 16 * 1024;
+
+/// Hard cap on one framed message (headers + body). A peer that streams
+/// more than this without completing a frame is protocol-broken or
+/// hostile; the connection is closed instead of buffering without bound.
+pub(crate) const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Lock a mutex, recovering the data if a previous holder panicked.
+///
+/// Every liveserve mutex guards plain bookkeeping that is consistent
+/// between statements, so a poisoned lock means "another worker died",
+/// not "the data is torn" — serving must continue (R4: one bad
+/// connection never takes down the rest of the stack).
+pub fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Log a per-connection failure. Workers call this and return, closing
+/// only the offending connection while the accept loop keeps serving.
+pub(crate) fn log_conn_error(role: &str, e: &io::Error) {
+    eprintln!("liveserve[{role}]: connection error: {e}");
+}
 
 /// A TCP stream carrying framed HTTP/1.0 messages in both directions.
 #[derive(Debug)]
@@ -71,6 +93,13 @@ impl HttpConn {
     fn fill(&mut self) -> io::Result<usize> {
         let mut chunk = [0u8; READ_CHUNK];
         let n = self.stream.read(&mut chunk)?;
+        if self.rbuf.len().saturating_add(n) > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds MAX_FRAME without parsing",
+            ));
+        }
+        // wcc-allow: r5 growth capped at MAX_FRAME by the check above
         self.rbuf.extend_from_slice(&chunk[..n]);
         Ok(n)
     }
@@ -228,6 +257,40 @@ mod tests {
         client.stream().write_all(b"NONSENSE\r\n\r\n").unwrap();
         let err = server.read_request(&shutdown).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_not_buffered() {
+        let (server, mut client) = pair();
+        // A response header promising more than MAX_FRAME: the client
+        // must error out instead of buffering the flood.
+        let resp = Response::ok(HttpDate(1), HttpDate(0), (MAX_FRAME + READ_CHUNK) as u64);
+        let mut stream = server.stream().try_clone().unwrap();
+        let writer = thread::spawn(move || {
+            let mut bytes = resp.serialize_headers().into_bytes();
+            bytes.resize(bytes.len() + MAX_FRAME + READ_CHUNK, 0u8);
+            let _ = stream.write_all(&bytes);
+        });
+        let err = client.read_response().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        drop(client);
+        drop(server);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn lock_clean_recovers_poisoned_mutex() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_clean(&m), 7);
+        *lock_clean(&m) = 9;
+        assert_eq!(*lock_clean(&m), 9);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use simcore::{CacheId, FileId, ServerLoad, SimDuration, SimTime};
 
 use crate::clock::{sim_instant, wall_date, LiveClock};
 use crate::control::{write_msg, ControlMsg, LineConn};
-use crate::netio::{HttpConn, POLL_TICK};
+use crate::netio::{lock_clean, log_conn_error, HttpConn, POLL_TICK};
 
 /// Configuration for [`LiveOrigin::spawn`].
 #[derive(Debug, Clone)]
@@ -135,16 +135,12 @@ impl OriginShared {
         }
         match req.if_modified_since {
             None => {
-                let v = self.server.lock().unwrap().handle_get(file, now);
+                let v = lock_clean(&self.server).handle_get(file, now);
                 self.full_response(file, v, now)
             }
             Some(ims) => {
                 let since = sim_instant(ims);
-                let result = self
-                    .server
-                    .lock()
-                    .unwrap()
-                    .handle_conditional_get(file, since, now);
+                let result = lock_clean(&self.server).handle_conditional_get(file, since, now);
                 match result {
                     CondResult::NotModified => {
                         let resp =
@@ -161,26 +157,26 @@ impl OriginShared {
     /// lock, then (lock released) push `INVALIDATE` to each and wait for
     /// its `ACK`.
     fn deliver_invalidation(&self, file: FileId) {
-        let targets = self.server.lock().unwrap().notify_modification(file);
+        let targets = lock_clean(&self.server).notify_modification(file);
         if targets.is_empty() {
             return;
         }
         let path = &self.population.get(file).path;
         for cache in targets {
             let peer = {
-                let peers = self.peers.lock().unwrap();
+                let peers = lock_clean(&self.peers);
                 peers.get(cache.index()).and_then(|p| p.clone())
             };
             let Some(peer) = peer else { continue };
             if write_msg(
-                &mut peer.writer.lock().unwrap(),
+                &mut lock_clean(&peer.writer),
                 &ControlMsg::Invalidate(path.clone()),
             )
             .is_err()
             {
                 continue;
             }
-            let acks = peer.acks.lock().unwrap();
+            let acks = lock_clean(&peer.acks);
             loop {
                 match acks.recv_timeout(POLL_TICK) {
                     Ok(()) => break,
@@ -215,13 +211,13 @@ impl OriginShared {
                 match msg {
                     ControlMsg::Subscribe(path) => {
                         if let Some(&file) = self.path_ids.get(&path) {
-                            self.server.lock().unwrap().subscribe(cache, file);
+                            lock_clean(&self.server).subscribe(cache, file);
                         }
                         self.reply(cache, &ControlMsg::Ok)?;
                     }
                     ControlMsg::Unsubscribe(path) => {
                         if let Some(&file) = self.path_ids.get(&path) {
-                            self.server.lock().unwrap().unsubscribe(cache, file);
+                            lock_clean(&self.server).unsubscribe(cache, file);
                         }
                         self.reply(cache, &ControlMsg::Ok)?;
                     }
@@ -240,18 +236,22 @@ impl OriginShared {
             }
             Ok(())
         })();
-        drop(result); // a dead peer's channel errors are not actionable
-        self.server.lock().unwrap().unsubscribe_all(cache);
-        self.peers.lock().unwrap()[cache.index()] = None;
+        if let Err(e) = result {
+            log_conn_error("origin-control", &e);
+        }
+        lock_clean(&self.server).unsubscribe_all(cache);
+        if let Some(slot) = lock_clean(&self.peers).get_mut(cache.index()) {
+            *slot = None;
+        }
     }
 
     fn reply(&self, cache: CacheId, msg: &ControlMsg) -> io::Result<()> {
         let peer = {
-            let peers = self.peers.lock().unwrap();
+            let peers = lock_clean(&self.peers);
             peers.get(cache.index()).and_then(|p| p.clone())
         };
         match peer {
-            Some(peer) => write_msg(&mut peer.writer.lock().unwrap(), msg).map(|_| ()),
+            Some(peer) => write_msg(&mut lock_clean(&peer.writer), msg).map(|_| ()),
             None => Err(io::Error::new(
                 io::ErrorKind::NotConnected,
                 "control peer deregistered",
@@ -267,10 +267,13 @@ fn accept_loop(
     listener: TcpListener,
     serve: impl Fn(Arc<OriginShared>, TcpStream) -> JoinHandle<()>,
 ) {
-    listener
-        .set_nonblocking(true)
-        .expect("set_nonblocking on listener");
-    let mut workers = Vec::new();
+    if let Err(e) = listener.set_nonblocking(true) {
+        // Without a nonblocking listener the loop cannot poll shutdown;
+        // refuse to serve rather than hang the whole process on join.
+        log_conn_error("accept", &e);
+        return;
+    }
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -278,6 +281,8 @@ fn accept_loop(
                 // conn type arms); on Linux they do not inherit the
                 // listener's nonblocking flag, but be explicit.
                 if stream.set_nonblocking(false).is_ok() {
+                    workers.retain(|w| !w.is_finished());
+                    // wcc-allow: r5 bounded by live connections — finished workers reaped above
                     workers.push(serve(Arc::clone(&shared), stream));
                 }
             }
@@ -338,7 +343,9 @@ impl LiveOrigin {
             thread::spawn(move || {
                 accept_loop(shared, data_listener, |shared, stream| {
                     thread::spawn(move || {
-                        let _ = shared.serve_data_conn(stream);
+                        if let Err(e) = shared.serve_data_conn(stream) {
+                            log_conn_error("origin-data", &e);
+                        }
                     })
                 })
             })
@@ -351,10 +358,13 @@ impl LiveOrigin {
                     // Register the peer (writer + ack channel) under the
                     // next CacheId before its reader starts, so replies
                     // and invalidations always find it.
+                    // wcc-allow: r5 ACK channel — the protocol allows one outstanding INVALIDATE per peer
                     let (ack_tx, ack_rx) = mpsc::channel();
                     let registered = stream.try_clone().ok().map(|writer| {
-                        let mut peers = shared.peers.lock().unwrap();
+                        let mut peers = lock_clean(&shared.peers);
                         let idx = peers.len();
+                        // One slot per control peer, nulled on disconnect;
+                        // proxies are few and long-lived.
                         peers.push(Some(Arc::new(ControlPeer {
                             writer: Mutex::new(writer),
                             acks: Mutex::new(ack_rx),
@@ -365,8 +375,12 @@ impl LiveOrigin {
                         let Some(cache) = registered else { return };
                         match LineConn::new(stream) {
                             Ok(conn) => shared.serve_control_conn(cache, conn, ack_tx),
-                            Err(_) => {
-                                shared.peers.lock().unwrap()[cache.index()] = None;
+                            Err(e) => {
+                                log_conn_error("origin-control", &e);
+                                if let Some(slot) = lock_clean(&shared.peers).get_mut(cache.index())
+                                {
+                                    *slot = None;
+                                }
                             }
                         }
                     })
@@ -399,7 +413,7 @@ impl LiveOrigin {
     /// each fully acknowledged before the next).
     pub fn advance_to(&self, t: SimTime) {
         self.shared.clock.advance_to(t);
-        let mut guard = self.mods.lock().unwrap();
+        let mut guard = lock_clean(&self.mods);
         let (schedule, cursor) = &mut *guard;
         while *cursor < schedule.len() && schedule[*cursor].0 <= t {
             let (_, file) = schedule[*cursor];
@@ -410,7 +424,7 @@ impl LiveOrigin {
 
     /// Current subscription count (for tests and the serve status line).
     pub fn subscription_count(&self) -> usize {
-        self.shared.server.lock().unwrap().subscription_count()
+        lock_clean(&self.shared.server).subscription_count()
     }
 
     fn stop(&mut self) {
@@ -426,7 +440,7 @@ impl LiveOrigin {
     /// Stop serving and return the accumulated [`ServerLoad`].
     pub fn shutdown(mut self) -> ServerLoad {
         self.stop();
-        *self.shared.server.lock().unwrap().load()
+        *lock_clean(&self.shared.server).load()
     }
 }
 
@@ -571,6 +585,64 @@ mod tests {
         let (resp, _) = conn.read_response().unwrap();
         assert_eq!(resp.status, Status::NotModified);
         assert_eq!(resp.expires, Some(wall_date(t(600))));
+        drop(origin);
+    }
+
+    #[test]
+    fn malformed_request_kills_only_its_connection() {
+        use std::io::{Read as _, Write as _};
+        let (origin, _clock) = small_origin();
+
+        // A healthy persistent connection, established first.
+        let mut good = connect(&origin);
+        good.write_request(&Request::get("/a.html")).unwrap();
+        assert_eq!(good.read_response().unwrap().0.status, Status::Ok);
+
+        // A second connection speaks garbage: the worker must log, close
+        // that connection (EOF on our side), and nothing else may die.
+        let mut bad = TcpStream::connect(origin.data_addr()).unwrap();
+        bad.write_all(b"GARBAGE THAT IS NOT HTTP\r\n\r\n").unwrap();
+        let mut sink = Vec::new();
+        let _ = bad.read_to_end(&mut sink);
+        assert!(sink.is_empty(), "no response to an unparseable request");
+
+        // The earlier connection still works...
+        good.write_request(&Request::get("/a.html")).unwrap();
+        assert_eq!(good.read_response().unwrap().0.status, Status::Ok);
+
+        // ...and so do fresh ones.
+        let mut fresh = connect(&origin);
+        fresh.write_request(&Request::get("/b.html")).unwrap();
+        assert_eq!(fresh.read_response().unwrap().0.status, Status::Ok);
+
+        let load = origin.shutdown();
+        assert_eq!(load.document_requests, 3);
+    }
+
+    #[test]
+    fn malformed_control_message_does_not_kill_the_origin() {
+        use std::io::{Read as _, Write as _};
+        let (origin, _clock) = small_origin();
+
+        // An unknown verb on the control port: channel closed, logged.
+        let mut bad = TcpStream::connect(origin.control_addr()).unwrap();
+        bad.write_all(b"PURGE /a.html\n").unwrap();
+        let mut sink = Vec::new();
+        let _ = bad.read_to_end(&mut sink);
+
+        // The data path is unaffected...
+        let mut conn = connect(&origin);
+        conn.write_request(&Request::get("/a.html")).unwrap();
+        assert_eq!(conn.read_response().unwrap().0.status, Status::Ok);
+
+        // ...and a well-behaved control channel still subscribes.
+        let stream = TcpStream::connect(origin.control_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut cconn = LineConn::new(stream).unwrap();
+        let shutdown = AtomicBool::new(false);
+        write_msg(&mut writer, &ControlMsg::Subscribe("/a.html".into())).unwrap();
+        assert_eq!(cconn.read_msg(&shutdown).unwrap(), Some(ControlMsg::Ok));
+        assert_eq!(origin.subscription_count(), 1);
         drop(origin);
     }
 

@@ -38,7 +38,7 @@ use simcore::{CacheStats, FileId, SimDuration, SimTime, TrafficMeter};
 
 use crate::clock::{sim_instant, wall_date, LiveClock};
 use crate::control::{write_msg, ControlMsg, LineConn};
-use crate::netio::{HttpConn, POLL_TICK};
+use crate::netio::{lock_clean, log_conn_error, HttpConn, POLL_TICK};
 
 /// The consistency mechanisms the live stack runs — the paper's three,
 /// as cache-side policies plus the invalidation wiring.
@@ -229,7 +229,7 @@ impl ProxyShared {
     }
 
     fn resolve(&self, path: &str) -> FileId {
-        let mut names = self.names.lock().unwrap();
+        let mut names = lock_clean(&self.names);
         if let Some(&id) = names.by_path.get(path) {
             return id;
         }
@@ -240,7 +240,11 @@ impl ProxyShared {
     }
 
     fn path_of(&self, file: FileId) -> String {
-        self.names.lock().unwrap().paths[file.index()].clone()
+        lock_clean(&self.names)
+            .paths
+            .get(file.index())
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// The simulator's omniscient fresh/stale classification of a local
@@ -258,7 +262,12 @@ impl ProxyShared {
             return;
         };
         let rec = gt.get(file);
-        let live = rec.version_at(now).expect("requested file exists");
+        let Some(live) = rec.version_at(now) else {
+            // The request raced ahead of the scripted timeline; with no
+            // live version to compare against, count the hit as fresh.
+            st.stats.fresh_hits += 1;
+            return;
+        };
         if live.modified_at == entry.last_modified {
             st.stats.fresh_hits += 1;
         } else {
@@ -276,11 +285,14 @@ impl ProxyShared {
     /// answerable with ground truth, else assume changed — the entry was
     /// invalidated, after all.)
     fn changed_since(&self, file: FileId, entry: &EntryMeta, now: SimTime) -> bool {
-        match self.ground_truth.as_ref() {
-            Some(gt) => {
-                let live = gt.get(file).version_at(now).expect("requested file exists");
-                live.modified_at != entry.last_modified
-            }
+        match self
+            .ground_truth
+            .as_ref()
+            .and_then(|gt| gt.get(file).version_at(now))
+        {
+            Some(live) => live.modified_at != entry.last_modified,
+            // No ground truth (or no live version yet): the entry was
+            // invalidated, so assume it changed.
             None => true,
         }
     }
@@ -321,10 +333,10 @@ impl ProxyShared {
         let Some(control) = self.control.as_ref() else {
             return;
         };
-        if write_msg(&mut control.writer.lock().unwrap(), msg).is_err() {
+        if write_msg(&mut lock_clean(&control.writer), msg).is_err() {
             return;
         }
-        let ok_rx = control.ok_rx.lock().unwrap();
+        let ok_rx = lock_clean(&control.ok_rx);
         loop {
             match ok_rx.recv_timeout(POLL_TICK) {
                 Ok(()) => break,
@@ -362,7 +374,7 @@ impl ProxyShared {
                         let inv_bytes = msg_len(&ControlMsg::Invalidate(path));
                         let ack_bytes = msg_len(&ControlMsg::Ack);
                         {
-                            let mut st = self.state.lock().unwrap();
+                            let mut st = lock_clean(&self.state);
                             // One invalidation = one control message
                             // (notice + ack), as in the simulator's
                             // `invalidation_message` costing.
@@ -377,7 +389,7 @@ impl ProxyShared {
                         // origin sees the ACK, no client can be served
                         // the stale copy.
                         if let Some(control) = self.control.as_ref() {
-                            write_msg(&mut control.writer.lock().unwrap(), &ControlMsg::Ack)?;
+                            write_msg(&mut lock_clean(&control.writer), &ControlMsg::Ack)?;
                         }
                     }
                     ControlMsg::Ok => {
@@ -393,7 +405,11 @@ impl ProxyShared {
             }
             Ok(())
         })();
-        drop(result); // channel death is handled by the run winding down
+        if let Err(e) = result {
+            // Channel death is handled by the run winding down; still
+            // worth a log line so protocol violations are visible.
+            log_conn_error("proxy-control", &e);
+        }
     }
 
     // --- request path ----------------------------------------------------
@@ -416,7 +432,7 @@ impl ProxyShared {
             // The simulator never requests nonexistent files; pass the
             // origin's answer through, charging the exchange as one
             // message and dropping any cached copy.
-            let mut st = self.state.lock().unwrap();
+            let mut st = lock_clean(&self.state);
             st.traffic.add_message(sent + header_bytes);
             st.stats.misses += 1;
             st.store.remove(file);
@@ -425,11 +441,11 @@ impl ProxyShared {
         }
 
         let body = Arc::new(body);
-        let last_modified = sim_instant(resp.last_modified.expect("200 carries Last-Modified"));
+        let last_modified = sim_instant(require_last_modified(&resp)?);
         let expires = resp.expires.map(sim_instant);
 
         if self.is_uncacheable(class) {
-            let mut st = self.state.lock().unwrap();
+            let mut st = lock_clean(&self.state);
             st.traffic.add_message(sent + header_bytes);
             st.traffic.add_file_transfer(body.len() as u64);
             st.stats.misses += 1;
@@ -441,13 +457,13 @@ impl ProxyShared {
         // New entries subscribe *before* insertion, exactly where the
         // simulator does; the peek is racy but only this worker inserts
         // this file during a deterministic (single-client) run.
-        let is_new = self.state.lock().unwrap().store.peek(file).is_none();
+        let is_new = lock_clean(&self.state).store.peek(file).is_none();
         if is_new && self.uses_invalidation {
             self.subscribe_sync(file);
         }
 
         let victims = {
-            let mut st = self.state.lock().unwrap();
+            let mut st = lock_clean(&self.state);
             st.traffic.add_message(sent + header_bytes);
             st.traffic.add_file_transfer(body.len() as u64);
             st.stats.misses += 1;
@@ -486,15 +502,20 @@ impl ProxyShared {
         let action = if self.is_uncacheable(class) {
             Action::FetchFull
         } else {
-            let mut st = self.state.lock().unwrap();
+            let mut st = lock_clean(&self.state);
             match st.store.access(file, now).copied() {
                 None => Action::FetchFull, // compulsory miss
                 Some(entry) => {
                     if entry.is_valid() && st.policy.is_fresh(&entry, class, now) {
-                        self.classify_local_hit(&mut st, file, &entry, now);
-                        let body =
-                            Arc::clone(st.bodies.get(&file).expect("resident entry has a body"));
-                        Action::ServeLocal(Self::local_response(&entry, &body, now), body)
+                        match st.bodies.get(&file).map(Arc::clone) {
+                            Some(body) => {
+                                self.classify_local_hit(&mut st, file, &entry, now);
+                                Action::ServeLocal(Self::local_response(&entry, &body, now), body)
+                            }
+                            // Resident meta whose body was dropped by a
+                            // concurrent eviction: treat as a miss.
+                            None => Action::FetchFull,
+                        }
                     } else if self.uses_invalidation {
                         // Known stale: refetch without a conditional
                         // round-trip (the simulator's eager branch).
@@ -523,34 +544,50 @@ impl ProxyShared {
         match resp.status {
             Status::NotModified => {
                 let expires = resp.expires.map(sim_instant);
-                let (client_resp, body) = {
-                    let mut st = self.state.lock().unwrap();
+                let served = {
+                    let mut st = lock_clean(&self.state);
                     st.traffic.add_message(sent + header_bytes);
                     st.stats.validations_not_modified += 1;
-                    st.stats.fresh_hits += 1;
                     st.policy.on_validation(class, false);
-                    let entry = st.store.access(file, now).expect("entry is resident");
-                    entry.revalidate(now);
-                    entry.expires = expires;
-                    let entry = *entry;
-                    let body = Arc::clone(st.bodies.get(&file).expect("resident entry has a body"));
-                    (Self::local_response(&entry, &body, now), body)
+                    match st.store.access(file, now) {
+                        Some(entry) => {
+                            entry.revalidate(now);
+                            entry.expires = expires;
+                            let entry = *entry;
+                            match st.bodies.get(&file).map(Arc::clone) {
+                                Some(body) => {
+                                    st.stats.fresh_hits += 1;
+                                    Some((Self::local_response(&entry, &body, now), body))
+                                }
+                                None => None,
+                            }
+                        }
+                        None => None,
+                    }
                 };
-                Ok((client_resp, body))
+                match served {
+                    Some((client_resp, body)) => Ok((client_resp, body)),
+                    // The validated entry (or its body) vanished under a
+                    // concurrent eviction between lock drops: refetch.
+                    None => self.fetch_full(upstream, file, &req.path, now),
+                }
             }
             Status::Ok => {
                 let body = Arc::new(body);
-                let last_modified =
-                    sim_instant(resp.last_modified.expect("200 carries Last-Modified"));
+                let last_modified = sim_instant(require_last_modified(&resp)?);
                 let expires = resp.expires.map(sim_instant);
                 let victims = {
-                    let mut st = self.state.lock().unwrap();
+                    let mut st = lock_clean(&self.state);
                     st.traffic.add_message(sent + header_bytes);
                     st.traffic.add_file_transfer(body.len() as u64);
                     st.stats.validations_modified += 1;
                     st.stats.misses += 1;
                     st.policy.on_validation(class, true);
-                    let mut entry = *st.store.access(file, now).expect("entry is resident");
+                    let mut entry = st.store.access(file, now).copied().unwrap_or_else(|| {
+                        // Evicted mid-validation: rebuild the meta as
+                        // fetch_full would for a compulsory miss.
+                        EntryMeta::fresh(body.len() as u64, last_modified, now)
+                    });
                     entry.replace_body(body.len() as u64, last_modified, now);
                     entry.expires = expires;
                     let victims = Self::insert_entry(&mut st, file, entry);
@@ -563,7 +600,7 @@ impl ProxyShared {
                 Ok((resp, body))
             }
             Status::NotFound => {
-                let mut st = self.state.lock().unwrap();
+                let mut st = lock_clean(&self.state);
                 st.traffic.add_message(sent + header_bytes);
                 st.stats.misses += 1;
                 st.store.remove(file);
@@ -583,7 +620,10 @@ impl ProxyShared {
             if upstream.is_none() {
                 upstream = Some(HttpConn::new(TcpStream::connect(self.origin_data)?)?);
             }
-            let (resp, body) = self.handle(upstream.as_mut().expect("just dialled"), &req)?;
+            let Some(up) = upstream.as_mut() else {
+                break; // unreachable: dialled just above
+            };
+            let (resp, body) = self.handle(up, &req)?;
             conn.write_response(&resp, &body)?;
         }
         Ok(())
@@ -592,6 +632,18 @@ impl ProxyShared {
 
 fn msg_len(msg: &ControlMsg) -> u64 {
     msg.encode().len() as u64
+}
+
+/// Every well-formed `200` in this protocol carries `Last-Modified`; an
+/// origin that omits it is speaking something else, and the connection
+/// is closed rather than caching a copy with no version.
+fn require_last_modified(resp: &Response) -> io::Result<httpsim::HttpDate> {
+    resp.last_modified.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "200 response without Last-Modified",
+        )
+    })
 }
 
 /// A running proxy; stop it with [`LiveProxy::shutdown`] (or drop it).
@@ -622,11 +674,13 @@ impl LiveProxy {
             for (id, rec) in gt.iter() {
                 debug_assert_eq!(id.index(), names.paths.len());
                 names.by_path.insert(rec.path.clone(), id);
+                // wcc-allow: r5 prefill from the fixed ground-truth population, not per-request growth
                 names.paths.push(rec.path.clone());
             }
         }
 
         let uses_invalidation = config.policy.uses_invalidation();
+        // wcc-allow: r5 OK channel — bounded by in-flight control commands, one per worker
         let (ok_tx, ok_rx) = mpsc::channel();
         let (control, control_stream) = if uses_invalidation {
             let stream = TcpStream::connect(config.origin_control)?;
@@ -676,17 +730,24 @@ impl LiveProxy {
         let accept_thread = {
             let shared = Arc::clone(&shared);
             thread::spawn(move || {
-                listener
-                    .set_nonblocking(true)
-                    .expect("set_nonblocking on listener");
-                let mut workers = Vec::new();
+                if let Err(e) = listener.set_nonblocking(true) {
+                    // Cannot poll shutdown on a blocking listener; refuse
+                    // to serve rather than hang the process on join.
+                    log_conn_error("proxy-accept", &e);
+                    return;
+                }
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
                 while !shared.shutdown.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             if stream.set_nonblocking(false).is_ok() {
                                 let shared = Arc::clone(&shared);
+                                workers.retain(|w| !w.is_finished());
+                                // wcc-allow: r5 bounded by live connections — finished workers reaped above
                                 workers.push(thread::spawn(move || {
-                                    let _ = shared.serve_client(stream);
+                                    if let Err(e) = shared.serve_client(stream) {
+                                        log_conn_error("proxy-data", &e);
+                                    }
                                 }));
                             }
                         }
@@ -728,7 +789,7 @@ impl LiveProxy {
     /// Stop serving and return the accumulated counters.
     pub fn shutdown(mut self) -> ProxySnapshot {
         self.stop();
-        let st = self.shared.state.lock().unwrap();
+        let st = lock_clean(&self.shared.state);
         ProxySnapshot {
             cache: st.stats,
             traffic: st.traffic,
@@ -742,5 +803,52 @@ impl LiveProxy {
 impl Drop for LiveProxy {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::{LiveOrigin, OriginConfig};
+    use originserver::FileRecord;
+    use std::io::{Read as _, Write as _};
+
+    #[test]
+    fn malformed_client_request_kills_only_that_connection() {
+        let mut pop = FilePopulation::new();
+        pop.add(FileRecord::new("/a.html", SimTime::from_secs(0), 100));
+        let pop = Arc::new(pop);
+        let clock = LiveClock::virtual_at(SimTime::from_secs(10));
+        let origin = LiveOrigin::spawn(OriginConfig::new(Arc::clone(&pop), clock.clone())).unwrap();
+        let mut cfg = ProxyConfig::new(
+            origin.data_addr(),
+            origin.control_addr(),
+            LivePolicy::Ttl(24),
+            clock,
+        );
+        cfg.ground_truth = Some(Arc::clone(&pop));
+        let proxy = LiveProxy::spawn(cfg).unwrap();
+
+        // Garbage in: the proxy logs, closes that connection (EOF on our
+        // side, no response bytes), and keeps serving everyone else.
+        let mut bad = TcpStream::connect(proxy.addr()).unwrap();
+        bad.write_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap();
+        let mut sink = Vec::new();
+        let _ = bad.read_to_end(&mut sink);
+        assert!(sink.is_empty(), "no response to an unparseable request");
+
+        // A well-formed client is still served (miss → fetch → hit).
+        let mut conn = HttpConn::new(TcpStream::connect(proxy.addr()).unwrap()).unwrap();
+        conn.write_request(&Request::get("/a.html")).unwrap();
+        let (resp, body) = conn.read_response().unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(body.len(), 100);
+        conn.write_request(&Request::get("/a.html")).unwrap();
+        assert_eq!(conn.read_response().unwrap().0.status, Status::Ok);
+
+        let snap = proxy.shutdown();
+        assert_eq!(snap.cache.misses, 1);
+        assert_eq!(snap.cache.fresh_hits, 1);
+        drop(origin);
     }
 }

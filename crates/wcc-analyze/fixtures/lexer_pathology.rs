@@ -1,0 +1,20 @@
+// wcc-fixture-path: crates/simcore/src/pathology.rs
+//! Pathological token streams. A naive substring scanner reports
+//! several findings in this file; the real lexer reports none — the
+//! fixtures smoke test fails if any appear.
+
+fn tricky() -> String {
+    let s1 = "Instant::now() inside a string is data, not code";
+    let s2 = r#"raw string with "quotes", x.unwrap(), and // no comment"#;
+    let s3 = r##"deeper raw string: SystemTime::now() "# still going"##;
+    let s4 = "escaped quote \" then Instant::now()";
+    let url = "http://example.com//not-a-comment";
+    /* block comment mentioning SystemTime::now()
+       /* nested, still a comment: panic!("boom") */
+       still one comment */
+    let c = 'x';
+    let newline = '\n';
+    let byte = b'"';
+    let lifetime_not_char: &'static str = "fine";
+    format!("{s1}{s2}{s3}{s4}{url}{c}{newline}{byte}{lifetime_not_char}")
+}

@@ -1,0 +1,22 @@
+// wcc-fixture-path: crates/simcore/src/bad_clock.rs
+//! Known-bad: wall-clock reads in a simulation crate. Both forms of
+//! real-time access must be flagged; the commented and quoted mentions
+//! must not be.
+
+use std::time::{Instant, SystemTime};
+
+fn elapsed_wrong() -> bool {
+    let started = Instant::now(); //~ r1
+    let stamp = SystemTime::now(); //~ r1
+    // Instant::now() in a comment is fine.
+    let doc = "SystemTime::now() in a string is fine";
+    !doc.is_empty() && started.elapsed().as_nanos() > 0 && stamp.elapsed().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_the_clock() {
+        let _ = std::time::Instant::now(); // not flagged inside tests
+    }
+}

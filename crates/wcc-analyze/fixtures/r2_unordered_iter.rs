@@ -1,0 +1,26 @@
+// wcc-fixture-path: crates/core/src/experiments/bad_report.rs
+//! Known-bad: unordered-container iteration in a file that writes
+//! report output. Hash iteration order is unspecified, so these lines
+//! would corrupt golden-hash comparisons run-to-run.
+
+use std::collections::{HashMap, HashSet};
+
+struct Tally {
+    counts: HashMap<u32, u64>,
+}
+
+fn emit(tally: &Tally) {
+    for (k, v) in tally.counts.iter() { //~ r2
+        println!("{k} {v}");
+    }
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    for k in &seen { //~ r2
+        println!("{k}");
+    }
+    // Vec iteration is ordered and fine, even in a report file.
+    let rows = vec![1u64, 2, 3];
+    for r in rows.iter() {
+        println!("{r}");
+    }
+}

@@ -1,0 +1,28 @@
+// wcc-fixture-path: crates/liveserve/src/netio.rs
+//! Known-bad: panics in liveserve connection handling. Each one would
+//! kill the worker thread serving that connection's peer.
+
+fn doomed(stream: std::net::TcpStream) {
+    let peer = stream.peer_addr().unwrap(); //~ r4
+    let mode = std::env::var("MODE").expect("MODE is set"); //~ r4
+    if mode.is_empty() {
+        panic!("no mode for {peer}"); //~ r4
+    }
+    match mode.as_str() {
+        "serve" => {}
+        _ => unreachable!(), //~ r4
+    }
+}
+
+fn adjusters_are_fine(v: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_else never panic.
+    v.unwrap_or(0) + v.unwrap_or_else(|| 1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1); // not flagged inside tests
+    }
+}

@@ -1,0 +1,26 @@
+// wcc-fixture-path: crates/liveserve/src/bad_queue.rs
+//! Known-bad: unbounded queues and unreaped per-connection growth in a
+//! server accept loop — a slow or hostile peer becomes unbounded memory.
+
+use std::net::TcpListener;
+use std::sync::mpsc;
+
+fn accept_forever(listener: TcpListener) {
+    let (tx, rx) = mpsc::channel(); //~ r5
+    let mut conns = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((s, _)) => conns.push(s), //~ r5
+            Err(_) => break,
+        }
+    }
+    drop((tx, rx, conns));
+}
+
+fn bounded_is_fine(listener: TcpListener) {
+    let (tx, rx) = mpsc::sync_channel(8); // capacity given: fine
+    if let Ok((s, _)) = listener.accept() {
+        let _ = tx.send(s);
+    }
+    drop(rx);
+}

@@ -1,0 +1,470 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The analyzer has no registry access, so it cannot lean on `syn` or
+//! `proc-macro2`; instead this module tokenizes Rust source directly.
+//! It is not a full grammar — rules only need a faithful *token* stream
+//! — but it must never mis-lex the constructs that defeat naive
+//! substring scanners:
+//!
+//! * string literals (`"..."` with escapes) and **raw** strings
+//!   (`r"..."`, `r#"..."#`, any hash depth), including byte variants —
+//!   an `unwrap()` *inside* a string is text, not a call;
+//! * line comments and **nested** block comments (`/* /* */ */`);
+//! * char literals vs lifetimes (`'a'` is a char, `'a` in `&'a str` is
+//!   a lifetime, `'\''` is still a char);
+//! * numeric literals with suffixes and underscores.
+//!
+//! Comments are not discarded: line comments are collected with their
+//! line numbers so the suppression layer can find `wcc-allow:`
+//! directives, and every token carries the 1-based line it starts on.
+
+/// What a token is; only the distinctions the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `for`, `HashMap`, ...).
+    Ident,
+    /// A lifetime such as `'a` (kept distinct so `'a` never looks like
+    /// an unterminated char literal).
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// String, byte-string, raw-string, or raw-byte-string literal.
+    Str,
+    /// Numeric literal (suffixes attached).
+    Num,
+    /// Any single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// The token's text. For `Punct` this is the single character; for
+    /// literals it is the raw source slice.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// A line comment (`//`, `///`, `//!`), with its text after the slashes.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Comment body, leading slashes (and any `!`/`/`) stripped.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Tokenize `src`. Unterminated literals and comments are tolerated
+/// (the remainder is consumed as one token) — the linter must degrade
+/// gracefully on code that rustc itself would reject.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, counting newlines.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        // A shebang line would only appear in scripts, but skipping it
+        // is one comparison.
+        if self.src.starts_with(b"#!") && self.peek(2) != Some(b'[') {
+            self.line_comment_body();
+        }
+        while let Some(b) = self.peek(0) {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                b'\'' => self.char_or_lifetime(),
+                b'"' => self.string(),
+                b if b.is_ascii_digit() => self.number(),
+                b if is_ident_start(b) => self.ident(),
+                _ => {
+                    let (start, line) = (self.pos, self.line);
+                    self.bump();
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consume `//...` to end of line, recording the comment.
+    fn line_comment(&mut self) {
+        self.bump();
+        self.bump();
+        // Strip doc-comment markers so directive parsing sees the body.
+        while matches!(self.peek(0), Some(b'/') | Some(b'!')) {
+            self.bump();
+        }
+        self.line_comment_body();
+    }
+
+    fn line_comment_body(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim()
+            .to_string();
+        self.out.comments.push(LineComment { line, text });
+    }
+
+    /// Consume a block comment, honoring nesting.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow the rest
+            }
+        }
+    }
+
+    /// Handle `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+    /// Returns false if the `r`/`b` starts a plain identifier instead.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let (start, line) = (self.pos, self.line);
+        let mut ahead = 1; // past the leading r or b
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r') {
+            ahead = 2;
+        }
+        if self.peek(0) == Some(b'b') && self.peek(ahead.min(1)) == Some(b'\'') {
+            // Byte char literal b'x'.
+            self.bump(); // b
+            self.char_literal_tail(start, line);
+            return true;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some(b'"') {
+            return false; // just an identifier like `radius` or `break_even`
+        }
+        if hashes == 0 && ahead == 1 && self.peek(0) == Some(b'b') {
+            // b"..." — an escaped (non-raw) byte string.
+            self.bump();
+            self.string_with_start(start, line);
+            return true;
+        }
+        // Raw string: skip prefix + hashes + opening quote.
+        for _ in 0..ahead + hashes + 1 {
+            self.bump();
+        }
+        // Scan for `"` followed by `hashes` hashes; no escapes in raw strings.
+        'scan: loop {
+            match self.bump() {
+                None => break 'scan, // unterminated
+                Some(b'"') => {
+                    for i in 0..hashes {
+                        if self.peek(i) != Some(b'#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break 'scan;
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Str, start, line);
+        true
+    }
+
+    /// `'` — either a lifetime (`'a`) or a char literal (`'a'`, `'\n'`).
+    fn char_or_lifetime(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        // Lifetime: 'ident NOT followed by a closing quote.
+        if self
+            .peek(1)
+            .map(|b| is_ident_start(b) && b != b'\\')
+            .unwrap_or(false)
+        {
+            let mut end = 2;
+            while self.peek(end).map(is_ident_continue).unwrap_or(false) {
+                end += 1;
+            }
+            if self.peek(end) != Some(b'\'') {
+                // `'static`, `'a` — a lifetime.
+                for _ in 0..end {
+                    self.bump();
+                }
+                self.push(TokKind::Lifetime, start, line);
+                return;
+            }
+        }
+        self.char_literal_tail(start, line);
+    }
+
+    /// Consume from the opening `'` through the closing `'` (escapes ok).
+    fn char_literal_tail(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(b'\'') => break,
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Char, start, line);
+    }
+
+    fn string(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.string_with_start(start, line);
+    }
+
+    /// Consume a `"..."` (escapes honored) whose slice begins at `start`.
+    fn string_with_start(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break, // unterminated
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(b'"') => break,
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Str, start, line);
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self
+            .peek(0)
+            .map(|b| b.is_ascii_alphanumeric() || b == b'_')
+            .unwrap_or(false)
+        {
+            self.bump();
+        }
+        self.push(TokKind::Num, start, line);
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.peek(0).map(is_ident_continue).unwrap_or(false) {
+            self.bump();
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_inside_string_literals_is_not_a_token() {
+        let src = r##"let s = "x.unwrap()"; let r = r"y.unwrap()"; call();"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"call".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_embedded_quotes() {
+        let src = r####"let s = r#"contains "quotes" and unwrap()"#; after();"####;
+        let lexed = lex(src);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("quotes"));
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn double_slash_inside_string_is_not_a_comment() {
+        let src = "let url = \"http://example.com\"; panic!(\"x\");";
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty());
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn nested_block_comments_fully_skipped() {
+        let src = "before(); /* outer /* inner unwrap() */ still out */ after();";
+        let ids = idents(src);
+        assert_eq!(ids, ["before", "after"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { let c = 'x'; let q = '\\''; x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["'x'", "'\\''"]);
+    }
+
+    #[test]
+    fn byte_literals_and_byte_strings() {
+        let src = "let a = b'x'; let b = b\"bytes\"; let c = br#\"raw unwrap()\"#; go();";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| matches!(t.kind, TokKind::Str | TokKind::Char))
+                .count(),
+            3
+        );
+        assert!(!idents(src).contains(&"unwrap".to_string()));
+        assert!(idents(src).contains(&"go".to_string()));
+    }
+
+    #[test]
+    fn line_comments_are_collected_with_lines() {
+        let src = "let a = 1; // wcc-allow: r5 bounded by protocol\nlet b = 2;\n/// doc\nfn f() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.starts_with("wcc-allow: r5"));
+        assert_eq!(lexed.comments[1].line, 3);
+        assert_eq!(lexed.comments[1].text, "doc");
+    }
+
+    #[test]
+    fn token_lines_track_newlines_inside_literals() {
+        let src = "let s = \"two\nlines\";\nnext();";
+        let lexed = lex(src);
+        let next = lexed.tokens.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_do_not_eat_method_calls() {
+        let src = "let x = 0xFFu64; let y = 1_000; (0..10).sum::<u32>(); 1.5f64;";
+        let lexed = lex(src);
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(nums.contains(&"0xFFu64"));
+        assert!(nums.contains(&"1_000"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("sum")));
+    }
+
+    #[test]
+    fn identifiers_starting_with_r_and_b_are_not_raw_strings() {
+        let ids = idents("let radius = breadth; let b = r; br_name();");
+        assert!(ids.contains(&"radius".to_string()));
+        assert!(ids.contains(&"breadth".to_string()));
+        assert!(ids.contains(&"br_name".to_string()));
+    }
+}

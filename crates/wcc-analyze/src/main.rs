@@ -1,0 +1,6 @@
+//! `wcc-analyze` binary — see [`wcc_analyze::cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(wcc_analyze::cli::run(&args));
+}

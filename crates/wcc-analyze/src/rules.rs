@@ -1,0 +1,791 @@
+//! The project-specific rule set.
+//!
+//! Every rule is a token-stream pass over one [`FileCtx`]. Rules skip
+//! `#[cfg(test)]` / `#[test]` regions — tests exercise failure paths and
+//! may `unwrap()` freely; none of them run in the serving path, and the
+//! native `clippy.toml` `disallowed-methods` gate covers test code for
+//! the rules clippy can express.
+//!
+//! | id | name                      | scope |
+//! |----|---------------------------|-------|
+//! | r1 | no-wall-clock             | every crate except `bench`; `liveserve/clock.rs` + `loadgen.rs` allowlisted |
+//! | r2 | no-unordered-iter         | files that write reports/stats |
+//! | r3 | no-lock-across-io         | `liveserve` |
+//! | r4 | no-panic-in-server-path   | `liveserve::{origin,proxy,netio,control}` |
+//! | r5 | bounded-channel-or-comment| `liveserve` |
+//!
+//! Suppression: `// wcc-allow: <rule>[,<rule>] <reason>` on the finding
+//! line or the line above. The reason is mandatory; a reasonless or
+//! unknown-rule directive is itself a finding (id `allow`).
+
+use crate::scan::{FileCtx, FnSpan};
+
+/// One reported issue, before/after suppression resolution.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`r1`..`r5`, or `allow` for malformed directives).
+    pub rule: &'static str,
+    /// Human rule name.
+    pub name: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What went wrong, with the remedy.
+    pub message: String,
+    /// `Some(reason)` when a valid `wcc-allow` covered this finding.
+    pub suppressed: Option<String>,
+}
+
+/// All rule ids the suppression syntax accepts.
+pub const RULE_IDS: [&str; 5] = ["r1", "r2", "r3", "r4", "r5"];
+
+/// Run every rule over one analyzed file.
+pub fn run_all(ctx: &FileCtx) -> Vec<Finding> {
+    let mut raw: Vec<(&'static str, &'static str, u32, String)> = Vec::new();
+    r1_no_wall_clock(ctx, &mut raw);
+    r2_no_unordered_iter(ctx, &mut raw);
+    r3_no_lock_across_io(ctx, &mut raw);
+    r4_no_panic_in_server_path(ctx, &mut raw);
+    r5_bounded_channel_or_comment(ctx, &mut raw);
+
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .map(|(rule, name, line, message)| Finding {
+            suppressed: ctx.suppressed(rule, line).map(|s| s.reason.clone()),
+            rule,
+            name,
+            file: ctx.rel_path.clone(),
+            line,
+            message,
+        })
+        .collect();
+
+    // Malformed directives are findings in their own right and cannot
+    // themselves be suppressed.
+    for s in &ctx.suppressions {
+        if s.reason.is_empty() {
+            findings.push(Finding {
+                rule: "allow",
+                name: "suppression-hygiene",
+                file: ctx.rel_path.clone(),
+                line: s.line,
+                message: "wcc-allow directive without a reason; write \
+                          `// wcc-allow: <rule> <why this is safe>`"
+                    .to_string(),
+                suppressed: None,
+            });
+        }
+        for r in &s.rules {
+            if !RULE_IDS.contains(&r.as_str()) {
+                findings.push(Finding {
+                    rule: "allow",
+                    name: "suppression-hygiene",
+                    file: ctx.rel_path.clone(),
+                    line: s.line,
+                    message: format!("wcc-allow names unknown rule `{r}` (known: r1..r5)"),
+                    suppressed: None,
+                });
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Is token `i` an identifier immediately followed by `(`?
+fn is_call(ctx: &FileCtx, i: usize, name: &str) -> bool {
+    ctx.tokens[i].is_ident(name)
+        && ctx
+            .tokens
+            .get(i + 1)
+            .map(|t| t.is_punct('('))
+            .unwrap_or(false)
+}
+
+/// Does the path segment `A :: B` start at token `i`?
+fn is_path(ctx: &FileCtx, i: usize, a: &str, b: &str) -> bool {
+    ctx.tokens[i].is_ident(a)
+        && ctx.tokens.get(i + 1).map(|t| t.is_punct(':')) == Some(true)
+        && ctx.tokens.get(i + 2).map(|t| t.is_punct(':')) == Some(true)
+        && ctx.tokens.get(i + 3).map(|t| t.is_ident(b)) == Some(true)
+}
+
+// --- R1 ------------------------------------------------------------------
+
+/// Wall-clock reads make runs unreproducible: the golden-hash
+/// determinism tests (`tests/determinism.rs`) hash entire sweeps, so a
+/// single `Instant::now()` in a simulation crate breaks bit-exactness.
+/// `liveserve` is real-time by design in exactly two files.
+fn r1_no_wall_clock(ctx: &FileCtx, out: &mut Vec<(&'static str, &'static str, u32, String)>) {
+    if ctx.crate_name == "bench" {
+        return; // benches measure wall time; that is their job
+    }
+    if ctx.crate_name == "liveserve" && matches!(ctx.file_name(), "clock.rs" | "loadgen.rs") {
+        return; // the two places real time is the point
+    }
+    for i in 0..ctx.tokens.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        for src in ["SystemTime", "Instant"] {
+            if is_path(ctx, i, src, "now") {
+                out.push((
+                    "r1",
+                    "no-wall-clock",
+                    ctx.tokens[i].line,
+                    format!(
+                        "{src}::now() in `{}` — simulation crates must take time from \
+                         the virtual clock (SimTime / LiveClock) or results stop being \
+                         reproducible",
+                        ctx.crate_name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// --- R2 ------------------------------------------------------------------
+
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+/// Iterating a `HashMap`/`HashSet` yields an unspecified order; feeding
+/// that order into a report or stats stream corrupts golden-hash
+/// comparisons run-to-run. Sort first, or use a `Vec`/`BTreeMap`.
+fn r2_no_unordered_iter(ctx: &FileCtx, out: &mut Vec<(&'static str, &'static str, u32, String)>) {
+    if ctx.crate_name == "bench" {
+        return;
+    }
+    // Only files that also produce report/stat output are in scope.
+    const MARKERS: [&str; 7] = [
+        "println", "writeln", "eprintln", "print", "eprint", "to_json", "JsonObj",
+    ];
+    let writes_reports = ctx.rel_path.contains("report")
+        || ctx.tokens.iter().enumerate().any(|(i, t)| {
+            !ctx.in_test[i]
+                && t.kind == crate::lexer::TokKind::Ident
+                && MARKERS.contains(&t.text.as_str())
+        });
+    if !writes_reports {
+        return;
+    }
+
+    // Names declared as hash containers: struct fields / typed bindings
+    // (`name: HashMap<..>`) and `let [mut] name = HashMap::...`.
+    let mut maps: Vec<String> = Vec::new();
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let is_hash = |t: &crate::lexer::Tok| t.is_ident("HashMap") || t.is_ident("HashSet");
+        if toks[i].kind == crate::lexer::TokKind::Ident
+            && toks.get(i + 1).map(|t| t.is_punct(':')) == Some(true)
+            && toks.get(i + 2).map(|t| !t.is_punct(':')) == Some(true)
+        {
+            // `name: [std::collections::]Hash{Map,Set}<..>`
+            let mut j = i + 2;
+            while j < toks.len()
+                && (toks[j].is_punct(':')
+                    || toks[j].is_ident("std")
+                    || toks[j].is_ident("collections"))
+            {
+                j += 1;
+            }
+            if toks.get(j).map(is_hash) == Some(true) {
+                maps.push(toks[i].text.clone());
+            }
+        }
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.is_ident("mut")) == Some(true) {
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.kind == crate::lexer::TokKind::Ident) == Some(true) {
+                let name = toks[j].text.clone();
+                // Scan the statement for a Hash{Map,Set} constructor.
+                let mut k = j + 1;
+                while k < toks.len() && !toks[k].is_punct(';') {
+                    if is_hash(&toks[k]) {
+                        maps.push(name.clone());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+    maps.sort();
+    maps.dedup();
+    if maps.is_empty() {
+        return;
+    }
+
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        // `name.iter()` / `.keys()` / ...
+        if toks[i].kind == crate::lexer::TokKind::Ident
+            && maps.iter().any(|m| m == &toks[i].text)
+            && toks.get(i + 1).map(|t| t.is_punct('.')) == Some(true)
+        {
+            if let Some(m) = toks.get(i + 2) {
+                if ITER_METHODS.contains(&m.text.as_str())
+                    && toks.get(i + 3).map(|t| t.is_punct('(')) == Some(true)
+                {
+                    out.push((
+                        "r2",
+                        "no-unordered-iter",
+                        toks[i].line,
+                        format!(
+                            "iteration over unordered container `{}` in a report-writing \
+                             file — collect and sort (or use Vec/BTreeMap) before emitting",
+                            toks[i].text
+                        ),
+                    ));
+                }
+            }
+        }
+        // `for pat in [&[mut]] name { ... }`
+        if toks[i].is_ident("for") {
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_ident("in") && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_ident("in") {
+                let mut k = j + 1;
+                while k < toks.len() && !toks[k].is_punct('{') {
+                    if toks[k].kind == crate::lexer::TokKind::Ident
+                        && maps.iter().any(|m| m == &toks[k].text)
+                        && toks.get(k + 1).map(|t| t.is_punct('.')) != Some(true)
+                    {
+                        out.push((
+                            "r2",
+                            "no-unordered-iter",
+                            toks[i].line,
+                            format!(
+                                "`for` loop over unordered container `{}` in a \
+                                 report-writing file — sort before emitting",
+                                toks[k].text
+                            ),
+                        ));
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+}
+
+// --- R3 ------------------------------------------------------------------
+
+const IO_CALLS: [&str; 16] = [
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "connect",
+    "accept",
+    "read_request",
+    "read_response",
+    "write_request",
+    "write_response",
+    "read_msg",
+    "write_msg",
+];
+
+/// The §8 thread-model invariant: state mutexes (`OriginServer`, the
+/// proxy's `CacheState`) are never held across socket IO, or one slow
+/// peer stalls every worker. Detected by scope analysis: a **named**
+/// binding whose initializer ends in `.lock()` (optionally
+/// `.unwrap()`-family adjusted, or `lock_clean(..)`) is live until its
+/// block closes or `drop(name)`; any IO call in that live range is a
+/// finding. Stream-writer mutexes passed as *temporaries* into
+/// `write_msg(&mut m.lock()..., ..)` are intentionally exempt — those
+/// mutexes exist to serialize the socket itself.
+fn r3_no_lock_across_io(ctx: &FileCtx, out: &mut Vec<(&'static str, &'static str, u32, String)>) {
+    if ctx.crate_name != "liveserve" {
+        return;
+    }
+    for span in &ctx.fns {
+        r3_scan_fn(ctx, span, out);
+    }
+}
+
+fn r3_scan_fn(
+    ctx: &FileCtx,
+    span: &FnSpan,
+    out: &mut Vec<(&'static str, &'static str, u32, String)>,
+) {
+    let toks = &ctx.tokens;
+    let mut guards: Vec<(String, u32)> = Vec::new(); // (name, binding depth)
+    let mut i = span.body_open + 1;
+    while i < span.body_close {
+        if ctx.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        // Scope exit kills guards bound at or below this depth.
+        if t.is_punct('}') {
+            let d = ctx.depth[i];
+            guards.retain(|g| g.1 < d);
+            i += 1;
+            continue;
+        }
+        // drop(name) releases early.
+        if is_call(ctx, i, "drop") {
+            if let Some(name) = toks.get(i + 2) {
+                if toks.get(i + 3).map(|t| t.is_punct(')')) == Some(true) {
+                    guards.retain(|g| g.0 != name.text);
+                }
+            }
+        }
+        // `let [mut] name = ...lock()[.unwrap()...];` registers a guard.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.is_ident("mut")) == Some(true) {
+                j += 1;
+            }
+            let name_ok = toks.get(j).map(|t| t.kind == crate::lexer::TokKind::Ident) == Some(true)
+                && toks.get(j + 1).map(|t| t.is_punct('=')) == Some(true);
+            if name_ok {
+                let bind_depth = ctx.depth[i];
+                // Find the statement's terminating `;` at binding depth.
+                let mut end = j + 2;
+                while end < span.body_close
+                    && !(toks[end].is_punct(';') && ctx.depth[end] == bind_depth)
+                {
+                    end += 1;
+                }
+                if rhs_is_guard(ctx, j + 2, end, bind_depth) {
+                    guards.push((toks[j].text.clone(), bind_depth));
+                }
+                // The rhs itself is scanned by the main loop for IO calls
+                // made while *earlier* guards are live.
+            }
+        }
+        // An IO call while any guard is live is the violation.
+        if toks[i].kind == crate::lexer::TokKind::Ident
+            && IO_CALLS.contains(&t.text.as_str())
+            && toks.get(i + 1).map(|t| t.is_punct('(')) == Some(true)
+            && !guards.is_empty()
+        {
+            let held: Vec<&str> = guards.iter().map(|g| g.0.as_str()).collect();
+            out.push((
+                "r3",
+                "no-lock-across-io",
+                t.line,
+                format!(
+                    "socket IO `{}()` while MutexGuard binding{} [{}] still in scope — \
+                     collect under the lock, release, then do IO (or drop(guard) first)",
+                    t.text,
+                    if held.len() == 1 { "" } else { "s" },
+                    held.join(", ")
+                ),
+            ));
+        }
+        i += 1;
+    }
+}
+
+/// Does the initializer `toks[start..end]` leave a lock guard in the
+/// binding? True when its top-level token sequence ends with a
+/// `lock()` / `lock_clean(..)` call followed only by
+/// `.unwrap()` / `.expect(..)` / `.unwrap_or_else(..)` adjustments.
+fn rhs_is_guard(ctx: &FileCtx, start: usize, end: usize, bind_depth: u32) -> bool {
+    let toks = &ctx.tokens;
+    // Locate the last lock/lock_clean call at the statement's own brace
+    // depth (a lock inside a nested `{ .. }` block does not escape).
+    let mut last_lock_close: Option<usize> = None;
+    let mut i = start;
+    while i < end {
+        if ctx.depth[i] == bind_depth && (is_call(ctx, i, "lock") || is_call(ctx, i, "lock_clean"))
+        {
+            // Find the matching `)` of the call.
+            let mut p = 0i32;
+            let mut j = i + 1;
+            while j < end {
+                if toks[j].is_punct('(') {
+                    p += 1;
+                } else if toks[j].is_punct(')') {
+                    p -= 1;
+                    if p == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            last_lock_close = Some(j);
+        }
+        i += 1;
+    }
+    let Some(mut i) = last_lock_close else {
+        return false;
+    };
+    i += 1;
+    // Allowed tail: (`.` ident `(` .. `)`)* with adjuster names, or `?`.
+    const ADJUSTERS: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+    while i < end {
+        if toks[i].is_punct('?') {
+            i += 1;
+            continue;
+        }
+        if !toks[i].is_punct('.') {
+            return false;
+        }
+        let name = match toks.get(i + 1) {
+            Some(t) if t.kind == crate::lexer::TokKind::Ident => t.text.as_str(),
+            _ => return false,
+        };
+        if !ADJUSTERS.contains(&name) {
+            return false;
+        }
+        // Skip the call's argument list.
+        let mut j = i + 2;
+        if toks.get(j).map(|t| t.is_punct('(')) != Some(true) {
+            return false;
+        }
+        let mut p = 0i32;
+        while j < end {
+            if toks[j].is_punct('(') {
+                p += 1;
+            } else if toks[j].is_punct(')') {
+                p -= 1;
+                if p == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    true
+}
+
+// --- R4 ------------------------------------------------------------------
+
+/// A panic in a connection handler kills its worker thread; enough of
+/// them exhaust the stack's ability to serve. Server-path code returns
+/// errors that close only the offending connection (logged), recovers
+/// mutex poisoning via `netio::lock_clean`, and leaves `unwrap` to
+/// tests.
+fn r4_no_panic_in_server_path(
+    ctx: &FileCtx,
+    out: &mut Vec<(&'static str, &'static str, u32, String)>,
+) {
+    if ctx.crate_name != "liveserve"
+        || !matches!(
+            ctx.file_name(),
+            "origin.rs" | "proxy.rs" | "netio.rs" | "control.rs"
+        )
+    {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        for m in ["unwrap", "expect"] {
+            if is_call(ctx, i, m) {
+                out.push((
+                    "r4",
+                    "no-panic-in-server-path",
+                    toks[i].line,
+                    format!(
+                        ".{m}() in liveserve request/connection handling — return an \
+                         io::Error (close only this connection) or recover poisoning \
+                         with lock_clean()"
+                    ),
+                ));
+            }
+        }
+        for m in ["panic", "unreachable", "todo", "unimplemented"] {
+            if toks[i].is_ident(m) && toks.get(i + 1).map(|t| t.is_punct('!')) == Some(true) {
+                out.push((
+                    "r4",
+                    "no-panic-in-server-path",
+                    toks[i].line,
+                    format!(
+                        "{m}! in liveserve request/connection handling — a bad request \
+                         must not kill a worker thread; return an error instead"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// --- R5 ------------------------------------------------------------------
+
+/// Unbounded queues and per-request collections are how a slow (or
+/// malicious) peer turns into unbounded memory growth. Channels need a
+/// capacity (`sync_channel(n)`) and per-request `Vec` growth in server
+/// loops needs a bound — or an explicit `// wcc-allow: r5 <reason>`
+/// stating why the growth is bounded by the protocol.
+fn r5_bounded_channel_or_comment(
+    ctx: &FileCtx,
+    out: &mut Vec<(&'static str, &'static str, u32, String)>,
+) {
+    if ctx.crate_name != "liveserve" {
+        return;
+    }
+    let toks = &ctx.tokens;
+    // Unbounded channels, anywhere in the crate.
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if is_call(ctx, i, "channel") {
+            out.push((
+                "r5",
+                "bounded-channel-or-comment",
+                tok.line,
+                "unbounded mpsc::channel() — use sync_channel(capacity) or justify \
+                 the protocol bound with `// wcc-allow: r5 <reason>`"
+                    .to_string(),
+            ));
+        }
+    }
+    // Growth calls inside functions that run accept/read loops.
+    const LOOP_MARKERS: [&str; 5] = [
+        "accept",
+        "read",
+        "read_request",
+        "read_msg",
+        "read_response",
+    ];
+    const GROWTH: [&str; 3] = ["push", "extend_from_slice", "extend"];
+    for span in &ctx.fns {
+        let body = span.body_open..=span.body_close;
+        let is_server_loop = body.clone().any(|i| {
+            !ctx.in_test[i]
+                && toks[i].kind == crate::lexer::TokKind::Ident
+                && LOOP_MARKERS.contains(&toks[i].text.as_str())
+                && toks.get(i + 1).map(|t| t.is_punct('(')) == Some(true)
+        });
+        if !is_server_loop {
+            continue;
+        }
+        for i in body {
+            if ctx.in_test[i] || !toks[i].is_punct('.') {
+                continue;
+            }
+            let Some(m) = toks.get(i + 1) else { continue };
+            if GROWTH.contains(&m.text.as_str())
+                && toks.get(i + 2).map(|t| t.is_punct('(')) == Some(true)
+            {
+                out.push((
+                    "r5",
+                    "bounded-channel-or-comment",
+                    m.line,
+                    format!(
+                        ".{}() grows a collection inside a server accept/read loop — \
+                         bound it (cap + error, reap finished entries) or justify with \
+                         `// wcc-allow: r5 <reason>`",
+                        m.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::FileCtx;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        run_all(&FileCtx::new(path, src))
+    }
+
+    fn unsuppressed(path: &str, src: &str) -> Vec<Finding> {
+        findings(path, src)
+            .into_iter()
+            .filter(|f| f.suppressed.is_none())
+            .collect()
+    }
+
+    #[test]
+    fn r1_flags_wall_clock_in_sim_crates_only() {
+        let src = "fn f() { let t = Instant::now(); let s = std::time::SystemTime::now(); }";
+        let hits = unsuppressed("crates/simcore/src/engine.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "r1").count(), 2);
+        // Allowlisted files and the bench crate are clean.
+        assert!(unsuppressed("crates/liveserve/src/clock.rs", src).is_empty());
+        assert!(unsuppressed("crates/liveserve/src/loadgen.rs", src).is_empty());
+        assert!(unsuppressed("crates/bench/benches/x.rs", src).is_empty());
+        // ...but other liveserve files are in scope.
+        assert_eq!(
+            unsuppressed("crates/liveserve/src/origin.rs", src)
+                .iter()
+                .filter(|f| f.rule == "r1")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn r1_ignores_strings_comments_and_tests() {
+        let src = r#"
+// Instant::now() in a comment
+fn f() { let s = "Instant::now()"; }
+#[cfg(test)]
+mod tests { fn t() { let x = Instant::now(); } }
+"#;
+        assert!(unsuppressed("crates/simcore/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_map_iteration_in_report_files() {
+        let src = r#"
+struct S { counts: HashMap<u32, u64> }
+fn emit(s: &S) {
+    for (k, v) in s.counts.iter() { println!("{k} {v}"); }
+}
+"#;
+        let hits = unsuppressed("crates/core/src/experiments/report.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "r2").count(), 1);
+    }
+
+    #[test]
+    fn r2_for_loop_direct_iteration() {
+        let src = "fn f() { let mut seen = HashSet::new(); for k in &seen { println!(\"{k}\"); } }";
+        let hits = unsuppressed("crates/webtrace/src/analyze.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "r2").count(), 1);
+    }
+
+    #[test]
+    fn r2_silent_files_and_vec_iteration_are_clean() {
+        // No report markers: not in scope.
+        let quiet = "struct S { m: HashMap<u32, u64> } fn f(s: &S) { for x in s.m.iter() {} }";
+        assert!(unsuppressed("crates/core/src/sim.rs", quiet).is_empty());
+        // Vec iteration in a report file: fine.
+        let vecs = "fn f(rows: &[u64]) { for r in rows.iter() { println!(\"{r}\"); } }";
+        assert!(unsuppressed("crates/core/src/experiments/report.rs", vecs).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_io_under_named_guard() {
+        let src = r#"
+fn bad(&self) {
+    let st = self.state.lock().unwrap();
+    self.conn.write_all(b"x");
+}
+"#;
+        let hits = unsuppressed("crates/liveserve/src/proxy.rs", src);
+        assert!(hits.iter().any(|f| f.rule == "r3"), "{hits:?}");
+    }
+
+    #[test]
+    fn r3_scoped_and_dropped_guards_are_clean() {
+        let src = r#"
+fn good(&self) {
+    let targets = { let st = self.state.lock().unwrap(); st.collect() };
+    self.conn.write_all(&targets);
+    let st2 = self.state.lock().unwrap();
+    drop(st2);
+    self.conn.flush();
+}
+"#;
+        let hits = unsuppressed("crates/liveserve/src/proxy.rs", src);
+        // (.unwrap() also trips r4 here; only r3 matters for this test.)
+        assert!(!hits.iter().any(|f| f.rule == "r3"), "{hits:?}");
+    }
+
+    #[test]
+    fn r3_temporary_guard_chains_are_not_bindings() {
+        let src = r#"
+fn ok(&self) {
+    let is_new = self.state.lock().unwrap().store.peek(file).is_none();
+    self.conn.write_all(b"x");
+}
+"#;
+        let hits = unsuppressed("crates/liveserve/src/origin.rs", src);
+        assert!(!hits.iter().any(|f| f.rule == "r3"), "{hits:?}");
+    }
+
+    #[test]
+    fn r4_flags_panics_outside_tests_in_server_files() {
+        let src = r#"
+fn serve() { x.unwrap(); y.expect("msg"); panic!("boom"); }
+#[cfg(test)]
+mod tests { fn t() { z.unwrap(); } }
+"#;
+        let hits = unsuppressed("crates/liveserve/src/origin.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "r4").count(), 3);
+        // Same source in a non-server file: clean.
+        assert!(unsuppressed("crates/liveserve/src/report.rs", src)
+            .iter()
+            .all(|f| f.rule != "r4"));
+    }
+
+    #[test]
+    fn r4_unwrap_or_is_not_unwrap() {
+        let src = "fn f() { let x = v.unwrap_or(0); let y = w.unwrap_or_else(|| 1); }";
+        assert!(unsuppressed("crates/liveserve/src/proxy.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_flags_unbounded_channel_and_push_in_accept_loop() {
+        let src = r#"
+fn spawn() {
+    let (tx, rx) = mpsc::channel();
+    let mut workers = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok(s) => workers.push(s),
+            Err(_) => break,
+        }
+    }
+}
+"#;
+        let hits = unsuppressed("crates/liveserve/src/origin.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "r5").count(), 2);
+    }
+
+    #[test]
+    fn r5_sync_channel_and_suppressed_push_pass() {
+        let src = r#"
+fn spawn() {
+    let (tx, rx) = mpsc::sync_channel(8);
+    let mut workers = Vec::new();
+    loop {
+        match listener.accept() {
+            // wcc-allow: r5 reaped every tick; bounded by live connections
+            Ok(s) => workers.push(s),
+            Err(_) => break,
+        }
+    }
+}
+"#;
+        let all = findings("crates/liveserve/src/origin.rs", src);
+        assert!(all.iter().any(|f| f.rule == "r5" && f.suppressed.is_some()));
+        assert!(all.iter().all(|f| f.suppressed.is_some() || f.rule != "r5"));
+    }
+
+    #[test]
+    fn reasonless_or_unknown_suppressions_are_findings() {
+        let src = "// wcc-allow: r4\n// wcc-allow: r9 bogus rule id\nfn f() {}";
+        let hits = unsuppressed("crates/liveserve/src/origin.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "allow").count(), 2);
+    }
+}

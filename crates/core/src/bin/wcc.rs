@@ -2,10 +2,12 @@
 //! command line.
 //!
 //! ```text
-//! wcc figure <1..8> [--quick] [--jobs N]     regenerate one figure
+//! wcc figure <1..8> [--quick] [--jobs N] [--obs PATH]   regenerate one figure
 //! wcc table <1|2>   [--quick] [--jobs N]     regenerate one table
 //! wcc ablations               [--jobs N]     run the extension ablations
 //! wcc all           [--quick] [--jobs N]     everything, in paper order
+//! wcc trace <fig2..fig8 | --smoke> [--quick] [--jobs N] [--obs PATH] [--limit N]
+//! wcc metrics       [--quick] [--jobs N]     event metrics + wall-clock profile
 //! wcc serve   [--smoke | --listen A --control A] [workload flags]
 //! wcc loadgen [--smoke | --bench] [--threads N] [workload flags]
 //! wcc analyze [--json] [--check-fixtures [DIR]]  run the invariant linter
@@ -19,6 +21,16 @@
 //! sequential). Results are bit-for-bit identical at every setting — the
 //! executor only changes wall-clock time.
 //!
+//! `trace` re-runs one figure's protocol sweep with a bounded event
+//! probe attached to every point and emits the capture as deterministic
+//! JSONL (`--obs PATH` writes a file, otherwise stdout; `--limit N` caps
+//! buffered events per point). The same `--obs PATH` on `figure N` saves
+//! that figure's capture alongside the rendered figure. `trace --smoke`
+//! self-checks that sequential and two-worker captures are
+//! byte-identical. `metrics` aggregates the event stream into counter /
+//! histogram tables and prints the sweep executor's wall-clock profile
+//! (the one opt-in wall-clock reader in the simulation path).
+//!
 //! `serve` and `loadgen` drive the live TCP stack (`liveserve`): a real
 //! HTTP/1.0 origin with invalidation callbacks, fronted by a
 //! consistency-aware proxy cache. `serve --smoke` and `loadgen --smoke`
@@ -31,6 +43,7 @@ use webcache::experiments::report::{
     render_bandwidth_figure, render_figure1, render_missrate_figure, render_server_load_figure,
     render_table1, render_table2,
 };
+use webcache::experiments::trace::{self, TraceTarget};
 use webcache::experiments::{
     ablations, base::run_base_with, hierarchy_bias::run_figure1, optimized::run_optimized_with,
     tables, traced::run_traced_with, Scale,
@@ -40,14 +53,18 @@ use webtrace::campus::{generate_campus_trace, CampusProfile};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wcc <figure 1-8 | table 1-2 | ablations | all> [--quick] [--jobs N]\n\
+        "usage: wcc <figure 1-8 | table 1-2 | ablations | all> [--quick] [--jobs N] [--obs PATH]\n\
+         \x20      wcc trace   <fig2-fig8 | --smoke> [--quick] [--jobs N] [--obs PATH] [--limit N]\n\
+         \x20      wcc metrics [--quick] [--jobs N]\n\
          \x20      wcc serve   [--smoke | --listen ADDR --control ADDR] [--files N --requests N --seed S]\n\
          \x20      wcc loadgen [--smoke | --bench] [--threads N] [--files N --requests N --seed S]\n\
          \x20      wcc analyze [--json] [--check-fixtures [DIR]] [--quiet]\n\
          regenerates the tables and figures of Gwertzman & Seltzer,\n\
          'World Wide Web Cache Consistency' (USENIX 1996), or runs the\n\
          live TCP origin/proxy stack (serve, loadgen)\n\
-         --jobs N  sweep-executor workers (0 = hardware parallelism; 1 = sequential)"
+         --jobs N    sweep-executor workers (0 = hardware parallelism; 1 = sequential)\n\
+         --obs PATH  write the deterministic JSONL event capture to PATH\n\
+         --limit N   buffered events per sweep point (default 4096)"
     );
     std::process::exit(2);
 }
@@ -60,7 +77,7 @@ fn scale(quick: bool) -> Scale {
     }
 }
 
-fn figure(n: u32, quick: bool, runner: &SweepRunner) {
+fn figure(n: u32, quick: bool, runner: &SweepRunner, obs: Option<&ObsArgs>) {
     match n {
         1 => println!("{}", render_figure1(&run_figure1())),
         2 => println!(
@@ -110,6 +127,11 @@ fn figure(n: u32, quick: bool, runner: &SweepRunner) {
             )
         ),
         _ => usage(),
+    }
+    // `--obs PATH` on a figure saves that figure's event capture too.
+    if let (Some(obs), Some(target)) = (obs, TraceTarget::parse(&n.to_string())) {
+        let doc = trace::capture(target, &scale(quick), runner, obs.limit);
+        write_capture(&doc, Some(&obs.path));
     }
 }
 
@@ -466,22 +488,133 @@ fn cmd_loadgen(a: &LiveArgs) {
     }
 }
 
-/// Split flags from positionals, consuming `--jobs`'s value so it is not
-/// mistaken for a subcommand argument. Returns `(quick, runner, positional)`.
-fn parse_args(args: &[String]) -> (bool, SweepRunner, Vec<&str>) {
+/// Observability flags: the capture destination and per-point ring size.
+struct ObsArgs {
+    path: String,
+    limit: usize,
+}
+
+/// Write a capture document to `path`, or stdout when `None`.
+fn write_capture(doc: &str, path: Option<&str>) {
+    match path {
+        Some(path) => {
+            std::fs::write(path, doc).unwrap_or_else(|e| {
+                eprintln!("wcc: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "wcc: wrote {} line(s) of event capture to {path}",
+                doc.lines().count()
+            );
+        }
+        None => print!("{doc}"),
+    }
+}
+
+/// `wcc trace`: capture one figure's sweep as deterministic JSONL, or
+/// (`--smoke`) self-check that worker count does not change a byte.
+fn cmd_trace(
+    target: Option<&str>,
+    smoke: bool,
+    quick: bool,
+    runner: &SweepRunner,
+    obs: Option<&ObsArgs>,
+    limit: usize,
+) {
+    if smoke {
+        match trace::capture_smoke() {
+            Ok(doc) => {
+                println!(
+                    "{{\"mode\":\"trace-smoke\",\"deterministic\":true,\"lines\":{}}}",
+                    doc.lines().count()
+                );
+            }
+            Err((seq, par)) => {
+                eprintln!(
+                    "trace --smoke: sequential and parallel captures differ \
+                     ({} vs {} bytes)",
+                    seq.len(),
+                    par.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let target = TraceTarget::parse(target.unwrap_or_else(|| usage())).unwrap_or_else(|| usage());
+    let doc = trace::capture(target, &scale(quick), runner, limit);
+    write_capture(&doc, obs.map(|o| o.path.as_str()));
+}
+
+/// `wcc metrics`: aggregate the event stream over a figure sweep and a
+/// small live run into counter/histogram tables, plus the wall-clock
+/// profile of where the time went.
+fn cmd_metrics(quick: bool, runner: &SweepRunner) {
+    let profiler = wcc_obs::profile::global();
+    profiler.enable(true);
+
+    let mut registry = trace::collect_metrics(TraceTarget::Fig4, &scale(quick), runner);
+
+    // A small live loopback run feeds the live-latency histogram; the
+    // simulators cannot (they have no wall-clock request path).
+    {
+        let _span = profiler.span("live invalidation run");
+        let wl = generate_synthetic(&WorrellConfig::scaled(80, 1_500), 1996);
+        let mut live = wcc_obs::MetricsProbe::new();
+        match webcache::Experiment::new(&wl)
+            .protocol(ProtocolSpec::Invalidation)
+            .threads(2)
+            .probe(&mut live)
+            .run_live()
+        {
+            Ok(_) => registry.merge(live.registry()),
+            Err(e) => eprintln!("wcc metrics: skipping live run ({e})"),
+        }
+    }
+
+    println!("== Event counters ==");
+    print!("{}", registry.render_counters());
+    println!("\n== Histograms (log2 buckets) ==");
+    print!("{}", registry.render_histograms());
+    println!("\n== Wall-clock profile (phase / job) ==");
+    print!("{}", profiler.take().render_table());
+    profiler.enable(false);
+}
+
+/// Default per-point ring capacity for `wcc trace`.
+const DEFAULT_TRACE_LIMIT: usize = 4096;
+
+/// Split flags from positionals, consuming flag values so they are not
+/// mistaken for subcommand arguments. Returns
+/// `(quick, runner, obs, limit, positional)`.
+fn parse_args(args: &[String]) -> (bool, SweepRunner, Option<ObsArgs>, usize, Vec<&str>) {
     let mut quick = false;
     let mut jobs: usize = 0;
+    let mut obs_path: Option<String> = None;
+    let mut limit: usize = DEFAULT_TRACE_LIMIT;
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--smoke" => positional.push("--smoke"),
             "--jobs" => {
                 let value = it.next().unwrap_or_else(|| usage());
                 jobs = value.parse().unwrap_or_else(|_| usage());
             }
             flag if flag.starts_with("--jobs=") => {
                 jobs = flag["--jobs=".len()..].parse().unwrap_or_else(|_| usage());
+            }
+            "--obs" => obs_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            flag if flag.starts_with("--obs=") => {
+                obs_path = Some(flag["--obs=".len()..].to_string());
+            }
+            "--limit" => {
+                let value = it.next().unwrap_or_else(|| usage());
+                limit = value.parse().unwrap_or_else(|_| usage());
+            }
+            flag if flag.starts_with("--limit=") => {
+                limit = flag["--limit=".len()..].parse().unwrap_or_else(|_| usage());
             }
             flag if flag.starts_with("--") => usage(),
             p => positional.push(p),
@@ -492,7 +625,8 @@ fn parse_args(args: &[String]) -> (bool, SweepRunner, Vec<&str>) {
     } else {
         SweepRunner::new(jobs)
     };
-    (quick, runner, positional)
+    let obs = obs_path.map(|path| ObsArgs { path, limit });
+    (quick, runner, obs, limit, positional)
 }
 
 fn main() {
@@ -504,16 +638,26 @@ fn main() {
         Some("analyze") => std::process::exit(wcc_analyze::cli::run(&args[1..])),
         _ => {}
     }
-    let (quick, runner, positional) = parse_args(&args);
+    let (quick, runner, obs, limit, positional) = parse_args(&args);
     match positional.as_slice() {
-        ["figure", n] => figure(n.parse().unwrap_or_else(|_| usage()), quick, &runner),
+        ["figure", n] => figure(
+            n.parse().unwrap_or_else(|_| usage()),
+            quick,
+            &runner,
+            obs.as_ref(),
+        ),
         ["table", n] => table(n.parse().unwrap_or_else(|_| usage()), quick, &runner),
         ["ablations"] => run_ablations(&runner),
+        ["trace", "--smoke"] | ["trace", "--smoke", ..] => {
+            cmd_trace(None, true, quick, &runner, obs.as_ref(), limit)
+        }
+        ["trace", target] => cmd_trace(Some(target), false, quick, &runner, obs.as_ref(), limit),
+        ["metrics"] => cmd_metrics(quick, &runner),
         ["all"] => {
             table(1, quick, &runner);
             table(2, quick, &runner);
             for n in 1..=8 {
-                figure(n, quick, &runner);
+                figure(n, quick, &runner, None);
             }
             run_ablations(&runner);
         }

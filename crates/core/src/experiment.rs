@@ -1,0 +1,317 @@
+//! The unified experiment entry point.
+//!
+//! Historically each simulator variant had its own free function —
+//! [`crate::run`], [`crate::run_bounded`], [`crate::run_bounded_fifo`],
+//! [`crate::live::run_live`] — and attaching an observer meant a new
+//! signature on each. [`Experiment`] folds them into one composable
+//! builder:
+//!
+//! ```
+//! use webcache::{Experiment, ProtocolSpec, SimConfig};
+//! use webcache::experiment::Store;
+//! use webcache::workload::{generate_synthetic, WorrellConfig};
+//!
+//! let wl = generate_synthetic(&WorrellConfig::scaled(60, 1_000), 1);
+//! let outcome = Experiment::new(&wl)
+//!     .protocol(ProtocolSpec::Alex(20))
+//!     .config(SimConfig::optimized())
+//!     .store(Store::Lru(1 << 20))
+//!     .run();
+//! assert_eq!(outcome.result.cache.requests() as usize, wl.request_count());
+//! ```
+//!
+//! A [`wcc_obs::Probe`] attached with [`Experiment::probe`] receives the
+//! structured event stream (request decisions, validations,
+//! invalidations, evictions, modifications, server operations, queue
+//! depth). Observation is strictly passive: with or without a probe the
+//! simulation performs bit-identical work, which the golden-hash tests
+//! in `tests/determinism.rs` pin down.
+
+use std::io;
+
+use proxycache::UnboundedStore;
+use wcc_obs::{NoopProbe, Probe, ProbeHandle};
+
+use crate::live::{live_policy, to_live_workload};
+use crate::protocol::ProtocolSpec;
+use crate::sim::{run_with_store_probe, RunResult, SimConfig};
+use crate::workload::Workload;
+use crate::RetrievalMode;
+use httpsim::MessageCosting;
+use liveserve::{run_closed_loop_observed, LiveRunConfig, LoadReport, StoreKind};
+
+/// Cache store selection for an [`Experiment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Store {
+    /// The paper's infinite cache.
+    #[default]
+    Unbounded,
+    /// Byte-bounded LRU store with the given capacity.
+    Lru(u64),
+    /// Byte-bounded FIFO store with the given capacity.
+    Fifo(u64),
+}
+
+/// What an [`Experiment::run`] produced: the paper's metrics plus the
+/// eviction count (zero for [`Store::Unbounded`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The run's metrics.
+    pub result: RunResult,
+    /// Objects evicted by a bounded store during the measured window.
+    pub evictions: u64,
+}
+
+impl RunOutcome {
+    /// The `(result, evictions)` pair the historical bounded entry
+    /// points returned.
+    pub fn into_pair(self) -> (RunResult, u64) {
+        (self.result, self.evictions)
+    }
+}
+
+/// Composable builder over every way this crate can execute a workload.
+///
+/// Defaults: [`ProtocolSpec::Invalidation`], [`SimConfig::optimized`],
+/// [`Store::Unbounded`], no probe, one live client thread.
+pub struct Experiment<'a> {
+    workload: &'a Workload,
+    spec: ProtocolSpec,
+    config: SimConfig,
+    store: Store,
+    probe: Option<&'a mut dyn Probe>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Experiment<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("workload", &self.workload.name)
+            .field("spec", &self.spec)
+            .field("config", &self.config)
+            .field("store", &self.store)
+            .field("probe", &self.probe.is_some())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<'a> Experiment<'a> {
+    /// An experiment over `workload` with the defaults above.
+    pub fn new(workload: &'a Workload) -> Self {
+        Experiment {
+            workload,
+            spec: ProtocolSpec::Invalidation,
+            config: SimConfig::optimized(),
+            store: Store::Unbounded,
+            probe: None,
+            threads: 1,
+        }
+    }
+
+    /// Set the consistency protocol under test.
+    #[must_use]
+    pub fn protocol(mut self, spec: ProtocolSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replace the whole simulator configuration.
+    #[must_use]
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the expired-entry retrieval behaviour.
+    #[must_use]
+    pub fn retrieval(mut self, mode: RetrievalMode) -> Self {
+        self.config = self.config.retrieval(mode);
+        self
+    }
+
+    /// Set the control-message bandwidth accounting.
+    #[must_use]
+    pub fn costing(mut self, costing: MessageCosting) -> Self {
+        self.config = self.config.costing(costing);
+        self
+    }
+
+    /// Enable or disable cache pre-loading.
+    #[must_use]
+    pub fn preload(mut self, preload: bool) -> Self {
+        self.config = self.config.preload(preload);
+        self
+    }
+
+    /// Set the uncacheable content-class bitmask.
+    #[must_use]
+    pub fn uncacheable(mut self, mask: u32) -> Self {
+        self.config = self.config.uncacheable(mask);
+        self
+    }
+
+    /// Select the cache store.
+    #[must_use]
+    pub fn store(mut self, store: Store) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Attach an observer for the structured event stream. Strictly
+    /// passive: the run's metrics are bit-identical with or without it.
+    #[must_use]
+    pub fn probe(mut self, probe: &'a mut dyn Probe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Client threads for [`Experiment::run_live`] (ignored by the
+    /// simulators; 0 is treated as 1).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Execute as a discrete-event simulation.
+    pub fn run(self) -> RunOutcome {
+        let mut noop = NoopProbe;
+        let probe: &mut dyn Probe = match self.probe {
+            Some(p) => p,
+            None => &mut noop,
+        };
+        let (result, evictions) = match self.store {
+            Store::Unbounded => run_with_store_probe(
+                self.workload,
+                self.spec,
+                &self.config,
+                UnboundedStore::new(),
+                probe,
+            ),
+            Store::Lru(capacity) => run_with_store_probe(
+                self.workload,
+                self.spec,
+                &self.config,
+                proxycache::LruStore::new(capacity),
+                probe,
+            ),
+            Store::Fifo(capacity) => run_with_store_probe(
+                self.workload,
+                self.spec,
+                &self.config,
+                proxycache::FifoStore::new(capacity),
+                probe,
+            ),
+        };
+        RunOutcome { result, evictions }
+    }
+
+    /// Execute over the live loopback TCP stack ([`crate::live`]).
+    ///
+    /// Live events are captured into a bounded in-process buffer while
+    /// the proxy/origin threads run (a probe need not be `Send`), then
+    /// replayed into the attached probe after the sockets close.
+    ///
+    /// # Errors
+    /// Propagates socket errors, and rejects specs the live stack does
+    /// not implement (see [`live_policy`]).
+    pub fn run_live(self) -> io::Result<LoadReport> {
+        let policy = live_policy(self.spec).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("no live implementation for protocol {}", self.spec.label()),
+            )
+        })?;
+        let mut config = LiveRunConfig::new(policy);
+        config.threads = self.threads;
+        config.uncacheable_mask = self.config.uncacheable_mask;
+        config.store = match self.store {
+            Store::Unbounded => StoreKind::Unbounded,
+            Store::Lru(capacity) => StoreKind::Lru(capacity),
+            Store::Fifo(capacity) => StoreKind::Fifo(capacity),
+        };
+        let handle = match self.probe {
+            Some(_) => ProbeHandle::buffered(LIVE_TRACE_CAPACITY),
+            None => ProbeHandle::none(),
+        };
+        let report = run_closed_loop_observed(&to_live_workload(self.workload), &config, &handle)?;
+        if let Some(probe) = self.probe {
+            handle.drain_into(probe);
+        }
+        Ok(report)
+    }
+}
+
+/// Ring capacity for live-run capture; newest events win once full.
+const LIVE_TRACE_CAPACITY: usize = 1 << 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_synthetic, WorrellConfig};
+    use wcc_obs::{ObsEvent, TraceProbe};
+
+    fn wl(seed: u64) -> Workload {
+        generate_synthetic(&WorrellConfig::scaled(80, 2_000), seed)
+    }
+
+    #[test]
+    fn builder_matches_the_historical_entry_points() {
+        let wl = wl(31);
+        let spec = ProtocolSpec::Alex(25);
+        let cfg = SimConfig::optimized().preload(false);
+        let via_builder = Experiment::new(&wl)
+            .protocol(spec)
+            .config(cfg)
+            .store(Store::Lru(1 << 22))
+            .run();
+        let (via_fn, ev) = crate::run_bounded(&wl, spec, &cfg, 1 << 22);
+        assert_eq!(via_builder.result, via_fn);
+        assert_eq!(via_builder.evictions, ev);
+    }
+
+    #[test]
+    fn probe_sees_every_request_exactly_once() {
+        let wl = wl(32);
+        let mut trace = TraceProbe::new(1 << 20);
+        let outcome = Experiment::new(&wl)
+            .protocol(ProtocolSpec::Alex(20))
+            .probe(&mut trace)
+            .run();
+        let requests = trace
+            .events()
+            .filter(|(_, _, e)| matches!(e, ObsEvent::Request { .. }))
+            .count();
+        assert_eq!(requests as u64, outcome.result.cache.requests());
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    #[test]
+    fn probe_does_not_perturb_the_run() {
+        let wl = wl(33);
+        let bare = Experiment::new(&wl).protocol(ProtocolSpec::Ttl(60)).run();
+        let mut trace = TraceProbe::new(64); // deliberately tiny ring
+        let observed = Experiment::new(&wl)
+            .protocol(ProtocolSpec::Ttl(60))
+            .probe(&mut trace)
+            .run();
+        assert_eq!(bare, observed);
+        assert!(trace.recorded() > 0);
+    }
+
+    #[test]
+    fn config_shorthands_compose() {
+        let wl = wl(34);
+        let a = Experiment::new(&wl)
+            .protocol(ProtocolSpec::Alex(20))
+            .preload(false)
+            .uncacheable(1 << 2)
+            .run();
+        let b = Experiment::new(&wl)
+            .protocol(ProtocolSpec::Alex(20))
+            .config(SimConfig::optimized().preload(false).uncacheable(1 << 2))
+            .run();
+        assert_eq!(a, b);
+    }
+}

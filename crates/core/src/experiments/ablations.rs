@@ -139,10 +139,7 @@ pub fn costing_ablation_with(
             run(
                 workload,
                 spec,
-                &SimConfig {
-                    costing: MessageCosting::SerializedHttp,
-                    ..SimConfig::optimized()
-                },
+                &SimConfig::optimized().costing(MessageCosting::SerializedHttp),
             )
         },
     )
@@ -174,10 +171,7 @@ pub fn dynamic_content_ablation_with(
             run(
                 workload,
                 spec,
-                &SimConfig {
-                    uncacheable_mask: 1 << dynamic_class,
-                    ..SimConfig::optimized()
-                },
+                &SimConfig::optimized().uncacheable(1 << dynamic_class),
             )
         },
     )
@@ -260,10 +254,7 @@ pub fn eviction_policy_comparison_with(
         .filter_map(|(_, r)| r.version_at(workload.start).map(|v| v.size))
         .sum();
     let capacity = ((working_set as f64 * capacity_fraction) as u64).max(1);
-    let config = SimConfig {
-        preload: false,
-        ..SimConfig::optimized()
-    };
+    let config = SimConfig::optimized().preload(false);
     let ((lru, le), (fifo, fe)) = runner.join(
         || run_bounded(workload, spec, &config, capacity),
         || run_bounded_fifo(workload, spec, &config, capacity),

@@ -20,6 +20,7 @@
 //! | invalidation under partitions | (§1/§6 resilience claim) | [`failure`] |
 //! | proxy placement vs % remote | (Table 1 extension) | [`deployment`] |
 //! | Figure 1 bias at trace scale | (§3 extension) | [`hierarchy_trace`] |
+//! | structured-event capture / metrics | (observability) | [`trace`] |
 
 pub mod ablations;
 pub mod base;
@@ -30,6 +31,7 @@ pub mod hierarchy_trace;
 pub mod optimized;
 pub mod report;
 pub mod tables;
+pub mod trace;
 pub mod traced;
 
 use crate::sim::RunResult;

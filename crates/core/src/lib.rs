@@ -18,11 +18,14 @@
 //! * [`scenario`] — a builder for scripted workloads (targeted
 //!   experiments like the daily-news a-priori-TTL case);
 //! * [`live`] — glue from simulator workloads and protocol specs to the
-//!   `liveserve` TCP stack, for live-vs-simulated differential runs.
+//!   `liveserve` TCP stack, for live-vs-simulated differential runs;
+//! * [`experiment`] — the unified [`Experiment`] builder over all of the
+//!   above, with `wcc-obs` probe attachment for tracing and metrics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiment;
 pub mod experiments;
 pub mod hierarchy;
 pub mod live;
@@ -32,6 +35,7 @@ pub mod sim;
 pub mod sweep;
 pub mod workload;
 
+pub use experiment::{Experiment, RunOutcome, Store as ExperimentStore};
 pub use protocol::ProtocolSpec;
 pub use scenario::ScenarioBuilder;
 pub use sim::{run, run_bounded, run_bounded_fifo, RetrievalMode, RunResult, SimConfig};

@@ -9,8 +9,8 @@
 //! call.
 //!
 //! A single-threaded live run is counter-for-counter comparable to
-//! `run(workload, spec, &SimConfig { preload: false,
-//! ..SimConfig::optimized() })`: identical `CacheStats`, `ServerLoad`,
+//! `run(workload, spec, &SimConfig::optimized().preload(false))`:
+//! identical `CacheStats`, `ServerLoad`,
 //! message/file-transfer *counts*, and staleness totals. Only
 //! `message_bytes` differs by construction — the simulator's
 //! `PaperConstant` costing charges 43 bytes per message where the live
@@ -19,7 +19,7 @@
 use std::io;
 use std::sync::Arc;
 
-use liveserve::{run_closed_loop, LivePolicy, LiveRunConfig, LiveWorkload, LoadReport};
+use liveserve::{LivePolicy, LiveWorkload, LoadReport};
 
 use crate::protocol::ProtocolSpec;
 use crate::workload::Workload;
@@ -52,19 +52,17 @@ pub fn live_policy(spec: ProtocolSpec) -> Option<LivePolicy> {
 /// Replay `workload` under `spec` through the live loopback stack with
 /// `threads` client threads.
 ///
+/// Thin wrapper over [`crate::Experiment`]; use the builder directly to
+/// attach a probe or select a bounded store.
+///
 /// # Errors
 /// Propagates socket errors, and rejects specs the live stack does not
 /// implement (see [`live_policy`]).
 pub fn run_live(workload: &Workload, spec: ProtocolSpec, threads: usize) -> io::Result<LoadReport> {
-    let policy = live_policy(spec).ok_or_else(|| {
-        io::Error::new(
-            io::ErrorKind::Unsupported,
-            format!("no live implementation for protocol {}", spec.label()),
-        )
-    })?;
-    let mut config = LiveRunConfig::new(policy);
-    config.threads = threads;
-    run_closed_loop(&to_live_workload(workload), &config)
+    crate::Experiment::new(workload)
+        .protocol(spec)
+        .threads(threads)
+        .run_live()
 }
 
 #[cfg(test)]

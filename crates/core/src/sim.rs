@@ -24,10 +24,11 @@ use std::sync::Arc;
 use consistency::Policy;
 use httpsim::{HttpDate, MessageCosting, EPOCH_1996};
 use originserver::{CondResult, OriginServer};
-use proxycache::{EntryMeta, Store, UnboundedStore};
+use proxycache::{EntryMeta, Store};
 use simcore::{
     CacheId, CacheStats, Dispatch, FileId, Scheduler, ServerLoad, SimTime, Simulation, TrafficMeter,
 };
+use wcc_obs::{ObsEvent, Probe, RequestOutcome, ServerOpKind};
 
 use crate::protocol::ProtocolSpec;
 use crate::workload::Workload;
@@ -78,6 +79,39 @@ impl SimConfig {
             preload: true,
             uncacheable_mask: 0,
         }
+    }
+
+    // Chainable setters, so call sites read as a sentence
+    // (`SimConfig::optimized().preload(false)`) instead of struct-update
+    // spelling. Each shares its field's name; Rust resolves field access
+    // and method call syntactically, so both coexist.
+
+    /// Chainable: set the expired-entry retrieval behaviour.
+    #[must_use]
+    pub fn retrieval(mut self, mode: RetrievalMode) -> Self {
+        self.retrieval = mode;
+        self
+    }
+
+    /// Chainable: set the control-message bandwidth accounting.
+    #[must_use]
+    pub fn costing(mut self, costing: MessageCosting) -> Self {
+        self.costing = costing;
+        self
+    }
+
+    /// Chainable: enable or disable cache pre-loading.
+    #[must_use]
+    pub fn preload(mut self, preload: bool) -> Self {
+        self.preload = preload;
+        self
+    }
+
+    /// Chainable: set the uncacheable content-class bitmask.
+    #[must_use]
+    pub fn uncacheable(mut self, mask: u32) -> Self {
+        self.uncacheable_mask = mask;
+        self
     }
 }
 
@@ -182,6 +216,7 @@ struct World<'w, S: Store> {
     store: S,
     server: OriginServer,
     policy: Box<dyn Policy>,
+    probe: &'w mut dyn Probe,
     classes: &'w [usize],
     class_expires: &'w [Option<simcore::SimDuration>],
     retrieval: RetrievalMode,
@@ -205,9 +240,11 @@ impl<S: Store> World<'_, S> {
     /// evicted objects lose their invalidation subscription (the server
     /// must not notify caches that no longer hold the object).
     fn insert_entry(&mut self, file: FileId, meta: EntryMeta) {
+        let at = meta.fetched_at;
         for (victim, _) in self.store.insert(file, meta) {
             if victim != file {
                 self.evictions += 1;
+                self.probe.record(at, ObsEvent::Eviction { file: victim });
             }
             if self.uses_invalidation {
                 self.server.unsubscribe(THE_CACHE, victim);
@@ -227,18 +264,32 @@ impl<S: Store> World<'_, S> {
             .map(|d| now.saturating_add(d))
     }
 
-    fn on_modification(&mut self, file: FileId, _now: SimTime) {
+    fn on_modification(&mut self, file: FileId, now: SimTime) {
+        self.probe.record(now, ObsEvent::Modification { file });
         if !self.uses_invalidation {
             return;
         }
         let targets = self.server.notify_modification(file);
+        self.probe.record(
+            now,
+            ObsEvent::Invalidation {
+                file,
+                fanout: targets.len() as u32,
+            },
+        );
         for cache in targets {
             debug_assert_eq!(cache, THE_CACHE);
+            self.probe.record(
+                now,
+                ObsEvent::ServerOp {
+                    kind: ServerOpKind::InvalidationSent,
+                },
+            );
             self.traffic.add_message(
                 self.costing
                     .invalidation_message(&self.server.files().get(file).path),
             );
-            if let Some(entry) = self.store.access(file, _now) {
+            if let Some(entry) = self.store.access(file, now) {
                 entry.mark_invalid();
             }
         }
@@ -247,6 +298,12 @@ impl<S: Store> World<'_, S> {
     fn fetch_full(&mut self, file: FileId, now: SimTime, since: Option<SimTime>) {
         let class = self.classes[file.index()];
         let v = self.server.handle_get(file, now);
+        self.probe.record(
+            now,
+            ObsEvent::ServerOp {
+                kind: ServerOpKind::DocumentRequest,
+            },
+        );
         let overhead = self.costing.fetch_overhead(
             &self.server.files().get(file).path,
             since.map(|s| self.wall(s)),
@@ -288,16 +345,33 @@ impl<S: Store> World<'_, S> {
     fn on_request(&mut self, file: FileId, now: SimTime) {
         let class = self.classes[file.index()];
         if self.is_uncacheable(class) {
+            self.probe.record(
+                now,
+                ObsEvent::Request {
+                    file,
+                    outcome: RequestOutcome::Uncacheable,
+                },
+            );
             self.fetch_full(file, now, None);
             return;
         }
         let Some(entry) = self.store.access(file, now).copied() else {
             // Compulsory miss: the cache has never seen this object.
+            self.probe.record(
+                now,
+                ObsEvent::Request {
+                    file,
+                    outcome: RequestOutcome::Miss,
+                },
+            );
             self.fetch_full(file, now, None);
             return;
         };
 
-        if entry.is_valid() && self.policy.is_fresh(&entry, class, now) {
+        let fresh = entry.is_valid() && self.policy.is_fresh(&entry, class, now);
+        self.probe
+            .record(now, ObsEvent::PolicyDecision { file, fresh });
+        if fresh {
             // Served locally; classify against the live origin version.
             let live = self
                 .server
@@ -307,20 +381,34 @@ impl<S: Store> World<'_, S> {
                 .expect("requested file exists");
             if live.modified_at == entry.last_modified {
                 self.stats.fresh_hits += 1;
+                self.probe.record(
+                    now,
+                    ObsEvent::Request {
+                        file,
+                        outcome: RequestOutcome::FreshHit,
+                    },
+                );
             } else {
                 self.stats.stale_hits += 1;
                 // Severity: how long the served copy has been out of date
                 // (time since the first change it missed).
+                let mut age = simcore::SimDuration::ZERO;
                 if let Some(missed) = self
                     .server
                     .files()
                     .get(file)
                     .first_change_after(entry.last_modified)
                 {
-                    self.stale_age_total = self
-                        .stale_age_total
-                        .saturating_add(now.saturating_since(missed.modified_at));
+                    age = now.saturating_since(missed.modified_at);
+                    self.stale_age_total = self.stale_age_total.saturating_add(age);
                 }
+                self.probe.record(
+                    now,
+                    ObsEvent::Request {
+                        file,
+                        outcome: RequestOutcome::StaleHit { age },
+                    },
+                );
             }
             return;
         }
@@ -340,11 +428,31 @@ impl<S: Store> World<'_, S> {
                 live.modified_at != entry.last_modified
             };
             self.policy.on_validation(class, changed);
+            self.probe.record(
+                now,
+                ObsEvent::Validation {
+                    file,
+                    modified: changed,
+                },
+            );
+            self.probe.record(
+                now,
+                ObsEvent::Request {
+                    file,
+                    outcome: RequestOutcome::Miss,
+                },
+            );
             self.fetch_full(file, now, None);
             return;
         }
 
         // Optimized path: combined query-and-fetch via If-Modified-Since.
+        self.probe.record(
+            now,
+            ObsEvent::ServerOp {
+                kind: ServerOpKind::ValidationQuery,
+            },
+        );
         match self
             .server
             .handle_conditional_get(file, entry.last_modified, now)
@@ -358,6 +466,20 @@ impl<S: Store> World<'_, S> {
                 self.stats.validations_not_modified += 1;
                 self.stats.fresh_hits += 1;
                 self.policy.on_validation(class, false);
+                self.probe.record(
+                    now,
+                    ObsEvent::Validation {
+                        file,
+                        modified: false,
+                    },
+                );
+                self.probe.record(
+                    now,
+                    ObsEvent::Request {
+                        file,
+                        outcome: RequestOutcome::ValidatedFresh,
+                    },
+                );
                 let expires = self.origin_expiry(class, now);
                 let entry = self.store.access(file, now).expect("entry is resident");
                 entry.revalidate(now);
@@ -376,6 +498,20 @@ impl<S: Store> World<'_, S> {
                 self.stats.validations_modified += 1;
                 self.stats.misses += 1;
                 self.policy.on_validation(class, true);
+                self.probe.record(
+                    now,
+                    ObsEvent::Validation {
+                        file,
+                        modified: true,
+                    },
+                );
+                self.probe.record(
+                    now,
+                    ObsEvent::Request {
+                        file,
+                        outcome: RequestOutcome::ValidatedStale,
+                    },
+                );
                 let expires = self.origin_expiry(class, now);
                 let mut entry = *self.store.access(file, now).expect("entry is resident");
                 entry.replace_body(v.size, v.modified_at, now);
@@ -388,8 +524,15 @@ impl<S: Store> World<'_, S> {
 
 /// Run `workload` under `spec` with `config`, returning the paper's
 /// metrics. Fully deterministic: same inputs, same result.
+///
+/// Thin wrapper over [`crate::Experiment`]; use the builder directly to
+/// attach a [`Probe`] or select a bounded store.
 pub fn run(workload: &Workload, spec: ProtocolSpec, config: &SimConfig) -> RunResult {
-    run_with_store(workload, spec, config, UnboundedStore::new()).0
+    crate::Experiment::new(workload)
+        .protocol(spec)
+        .config(*config)
+        .run()
+        .result
 }
 
 /// Like [`run`], but with a byte-bounded LRU cache instead of the paper's
@@ -403,12 +546,12 @@ pub fn run_bounded(
     config: &SimConfig,
     capacity_bytes: u64,
 ) -> (RunResult, u64) {
-    run_with_store(
-        workload,
-        spec,
-        config,
-        proxycache::LruStore::new(capacity_bytes),
-    )
+    crate::Experiment::new(workload)
+        .protocol(spec)
+        .config(*config)
+        .store(crate::ExperimentStore::Lru(capacity_bytes))
+        .run()
+        .into_pair()
 }
 
 /// Like [`run_bounded`], but with FIFO eviction — the cheaper policy
@@ -420,12 +563,12 @@ pub fn run_bounded_fifo(
     config: &SimConfig,
     capacity_bytes: u64,
 ) -> (RunResult, u64) {
-    run_with_store(
-        workload,
-        spec,
-        config,
-        proxycache::FifoStore::new(capacity_bytes),
-    )
+    crate::Experiment::new(workload)
+        .protocol(spec)
+        .config(*config)
+        .store(crate::ExperimentStore::Fifo(capacity_bytes))
+        .run()
+        .into_pair()
 }
 
 /// The closed event alphabet of the single-cache simulator.
@@ -452,17 +595,23 @@ impl<'w, S: Store> Dispatch<World<'w, S>> for SimEvent {
     }
 }
 
-fn run_with_store<S: Store>(
-    workload: &Workload,
+/// The shared engine behind every simulator entry point. `probe`
+/// receives the structured event stream; pass [`wcc_obs::NoopProbe`]
+/// for an unobserved run (the compiler sees only a no-op virtual call,
+/// keeping golden hashes bit-identical).
+pub(crate) fn run_with_store_probe<'w, S: Store>(
+    workload: &'w Workload,
     spec: ProtocolSpec,
     config: &SimConfig,
     store: S,
+    probe: &'w mut dyn Probe,
 ) -> (RunResult, u64) {
     debug_assert_eq!(workload.validate(), Ok(()));
     let mut world = World {
         store,
         server: OriginServer::new(Arc::clone(&workload.population)),
         policy: spec.build_policy(),
+        probe,
         classes: &workload.classes,
         class_expires: &workload.class_expires,
         retrieval: config.retrieval,
@@ -530,7 +679,14 @@ fn run_with_store<S: Store>(
     for (t, _, ev) in events {
         sim.scheduler().schedule_event_at(t, ev);
     }
-    sim.run_to_completion();
+    sim.run_to_completion_observed(|world, now, pending| {
+        world.probe.record(
+            now,
+            ObsEvent::Dispatched {
+                pending: pending as u32,
+            },
+        );
+    });
     let world = sim.into_world();
 
     debug_assert_eq!(
@@ -657,10 +813,7 @@ mod tests {
     #[test]
     fn preload_eliminates_compulsory_misses() {
         let wl = small_workload(9);
-        let cold = SimConfig {
-            preload: false,
-            ..SimConfig::optimized()
-        };
+        let cold = SimConfig::optimized().preload(false);
         let warm = SimConfig::optimized();
         let r_cold = run(&wl, ProtocolSpec::Invalidation, &cold);
         let r_warm = run(&wl, ProtocolSpec::Invalidation, &warm);
@@ -686,10 +839,7 @@ mod tests {
     fn serialized_costing_changes_bytes_not_behaviour() {
         let wl = small_workload(11);
         let paper = run(&wl, ProtocolSpec::Alex(20), &SimConfig::optimized());
-        let wire_cfg = SimConfig {
-            costing: MessageCosting::SerializedHttp,
-            ..SimConfig::optimized()
-        };
+        let wire_cfg = SimConfig::optimized().costing(MessageCosting::SerializedHttp);
         let wire = run(&wl, ProtocolSpec::Alex(20), &wire_cfg);
         assert_eq!(paper.cache, wire.cache);
         assert_eq!(paper.server, wire.server);
@@ -774,10 +924,7 @@ mod tests {
         let mut wl = small_workload(18);
         // Make every file class 1 and mark class 1 dynamic.
         wl.classes = vec![1; wl.population.len()];
-        let cfg = SimConfig {
-            uncacheable_mask: 1 << 1,
-            ..SimConfig::optimized()
-        };
+        let cfg = SimConfig::optimized().uncacheable(1 << 1);
         let r = run(&wl, ProtocolSpec::Alex(50), &cfg);
         // Every request is a full fetch.
         assert_eq!(r.cache.misses as usize, wl.request_count());
@@ -789,10 +936,8 @@ mod tests {
     #[test]
     fn uncacheable_mask_only_affects_marked_classes() {
         let wl = small_workload(19); // all files class 0
-        let with_mask = SimConfig {
-            uncacheable_mask: 1 << 3, // class 3 unused by this workload
-            ..SimConfig::optimized()
-        };
+                                     // Class 3 is unused by this workload.
+        let with_mask = SimConfig::optimized().uncacheable(1 << 3);
         let a = run(&wl, ProtocolSpec::Alex(20), &with_mask);
         let b = run(&wl, ProtocolSpec::Alex(20), &SimConfig::optimized());
         assert_eq!(a.cache, b.cache);
@@ -868,10 +1013,7 @@ mod tests {
             .filter_map(|(_, r)| r.version_at(wl.start).map(|v| v.size))
             .sum::<u64>()
             / 5;
-        let sim_cfg = SimConfig {
-            preload: false,
-            ..SimConfig::optimized()
-        };
+        let sim_cfg = SimConfig::optimized().preload(false);
         let (lru, _) = run_bounded(&wl, ProtocolSpec::Alex(30), &sim_cfg, capacity);
         let (fifo, _) = run_bounded_fifo(&wl, ProtocolSpec::Alex(30), &sim_cfg, capacity);
         assert!(
@@ -935,10 +1077,7 @@ mod tests {
         // With a bounded cache the server's subscription ledger must stay
         // bounded by what is resident, not grow with the file universe.
         let wl = small_workload(22);
-        let cfg = SimConfig {
-            preload: false,
-            ..SimConfig::optimized()
-        };
+        let cfg = SimConfig::optimized().preload(false);
         let total_bytes: u64 = wl
             .population
             .iter()

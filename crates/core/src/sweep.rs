@@ -90,17 +90,27 @@ impl SweepRunner {
         F: Fn(&P) -> R + Sync,
     {
         if self.jobs <= 1 || points.len() <= 1 {
-            return points.iter().map(f).collect();
+            return points
+                .iter()
+                .map(|p| {
+                    let _span = wcc_obs::profile::global().job(0);
+                    f(p)
+                })
+                .collect();
         }
         let slots: Vec<Mutex<Option<R>>> = points.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
+        let (slots_ref, cursor_ref, f_ref) = (&slots, &cursor, &f);
         thread::scope(|scope| {
-            for _ in 0..self.jobs.min(points.len()) {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+            for worker in 0..self.jobs.min(points.len()) {
+                scope.spawn(move || loop {
+                    let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
                     let Some(point) = points.get(i) else { break };
-                    let result = f(point);
-                    *slots[i].lock().expect("sweep slot poisoned") = Some(result);
+                    // Inert unless `wcc metrics` enabled the profiler;
+                    // attributes this point's wall time to this worker.
+                    let _span = wcc_obs::profile::global().job(worker);
+                    let result = f_ref(point);
+                    *slots_ref[i].lock().expect("sweep slot poisoned") = Some(result);
                 });
             }
         });

@@ -37,7 +37,12 @@ mod proxy;
 mod report;
 
 pub use clock::LiveClock;
-pub use loadgen::{run_closed_loop, LiveRunConfig, LiveWorkload, LoadReport};
+pub use loadgen::{
+    run_closed_loop, run_closed_loop_observed, LiveRunConfig, LiveWorkload, LoadReport,
+};
 pub use netio::HttpConn;
 pub use origin::{LiveOrigin, OriginConfig};
 pub use proxy::{LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind};
+// Re-exported so callers can hand a probe to the configs above without
+// naming `wcc-obs` themselves.
+pub use wcc_obs::ProbeHandle;

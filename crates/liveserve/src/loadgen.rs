@@ -28,6 +28,7 @@ use std::time::Instant;
 use httpsim::{Request, Status};
 use originserver::FilePopulation;
 use simcore::{CacheStats, FileId, LatencyStats, ServerLoad, SimDuration, SimTime, TrafficMeter};
+use wcc_obs::{ObsEvent, ProbeHandle};
 
 use crate::clock::LiveClock;
 use crate::netio::HttpConn;
@@ -206,6 +207,7 @@ fn client_thread(
     proxy_addr: std::net::SocketAddr,
     threads: usize,
     k: usize,
+    probe: &ProbeHandle,
 ) -> io::Result<(LatencyStats, u64)> {
     let mut conn = HttpConn::new(TcpStream::connect(proxy_addr)?)?;
     let mut latency = LatencyStats::new();
@@ -219,7 +221,17 @@ fn client_thread(
         let started = Instant::now();
         conn.write_request(&Request::get(path.clone()))?;
         let (resp, body) = conn.read_response()?;
-        latency.record_ns(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        latency.record_ns(elapsed_ns);
+        // Stamped with the request's *scheduled* instant: the event
+        // stream stays on the virtual timeline even though the measured
+        // latency is wall time.
+        probe.record(
+            t,
+            ObsEvent::LiveLatency {
+                micros: elapsed_ns / 1_000,
+            },
+        );
         bytes += resp.header_size() + body.len() as u64;
         if resp.status != Status::Ok {
             return Err(io::Error::new(
@@ -234,6 +246,18 @@ fn client_thread(
 /// Replay `workload` through a freshly-spawned loopback origin + proxy
 /// under `config`, returning the aggregated report.
 pub fn run_closed_loop(workload: &LiveWorkload, config: &LiveRunConfig) -> io::Result<LoadReport> {
+    run_closed_loop_observed(workload, config, &ProbeHandle::none())
+}
+
+/// [`run_closed_loop`] with an observation hook: `probe` receives the
+/// full structured event stream — origin server operations, proxy
+/// request decisions and validations, and client-observed latency — all
+/// stamped with virtual time.
+pub fn run_closed_loop_observed(
+    workload: &LiveWorkload,
+    config: &LiveRunConfig,
+    probe: &ProbeHandle,
+) -> io::Result<LoadReport> {
     let threads = config.threads.max(1);
     let clock = LiveClock::virtual_at(workload.start);
 
@@ -242,6 +266,7 @@ pub fn run_closed_loop(workload: &LiveWorkload, config: &LiveRunConfig) -> io::R
     origin_config.class_expires = workload.class_expires.clone();
     origin_config.window_start = workload.start;
     origin_config.window_end = workload.end;
+    origin_config.probe = probe.clone();
     let origin = LiveOrigin::spawn(origin_config)?;
 
     let mut proxy_config = ProxyConfig::new(
@@ -254,6 +279,7 @@ pub fn run_closed_loop(workload: &LiveWorkload, config: &LiveRunConfig) -> io::R
     proxy_config.ground_truth = Some(Arc::clone(&workload.population));
     proxy_config.classes = workload.classes.clone();
     proxy_config.uncacheable_mask = config.uncacheable_mask;
+    proxy_config.probe = probe.clone();
     let proxy = LiveProxy::spawn(proxy_config)?;
     let proxy_addr = proxy.addr();
 
@@ -263,7 +289,9 @@ pub fn run_closed_loop(workload: &LiveWorkload, config: &LiveRunConfig) -> io::R
     let origin_ref = &origin;
     let outcome: io::Result<()> = thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|k| s.spawn(move || client_thread(workload, origin_ref, proxy_addr, threads, k)))
+            .map(|k| {
+                s.spawn(move || client_thread(workload, origin_ref, proxy_addr, threads, k, probe))
+            })
             .collect();
         for h in handles {
             let (lat, bytes) = h.join().expect("client thread never panics")?;

@@ -30,6 +30,7 @@ use std::thread::{self, JoinHandle};
 use httpsim::{Request, Response};
 use originserver::{CondResult, FilePopulation, OriginServer, Version};
 use simcore::{CacheId, FileId, ServerLoad, SimDuration, SimTime};
+use wcc_obs::{ObsEvent, ProbeHandle, ServerOpKind};
 
 use crate::clock::{sim_instant, wall_date, LiveClock};
 use crate::control::{write_msg, ControlMsg, LineConn};
@@ -57,6 +58,10 @@ pub struct OriginConfig {
     pub data_bind: String,
     /// Bind address for the control (invalidation) listener.
     pub control_bind: String,
+    /// Observation hook for server operations, modifications, and
+    /// invalidation fan-out. Inactive by default; recording happens in
+    /// memory only (never across socket IO).
+    pub probe: ProbeHandle,
 }
 
 impl OriginConfig {
@@ -72,6 +77,7 @@ impl OriginConfig {
             window_end: SimTime::MAX,
             data_bind: "127.0.0.1:0".to_string(),
             control_bind: "127.0.0.1:0".to_string(),
+            probe: ProbeHandle::none(),
         }
     }
 }
@@ -97,6 +103,7 @@ struct OriginShared {
     classes: Vec<usize>,
     class_expires: Vec<Option<SimDuration>>,
     clock: LiveClock,
+    probe: ProbeHandle,
     shutdown: AtomicBool,
     peers: Mutex<Vec<Option<Arc<ControlPeer>>>>,
 }
@@ -136,11 +143,23 @@ impl OriginShared {
         match req.if_modified_since {
             None => {
                 let v = lock_clean(&self.server).handle_get(file, now);
+                self.probe.record(
+                    now,
+                    ObsEvent::ServerOp {
+                        kind: ServerOpKind::DocumentRequest,
+                    },
+                );
                 self.full_response(file, v, now)
             }
             Some(ims) => {
                 let since = sim_instant(ims);
                 let result = lock_clean(&self.server).handle_conditional_get(file, since, now);
+                self.probe.record(
+                    now,
+                    ObsEvent::ServerOp {
+                        kind: ServerOpKind::ValidationQuery,
+                    },
+                );
                 match result {
                     CondResult::NotModified => {
                         let resp =
@@ -158,11 +177,26 @@ impl OriginShared {
     /// its `ACK`.
     fn deliver_invalidation(&self, file: FileId) {
         let targets = lock_clean(&self.server).notify_modification(file);
+        let now = self.clock.now();
+        self.probe.record(now, ObsEvent::Modification { file });
+        self.probe.record(
+            now,
+            ObsEvent::Invalidation {
+                file,
+                fanout: targets.len() as u32,
+            },
+        );
         if targets.is_empty() {
             return;
         }
         let path = &self.population.get(file).path;
         for cache in targets {
+            self.probe.record(
+                now,
+                ObsEvent::ServerOp {
+                    kind: ServerOpKind::InvalidationSent,
+                },
+            );
             let peer = {
                 let peers = lock_clean(&self.peers);
                 peers.get(cache.index()).and_then(|p| p.clone())
@@ -334,6 +368,7 @@ impl LiveOrigin {
             classes: config.classes,
             class_expires: config.class_expires,
             clock: config.clock,
+            probe: config.probe,
             shutdown: AtomicBool::new(false),
             peers: Mutex::new(Vec::new()),
         });

@@ -35,6 +35,7 @@ use httpsim::{Request, Response, Status};
 use originserver::FilePopulation;
 use proxycache::{AnyStore, EntryMeta, Store};
 use simcore::{CacheStats, FileId, SimDuration, SimTime, TrafficMeter};
+use wcc_obs::{ObsEvent, ProbeHandle, RequestOutcome};
 
 use crate::clock::{sim_instant, wall_date, LiveClock};
 use crate::control::{write_msg, ControlMsg, LineConn};
@@ -123,6 +124,10 @@ pub struct ProxyConfig {
     pub uncacheable_mask: u32,
     /// Bind address for the client-facing listener.
     pub bind: String,
+    /// Observation hook for request decisions, validations, and
+    /// evictions. Inactive by default; recording happens in memory only
+    /// (never across socket IO).
+    pub probe: ProbeHandle,
 }
 
 impl ProxyConfig {
@@ -143,6 +148,7 @@ impl ProxyConfig {
             classes: Vec::new(),
             uncacheable_mask: 0,
             bind: "127.0.0.1:0".to_string(),
+            probe: ProbeHandle::none(),
         }
     }
 }
@@ -203,6 +209,7 @@ struct ProxyShared {
     clock: LiveClock,
     origin_data: SocketAddr,
     control: Option<ControlHandle>,
+    probe: ProbeHandle,
     shutdown: AtomicBool,
 }
 
@@ -222,6 +229,12 @@ enum Action {
 impl ProxyShared {
     fn class_of(&self, file: FileId) -> usize {
         self.classes.get(file.index()).copied().unwrap_or(0)
+    }
+
+    /// Emit one request-outcome event. In-memory only; safe to call with
+    /// the cache lock held, never wraps socket IO.
+    fn record_request(&self, now: SimTime, file: FileId, outcome: RequestOutcome) {
+        self.probe.record(now, ObsEvent::Request { file, outcome });
     }
 
     fn is_uncacheable(&self, class: usize) -> bool {
@@ -259,6 +272,7 @@ impl ProxyShared {
     ) {
         let Some(gt) = self.ground_truth.as_ref() else {
             st.stats.fresh_hits += 1;
+            self.record_request(now, file, RequestOutcome::FreshHit);
             return;
         };
         let rec = gt.get(file);
@@ -266,17 +280,20 @@ impl ProxyShared {
             // The request raced ahead of the scripted timeline; with no
             // live version to compare against, count the hit as fresh.
             st.stats.fresh_hits += 1;
+            self.record_request(now, file, RequestOutcome::FreshHit);
             return;
         };
         if live.modified_at == entry.last_modified {
             st.stats.fresh_hits += 1;
+            self.record_request(now, file, RequestOutcome::FreshHit);
         } else {
             st.stats.stale_hits += 1;
+            let mut age = SimDuration::ZERO;
             if let Some(missed) = rec.first_change_after(entry.last_modified) {
-                st.stale_age_total = st
-                    .stale_age_total
-                    .saturating_add(now.saturating_since(missed.modified_at));
+                age = now.saturating_since(missed.modified_at);
+                st.stale_age_total = st.stale_age_total.saturating_add(age);
             }
+            self.record_request(now, file, RequestOutcome::StaleHit { age });
         }
     }
 
@@ -299,11 +316,13 @@ impl ProxyShared {
 
     /// Insert an entry, bumping the eviction counter and returning the
     /// victims whose subscriptions and bodies must be dropped.
-    fn insert_entry(st: &mut CacheState, file: FileId, meta: EntryMeta) -> Vec<FileId> {
+    fn insert_entry(&self, st: &mut CacheState, file: FileId, meta: EntryMeta) -> Vec<FileId> {
+        let at = meta.fetched_at;
         let mut victims = Vec::new();
         for (victim, _) in st.store.insert(file, meta) {
             if victim != file {
                 st.evictions += 1;
+                self.probe.record(at, ObsEvent::Eviction { file: victim });
             }
             st.bodies.remove(&victim);
             victims.push(victim);
@@ -479,7 +498,7 @@ impl ProxyShared {
                     fresh
                 }
             };
-            let victims = Self::insert_entry(&mut st, file, meta);
+            let victims = self.insert_entry(&mut st, file, meta);
             if st.store.peek(file).is_some() {
                 st.bodies.insert(file, Arc::clone(&body));
             }
@@ -500,13 +519,21 @@ impl ProxyShared {
         let now = self.clock.now();
 
         let action = if self.is_uncacheable(class) {
+            self.record_request(now, file, RequestOutcome::Uncacheable);
             Action::FetchFull
         } else {
             let mut st = lock_clean(&self.state);
             match st.store.access(file, now).copied() {
-                None => Action::FetchFull, // compulsory miss
+                None => {
+                    // Compulsory miss.
+                    self.record_request(now, file, RequestOutcome::Miss);
+                    Action::FetchFull
+                }
                 Some(entry) => {
-                    if entry.is_valid() && st.policy.is_fresh(&entry, class, now) {
+                    let fresh = entry.is_valid() && st.policy.is_fresh(&entry, class, now);
+                    self.probe
+                        .record(now, ObsEvent::PolicyDecision { file, fresh });
+                    if fresh {
                         match st.bodies.get(&file).map(Arc::clone) {
                             Some(body) => {
                                 self.classify_local_hit(&mut st, file, &entry, now);
@@ -514,13 +541,24 @@ impl ProxyShared {
                             }
                             // Resident meta whose body was dropped by a
                             // concurrent eviction: treat as a miss.
-                            None => Action::FetchFull,
+                            None => {
+                                self.record_request(now, file, RequestOutcome::Miss);
+                                Action::FetchFull
+                            }
                         }
                     } else if self.uses_invalidation {
                         // Known stale: refetch without a conditional
                         // round-trip (the simulator's eager branch).
                         let changed = self.changed_since(file, &entry, now);
                         st.policy.on_validation(class, changed);
+                        self.probe.record(
+                            now,
+                            ObsEvent::Validation {
+                                file,
+                                modified: changed,
+                            },
+                        );
+                        self.record_request(now, file, RequestOutcome::Miss);
                         Action::FetchFull
                     } else {
                         Action::Validate(entry)
@@ -549,6 +587,13 @@ impl ProxyShared {
                     st.traffic.add_message(sent + header_bytes);
                     st.stats.validations_not_modified += 1;
                     st.policy.on_validation(class, false);
+                    self.probe.record(
+                        now,
+                        ObsEvent::Validation {
+                            file,
+                            modified: false,
+                        },
+                    );
                     match st.store.access(file, now) {
                         Some(entry) => {
                             entry.revalidate(now);
@@ -566,10 +611,16 @@ impl ProxyShared {
                     }
                 };
                 match served {
-                    Some((client_resp, body)) => Ok((client_resp, body)),
+                    Some((client_resp, body)) => {
+                        self.record_request(now, file, RequestOutcome::ValidatedFresh);
+                        Ok((client_resp, body))
+                    }
                     // The validated entry (or its body) vanished under a
                     // concurrent eviction between lock drops: refetch.
-                    None => self.fetch_full(upstream, file, &req.path, now),
+                    None => {
+                        self.record_request(now, file, RequestOutcome::Miss);
+                        self.fetch_full(upstream, file, &req.path, now)
+                    }
                 }
             }
             Status::Ok => {
@@ -583,6 +634,14 @@ impl ProxyShared {
                     st.stats.validations_modified += 1;
                     st.stats.misses += 1;
                     st.policy.on_validation(class, true);
+                    self.probe.record(
+                        now,
+                        ObsEvent::Validation {
+                            file,
+                            modified: true,
+                        },
+                    );
+                    self.record_request(now, file, RequestOutcome::ValidatedStale);
                     let mut entry = st.store.access(file, now).copied().unwrap_or_else(|| {
                         // Evicted mid-validation: rebuild the meta as
                         // fetch_full would for a compulsory miss.
@@ -590,7 +649,7 @@ impl ProxyShared {
                     });
                     entry.replace_body(body.len() as u64, last_modified, now);
                     entry.expires = expires;
-                    let victims = Self::insert_entry(&mut st, file, entry);
+                    let victims = self.insert_entry(&mut st, file, entry);
                     if st.store.peek(file).is_some() {
                         st.bodies.insert(file, Arc::clone(&body));
                     }
@@ -606,6 +665,7 @@ impl ProxyShared {
                 st.store.remove(file);
                 st.bodies.remove(&file);
                 drop(st);
+                self.record_request(now, file, RequestOutcome::Miss);
                 Ok((resp, Arc::new(body)))
             }
         }
@@ -715,6 +775,7 @@ impl LiveProxy {
             clock: config.clock,
             origin_data: config.origin_data,
             control,
+            probe: config.probe,
             shutdown: AtomicBool::new(false),
         });
 

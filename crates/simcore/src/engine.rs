@@ -219,6 +219,23 @@ impl<W, E: Dispatch<W>> Simulation<W, E> {
         self.fired - start
     }
 
+    /// [`Simulation::run_to_completion`] with an observation hook: after
+    /// every dispatched event, `observe` receives the world, the clock,
+    /// and the remaining queue depth. The hook runs strictly *between*
+    /// events (never during a dispatch), so it can read — and, for
+    /// probes stored inside the world, borrow mutably — without ever
+    /// racing the event logic. Returns the number of events fired.
+    pub fn run_to_completion_observed<F>(&mut self, mut observe: F) -> u64
+    where
+        F: FnMut(&mut W, SimTime, usize),
+    {
+        let start = self.fired;
+        while self.step() {
+            observe(&mut self.world, self.sched.now, self.sched.queue.len());
+        }
+        self.fired - start
+    }
+
     /// Run until the queue is exhausted or the next event would fire after
     /// `deadline`; the clock is then advanced to `deadline`. Returns the
     /// number of events fired.

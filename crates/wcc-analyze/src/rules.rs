@@ -10,7 +10,7 @@
 //! |----|---------------------------|-------|
 //! | r1 | no-wall-clock             | every crate except `bench`; `liveserve/clock.rs` + `loadgen.rs` allowlisted |
 //! | r2 | no-unordered-iter         | files that write reports/stats |
-//! | r3 | no-lock-across-io         | `liveserve` |
+//! | r3 | no-lock-across-io         | `liveserve`, `wcc-obs` |
 //! | r4 | no-panic-in-server-path   | `liveserve::{origin,proxy,netio,control}` |
 //! | r5 | bounded-channel-or-comment| `liveserve` |
 //!
@@ -320,7 +320,9 @@ const IO_CALLS: [&str; 16] = [
 /// `write_msg(&mut m.lock()..., ..)` are intentionally exempt — those
 /// mutexes exist to serialize the socket itself.
 fn r3_no_lock_across_io(ctx: &FileCtx, out: &mut Vec<(&'static str, &'static str, u32, String)>) {
-    if ctx.crate_name != "liveserve" {
+    // `wcc-obs` is in scope too: a probe recording under a shared lock
+    // must never export (file/socket IO) inside that critical section.
+    if !matches!(ctx.crate_name.as_str(), "liveserve" | "wcc-obs") {
         return;
     }
     for span in &ctx.fns {
@@ -709,6 +711,22 @@ fn good(&self) {
         let hits = unsuppressed("crates/liveserve/src/proxy.rs", src);
         // (.unwrap() also trips r4 here; only r3 matters for this test.)
         assert!(!hits.iter().any(|f| f.rule == "r3"), "{hits:?}");
+    }
+
+    #[test]
+    fn r3_covers_wcc_obs_but_not_other_crates() {
+        let src = r#"
+fn export(&self) {
+    let ring = self.ring.lock().unwrap();
+    self.sink.write_all(b"x");
+}
+"#;
+        let hits = unsuppressed("crates/wcc-obs/src/trace.rs", src);
+        assert!(hits.iter().any(|f| f.rule == "r3"), "{hits:?}");
+        // The same pattern outside the r3 scope is not this rule's business.
+        assert!(unsuppressed("crates/core/src/sim.rs", src)
+            .iter()
+            .all(|f| f.rule != "r3"));
     }
 
     #[test]

@@ -80,10 +80,8 @@ pc17.campus.edu - - [08/Jan/1996:10:03:11 +0000] "GET /index.html HTTP/1.0" 200 
         ProtocolSpec::Ttl(1),
         ProtocolSpec::Invalidation,
     ] {
-        let cfg = SimConfig {
-            preload: false, // a cold proxy, as on day one
-            ..SimConfig::optimized()
-        };
+        // A cold proxy, as on day one.
+        let cfg = SimConfig::optimized().preload(false);
         let r = run(&wl, spec, &cfg);
         println!(
             "  {:<14}: {:>6} B, {} misses, {} stale, {} server ops",

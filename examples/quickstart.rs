@@ -9,7 +9,7 @@
 //! the invalidation protocol, and prints the paper's three metrics for
 //! each: bandwidth, stale-hit rate, and server load.
 
-use wwwcache::webcache::{generate_synthetic, run, ProtocolSpec, SimConfig, WorrellConfig};
+use wwwcache::webcache::{generate_synthetic, Experiment, ProtocolSpec, WorrellConfig};
 
 fn main() {
     // 500 files over 56 simulated days, 20,000 requests, every file
@@ -36,7 +36,7 @@ fn main() {
         "protocol", "bandwidth", "stale%", "miss%", "server ops"
     );
     for spec in protocols {
-        let result = run(&workload, spec, &SimConfig::optimized());
+        let result = Experiment::new(&workload).protocol(spec).run().result;
         println!(
             "{:<16}{:>9.2} MB{:>10.2}{:>10.2}{:>14}",
             result.protocol,

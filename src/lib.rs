@@ -11,16 +11,24 @@
 //! * [`proxycache`], [`originserver`] — the cache and server substrates;
 //! * [`liveserve`] — the real-TCP origin, proxy, and load generator;
 //! * [`httpsim`] — the HTTP/1.0 message model;
-//! * [`simcore`], [`simstats`] — the simulation and statistics substrates.
+//! * [`simcore`], [`simstats`] — the simulation and statistics substrates;
+//! * [`wcc_obs`] — probes, metrics, trace capture, and the profiler.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use wwwcache::webcache::{generate_synthetic, run, ProtocolSpec, SimConfig, WorrellConfig};
+//! use wwwcache::webcache::{generate_synthetic, Experiment, ProtocolSpec, WorrellConfig};
+//! use wwwcache::wcc_obs::TraceProbe;
 //!
 //! let workload = generate_synthetic(&WorrellConfig::scaled(50, 2_000), 42);
-//! let result = run(&workload, ProtocolSpec::Alex(10), &SimConfig::optimized());
+//! let mut trace = TraceProbe::new(1 << 12);
+//! let result = Experiment::new(&workload)
+//!     .protocol(ProtocolSpec::Alex(10))
+//!     .probe(&mut trace)
+//!     .run()
+//!     .result;
 //! assert!(result.stale_pct() < 100.0);
+//! assert!(trace.recorded() > 0);
 //! println!("Alex@10%: {:.2} MB, {:.2}% stale", result.total_mb(), result.stale_pct());
 //! ```
 
@@ -34,5 +42,6 @@ pub use originserver;
 pub use proxycache;
 pub use simcore;
 pub use simstats;
+pub use wcc_obs;
 pub use webcache;
 pub use webtrace;

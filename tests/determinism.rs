@@ -7,7 +7,8 @@ use wwwcache::webcache::experiments::{
     Scale,
 };
 use wwwcache::webcache::{
-    generate_synthetic, run, ProtocolSpec, SimConfig, SweepRunner, WorrellConfig,
+    generate_synthetic, run, Experiment, ExperimentStore, ProtocolSpec, SimConfig, SweepRunner,
+    WorrellConfig,
 };
 use wwwcache::webtrace::bu::{generate_bu_study, BuProfile};
 use wwwcache::webtrace::campus::{generate_campus_trace, CampusProfile};
@@ -115,6 +116,45 @@ fn sweep_output_matches_pinned_golden_hash() {
         fnv1a(rendered.as_bytes()),
         GOLDEN,
         "sweep output diverged from the pre-overhaul substrate"
+    );
+
+    // Observation must be passive: re-run the non-sweep legs through the
+    // Experiment builder with a live probe attached and re-render. The
+    // hash covering those legs has to come out identical, event stream or
+    // not.
+    let mut observed = format!("{:?}", run_base(&scale));
+    let mut probe = wwwcache::wcc_obs::TraceProbe::new(1 << 14);
+    observed.push_str(&format!(
+        "{:?}",
+        Experiment::new(&wl)
+            .protocol(ProtocolSpec::Alex(30))
+            .store(ExperimentStore::Lru(capacity))
+            .probe(&mut probe)
+            .run()
+            .into_pair()
+    ));
+    observed.push_str(&format!(
+        "{:?}",
+        Experiment::new(&wl)
+            .protocol(ProtocolSpec::Ttl(100))
+            .store(ExperimentStore::Fifo(capacity))
+            .probe(&mut probe)
+            .run()
+            .into_pair()
+    ));
+    observed.push_str(&format!(
+        "{:?}",
+        Experiment::new(&wl)
+            .protocol(ProtocolSpec::Invalidation)
+            .probe(&mut probe)
+            .run()
+            .result
+    ));
+    assert!(probe.recorded() > 0, "the probe must actually observe");
+    assert_eq!(
+        fnv1a(observed.as_bytes()),
+        GOLDEN,
+        "attaching a probe perturbed the simulation"
     );
 }
 

@@ -21,10 +21,7 @@ use wwwcache::webcache::{
 /// The simulator configuration the live stack mirrors: conditional
 /// (If-Modified-Since) retrieval, no cache pre-load.
 fn live_equivalent_config() -> SimConfig {
-    SimConfig {
-        preload: false,
-        ..SimConfig::optimized()
-    }
+    SimConfig::optimized().preload(false)
 }
 
 fn assert_live_matches_sim(workload: &Workload, spec: ProtocolSpec) {

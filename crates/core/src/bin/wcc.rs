@@ -9,7 +9,7 @@
 //! wcc trace <fig2..fig8 | --smoke> [--quick] [--jobs N] [--obs PATH] [--limit N]
 //! wcc metrics       [--quick] [--jobs N]     event metrics + wall-clock profile
 //! wcc serve   [--smoke | --listen A --control A] [workload flags]
-//! wcc loadgen [--smoke | --bench] [--threads N] [workload flags]
+//! wcc loadgen [--smoke | --bench] [--threads N] [--shards N] [workload flags]
 //! wcc analyze [--json] [--check-fixtures [DIR]]  run the invariant linter
 //! ```
 //!
@@ -35,9 +35,12 @@
 //! HTTP/1.0 origin with invalidation callbacks, fronted by a
 //! consistency-aware proxy cache. `serve --smoke` and `loadgen --smoke`
 //! are self-checking loopback exercises used by CI; `loadgen --bench`
-//! reports closed-loop throughput/latency at 1/4/8 client threads.
-//! Workload flags: `--files N --requests N --seed S` (synthetic
-//! Worrell-style workload).
+//! reports closed-loop throughput/latency over a 1/4/8 client-thread ×
+//! 1/4/8 cache-shard matrix. `--shards N` shards the proxy cache (per
+//! shard: own lock, store, pooled upstream connections); with `--smoke`
+//! it additionally self-checks that aggregate counters are identical at
+//! 1 and N shards. Workload flags: `--files N --requests N --seed S`
+//! (synthetic Worrell-style workload).
 
 use webcache::experiments::report::{
     render_bandwidth_figure, render_figure1, render_missrate_figure, render_server_load_figure,
@@ -57,7 +60,7 @@ fn usage() -> ! {
          \x20      wcc trace   <fig2-fig8 | --smoke> [--quick] [--jobs N] [--obs PATH] [--limit N]\n\
          \x20      wcc metrics [--quick] [--jobs N]\n\
          \x20      wcc serve   [--smoke | --listen ADDR --control ADDR] [--files N --requests N --seed S]\n\
-         \x20      wcc loadgen [--smoke | --bench] [--threads N] [--files N --requests N --seed S]\n\
+         \x20      wcc loadgen [--smoke | --bench] [--threads N] [--shards N] [--files N --requests N --seed S]\n\
          \x20      wcc analyze [--json] [--check-fixtures [DIR]] [--quiet]\n\
          regenerates the tables and figures of Gwertzman & Seltzer,\n\
          'World Wide Web Cache Consistency' (USENIX 1996), or runs the\n\
@@ -312,6 +315,7 @@ struct LiveArgs {
     requests: usize,
     seed: u64,
     threads: usize,
+    shards: usize,
     listen: String,
     control: String,
 }
@@ -324,6 +328,7 @@ fn parse_live_args(args: &[String]) -> LiveArgs {
         requests: 4_000,
         seed: 1996,
         threads: 1,
+        shards: 1,
         listen: "127.0.0.1:8080".to_string(),
         control: "127.0.0.1:8081".to_string(),
     };
@@ -339,6 +344,7 @@ fn parse_live_args(args: &[String]) -> LiveArgs {
             "--requests" => parsed.requests = value(&mut it).parse().unwrap_or_else(|_| usage()),
             "--seed" => parsed.seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
             "--threads" => parsed.threads = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--shards" => parsed.shards = value(&mut it).parse().unwrap_or_else(|_| usage()),
             "--listen" => parsed.listen = value(&mut it),
             "--control" => parsed.control = value(&mut it),
             _ => usage(),
@@ -456,10 +462,15 @@ fn cmd_loadgen(a: &LiveArgs) {
     let wl = live_workload(a);
 
     if a.bench {
+        // Thread × shard matrix so the sharding speedup is visible next
+        // to the single-lock baseline in one capture.
         for threads in [1usize, 4, 8] {
-            let report = webcache::live::run_live(&wl, ProtocolSpec::Alex(20), threads)
-                .expect("live bench run");
-            println!("{}", report.to_json());
+            for shards in [1usize, 4, 8] {
+                let report =
+                    webcache::live::run_live_sharded(&wl, ProtocolSpec::Alex(20), threads, shards)
+                        .expect("live bench run");
+                println!("{}", report.to_json());
+            }
         }
         return;
     }
@@ -472,17 +483,43 @@ fn cmd_loadgen(a: &LiveArgs) {
     let mut saw_hits = true;
     let mut saw_304 = false;
     let mut saw_invalidation = false;
+    let mut shards_agree = true;
     for spec in specs {
-        let report = webcache::live::run_live(&wl, spec, a.threads).expect("live loadgen run");
+        let report = webcache::live::run_live_sharded(&wl, spec, a.threads, a.shards)
+            .expect("live loadgen run");
         saw_hits &= report.cache.fresh_hits + report.cache.stale_hits > 0;
         saw_304 |= report.cache.validations_not_modified > 0;
         saw_invalidation |= report.invalidations_delivered > 0;
         println!("{}", report.to_json());
+        if a.smoke && a.shards > 1 {
+            // Sharding must not change what was served, only how fast:
+            // replay single-threaded (where even wire byte counts are
+            // deterministic) at 1 shard and at the requested count, and
+            // demand identical aggregates.
+            let baseline =
+                webcache::live::run_live_sharded(&wl, spec, 1, 1).expect("1-shard baseline run");
+            let sharded = webcache::live::run_live_sharded(&wl, spec, 1, a.shards)
+                .expect("sharded comparison run");
+            let agrees = sharded.cache == baseline.cache
+                && sharded.traffic == baseline.traffic
+                && sharded.server == baseline.server
+                && sharded.stale_age_total == baseline.stale_age_total
+                && sharded.invalidations_delivered == baseline.invalidations_delivered;
+            if !agrees {
+                eprintln!(
+                    "loadgen --smoke: {} aggregates changed between 1 and {} shard(s)",
+                    spec.label(),
+                    a.shards
+                );
+            }
+            shards_agree &= agrees;
+        }
     }
-    if a.smoke && !(saw_hits && saw_304 && saw_invalidation) {
+    if a.smoke && !(saw_hits && saw_304 && saw_invalidation && shards_agree) {
         eprintln!(
             "loadgen --smoke: acceptance checks failed \
-             (hits in every run: {saw_hits}, any 304: {saw_304}, any invalidation: {saw_invalidation})"
+             (hits in every run: {saw_hits}, any 304: {saw_304}, \
+             any invalidation: {saw_invalidation}, shard-invariant counts: {shards_agree})"
         );
         std::process::exit(1);
     }
@@ -564,6 +601,7 @@ fn cmd_metrics(quick: bool, runner: &SweepRunner) {
         match webcache::Experiment::new(&wl)
             .protocol(ProtocolSpec::Invalidation)
             .threads(2)
+            .shards(2)
             .probe(&mut live)
             .run_live()
         {

@@ -81,6 +81,7 @@ pub struct Experiment<'a> {
     store: Store,
     probe: Option<&'a mut dyn Probe>,
     threads: usize,
+    shards: usize,
 }
 
 impl std::fmt::Debug for Experiment<'_> {
@@ -92,6 +93,7 @@ impl std::fmt::Debug for Experiment<'_> {
             .field("store", &self.store)
             .field("probe", &self.probe.is_some())
             .field("threads", &self.threads)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -106,6 +108,7 @@ impl<'a> Experiment<'a> {
             store: Store::Unbounded,
             probe: None,
             threads: 1,
+            shards: 1,
         }
     }
 
@@ -174,6 +177,15 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Proxy cache shards for [`Experiment::run_live`] (ignored by the
+    /// simulators; 0 is treated as 1). Each shard gets its own lock,
+    /// store, and pooled upstream connections.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Execute as a discrete-event simulation.
     pub fn run(self) -> RunOutcome {
         let mut noop = NoopProbe;
@@ -225,6 +237,7 @@ impl<'a> Experiment<'a> {
         })?;
         let mut config = LiveRunConfig::new(policy);
         config.threads = self.threads;
+        config.shards = self.shards;
         config.uncacheable_mask = self.config.uncacheable_mask;
         config.store = match self.store {
             Store::Unbounded => StoreKind::Unbounded,

@@ -59,9 +59,29 @@ pub fn live_policy(spec: ProtocolSpec) -> Option<LivePolicy> {
 /// Propagates socket errors, and rejects specs the live stack does not
 /// implement (see [`live_policy`]).
 pub fn run_live(workload: &Workload, spec: ProtocolSpec, threads: usize) -> io::Result<LoadReport> {
+    run_live_sharded(workload, spec, threads, 1)
+}
+
+/// [`run_live`] with the proxy cache split into `shards` shards, each
+/// with its own lock, store, and pooled upstream connections. One shard
+/// reproduces the single-lock topology exactly (the differential test
+/// relies on this); more shards trade that exactness-by-construction
+/// for parallelism while keeping aggregate counters identical on
+/// unbounded stores.
+///
+/// # Errors
+/// Propagates socket errors, and rejects specs the live stack does not
+/// implement (see [`live_policy`]).
+pub fn run_live_sharded(
+    workload: &Workload,
+    spec: ProtocolSpec,
+    threads: usize,
+    shards: usize,
+) -> io::Result<LoadReport> {
     crate::Experiment::new(workload)
         .protocol(spec)
         .threads(threads)
+        .shards(shards)
         .run_live()
 }
 

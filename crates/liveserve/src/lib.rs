@@ -15,7 +15,12 @@
 //!   `simcore::metrics` accounting types unchanged; its request handling
 //!   is a port of the optimized simulator's, so a single-threaded run is
 //!   counter-for-counter equivalent to `webcache::run` (the differential
-//!   test in the workspace root pins this).
+//!   test in the workspace root pins this). Cache state is sharded by
+//!   [`shard_for`]: each shard owns its own mutex, store, policy
+//!   instance, bounded keep-alive [`UpstreamPool`], and invalidation
+//!   control connection, and concurrent misses for one file coalesce
+//!   into a single upstream fetch. One shard degenerates to the classic
+//!   single-lock topology, so the differential guarantee is untouched.
 //! * [`run_closed_loop`] — a closed-loop load generator replaying a
 //!   deterministic workload through N client threads, reporting hit
 //!   rates, bytes moved, and latency percentiles as a [`LoadReport`].
@@ -33,6 +38,7 @@ mod control;
 mod loadgen;
 mod netio;
 mod origin;
+mod pool;
 mod proxy;
 mod report;
 
@@ -42,7 +48,8 @@ pub use loadgen::{
 };
 pub use netio::HttpConn;
 pub use origin::{LiveOrigin, OriginConfig};
-pub use proxy::{LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind};
+pub use pool::UpstreamPool;
+pub use proxy::{shard_for, LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind};
 // Re-exported so callers can hand a probe to the configs above without
 // naming `wcc-obs` themselves.
 pub use wcc_obs::ProbeHandle;

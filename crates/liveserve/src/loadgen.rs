@@ -63,6 +63,8 @@ pub struct LiveWorkload {
 pub struct LiveRunConfig {
     /// Client threads (0 is treated as 1).
     pub threads: usize,
+    /// Proxy cache shards (0 is treated as 1).
+    pub shards: usize,
     /// Consistency mechanism under test.
     pub policy: LivePolicy,
     /// Proxy store.
@@ -72,10 +74,12 @@ pub struct LiveRunConfig {
 }
 
 impl LiveRunConfig {
-    /// One client thread, unbounded store, everything cacheable.
+    /// One client thread, one shard, unbounded store, everything
+    /// cacheable.
     pub fn new(policy: LivePolicy) -> Self {
         LiveRunConfig {
             threads: 1,
+            shards: 1,
             policy,
             store: StoreKind::Unbounded,
             uncacheable_mask: 0,
@@ -90,6 +94,8 @@ pub struct LoadReport {
     pub policy: String,
     /// Client threads used.
     pub threads: usize,
+    /// Proxy cache shards used.
+    pub shards: usize,
     /// Requests replayed.
     pub requests: u64,
     /// Wall-clock seconds spent replaying.
@@ -111,6 +117,10 @@ pub struct LoadReport {
     pub latency: LatencyStats,
     /// Bytes the proxy returned to clients (headers + bodies).
     pub bytes_to_clients: u64,
+    /// Upstream connections the proxy's shard pools dialled.
+    pub upstream_dials: u64,
+    /// Upstream exchanges served by a pooled keep-alive connection.
+    pub upstream_reuses: u64,
 }
 
 impl LoadReport {
@@ -158,21 +168,29 @@ impl LoadReport {
             .finish();
         let mut latency = JsonObj::new();
         latency.u64("samples", self.latency.count());
-        if let (Some(p50), Some(p99), Some(mean)) = (
+        latency.u64("dropped", self.latency.dropped());
+        if let (Some(p50), Some(p99), Some(p999), Some(mean)) = (
             self.latency.p50_ns(),
             self.latency.p99_ns(),
+            self.latency.p999_ns(),
             self.latency.mean_ns(),
         ) {
             latency
                 .u64("p50_ns", p50)
                 .u64("p99_ns", p99)
+                .u64("p999_ns", p999)
                 .f64("mean_ns", mean);
         }
         let latency = latency.finish();
+        let upstream = JsonObj::new()
+            .u64("dials", self.upstream_dials)
+            .u64("reuses", self.upstream_reuses)
+            .finish();
 
         JsonObj::new()
             .str("policy", &self.policy)
             .u64("threads", self.threads as u64)
+            .u64("shards", self.shards as u64)
             .u64("requests", self.requests)
             .f64("wall_seconds", self.wall_seconds)
             .f64("requests_per_sec", self.requests_per_sec())
@@ -185,6 +203,7 @@ impl LoadReport {
             .u64("invalidations_delivered", self.invalidations_delivered)
             .u64("evictions", self.evictions)
             .raw("latency", &latency)
+            .raw("upstream", &upstream)
             .u64("bytes_to_clients", self.bytes_to_clients)
             .finish()
     }
@@ -221,17 +240,24 @@ fn client_thread(
         let started = Instant::now();
         conn.write_request(&Request::get(path.clone()))?;
         let (resp, body) = conn.read_response()?;
-        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        latency.record_ns(elapsed_ns);
-        // Stamped with the request's *scheduled* instant: the event
-        // stream stays on the virtual timeline even though the measured
-        // latency is wall time.
-        probe.record(
-            t,
-            ObsEvent::LiveLatency {
-                micros: elapsed_ns / 1_000,
-            },
-        );
+        match u64::try_from(started.elapsed().as_nanos()) {
+            Ok(elapsed_ns) => {
+                latency.record_ns(elapsed_ns);
+                // Stamped with the request's *scheduled* instant: the
+                // event stream stays on the virtual timeline even though
+                // the measured latency is wall time.
+                probe.record(
+                    t,
+                    ObsEvent::LiveLatency {
+                        micros: elapsed_ns / 1_000,
+                    },
+                );
+            }
+            // A sample too large for u64 nanoseconds (centuries) would
+            // poison every percentile if clamped; count it as dropped
+            // instead so the report stays honest about missing samples.
+            Err(_) => latency.record_drop(),
+        }
         bytes += resp.header_size() + body.len() as u64;
         if resp.status != Status::Ok {
             return Err(io::Error::new(
@@ -259,6 +285,7 @@ pub fn run_closed_loop_observed(
     probe: &ProbeHandle,
 ) -> io::Result<LoadReport> {
     let threads = config.threads.max(1);
+    let shards = config.shards.max(1);
     let clock = LiveClock::virtual_at(workload.start);
 
     let mut origin_config = OriginConfig::new(Arc::clone(&workload.population), clock.clone());
@@ -276,6 +303,7 @@ pub fn run_closed_loop_observed(
         clock,
     );
     proxy_config.store = config.store;
+    proxy_config.shards = shards;
     proxy_config.ground_truth = Some(Arc::clone(&workload.population));
     proxy_config.classes = workload.classes.clone();
     proxy_config.uncacheable_mask = config.uncacheable_mask;
@@ -312,6 +340,7 @@ pub fn run_closed_loop_observed(
     Ok(LoadReport {
         policy: config.policy.label(),
         threads,
+        shards,
         requests: workload.requests.len() as u64,
         wall_seconds,
         cache: snapshot.cache,
@@ -322,6 +351,8 @@ pub fn run_closed_loop_observed(
         evictions: snapshot.evictions,
         latency,
         bytes_to_clients,
+        upstream_dials: snapshot.upstream_dials,
+        upstream_reuses: snapshot.upstream_reuses,
     })
 }
 
@@ -404,14 +435,35 @@ mod tests {
     }
 
     #[test]
+    fn sharded_run_matches_single_shard_totals() {
+        let baseline =
+            run_closed_loop(&tiny_workload(), &LiveRunConfig::new(LivePolicy::Ttl(500))).unwrap();
+        let mut config = LiveRunConfig::new(LivePolicy::Ttl(500));
+        config.shards = 3;
+        let sharded = run_closed_loop(&tiny_workload(), &config).unwrap();
+        assert_eq!(sharded.shards, 3);
+        assert_eq!(sharded.cache, baseline.cache);
+        assert_eq!(sharded.traffic.messages, baseline.traffic.messages);
+        assert_eq!(sharded.traffic.file_bytes, baseline.traffic.file_bytes);
+        assert_eq!(
+            sharded.server.document_requests,
+            baseline.server.document_requests
+        );
+    }
+
+    #[test]
     fn report_json_is_well_formed() {
         let report =
             run_closed_loop(&tiny_workload(), &LiveRunConfig::new(LivePolicy::Alex(10))).unwrap();
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"policy\":\"Alex 10%\""));
+        assert!(json.contains("\"shards\":1"));
         assert!(json.contains("\"requests\":6"));
         assert!(json.contains("\"cache\":{\"fresh_hits\":"));
         assert!(json.contains("\"p50_ns\":"));
+        assert!(json.contains("\"p999_ns\":"));
+        assert!(json.contains("\"dropped\":0"));
+        assert!(json.contains("\"upstream\":{\"dials\":"));
     }
 }

@@ -31,6 +31,12 @@ const READ_CHUNK: usize = 16 * 1024;
 /// hostile; the connection is closed instead of buffering without bound.
 pub(crate) const MAX_FRAME: usize = 8 * 1024 * 1024;
 
+/// Default read budget: how many consecutive silent [`POLL_TICK`]s a
+/// reader tolerates while a frame is outstanding before giving up on
+/// the peer (1200 ticks × 25 ms = 30 s). Counted in ticks, not wall
+/// time, so the budget needs no clock.
+pub(crate) const DEFAULT_READ_BUDGET_TICKS: u32 = 1200;
+
 /// Lock a mutex, recovering the data if a previous holder panicked.
 ///
 /// Every liveserve mutex guards plain bookkeeping that is consistent
@@ -52,6 +58,9 @@ pub(crate) fn log_conn_error(role: &str, e: &io::Error) {
 pub struct HttpConn {
     stream: TcpStream,
     rbuf: Vec<u8>,
+    /// Consecutive silent poll ticks tolerated mid-frame before the
+    /// peer is declared wedged and the read fails with `TimedOut`.
+    budget_ticks: u32,
 }
 
 fn is_timeout(e: &io::Error) -> bool {
@@ -67,20 +76,31 @@ fn invalid<E: std::fmt::Display>(e: E) -> io::Error {
 
 impl HttpConn {
     /// Wrap a connected stream. Disables Nagle (request/response traffic
-    /// is latency-bound, and every message is written in one syscall).
+    /// is latency-bound, and every message is written in one syscall)
+    /// and arms the [`POLL_TICK`] read timeout that drives the bounded
+    /// read budget: a peer that goes silent in the middle of a frame
+    /// fails the read with `TimedOut` instead of wedging the worker
+    /// forever.
     pub fn new(stream: TcpStream) -> io::Result<Self> {
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(POLL_TICK))?;
         Ok(HttpConn {
             stream,
             rbuf: Vec::new(),
+            budget_ticks: DEFAULT_READ_BUDGET_TICKS,
         })
     }
 
-    /// Like [`HttpConn::new`], additionally arming the short read timeout
-    /// server workers use to poll their shutdown flag.
+    /// Like [`HttpConn::new`]; server workers additionally use the read
+    /// timeout to poll their shutdown flag between requests.
     pub(crate) fn server_side(stream: TcpStream) -> io::Result<Self> {
-        stream.set_read_timeout(Some(POLL_TICK))?;
         Self::new(stream)
+    }
+
+    /// Override the mid-frame read budget (in [`POLL_TICK`]s). Tests use
+    /// tiny budgets; production code keeps the 30 s default.
+    pub fn set_read_budget_ticks(&mut self, ticks: u32) {
+        self.budget_ticks = ticks.max(1);
     }
 
     /// The underlying stream.
@@ -111,6 +131,7 @@ impl HttpConn {
     /// connection was idle. EOF in the *middle* of a request, malformed
     /// bytes, and transport errors are `Err`.
     pub fn read_request(&mut self, shutdown: &AtomicBool) -> io::Result<Option<Request>> {
+        let mut silent_ticks = 0u32;
         loop {
             if let Some((req, used)) = Request::from_bytes(&self.rbuf).map_err(invalid)? {
                 self.rbuf.drain(..used);
@@ -127,10 +148,22 @@ impl HttpConn {
                         ))
                     };
                 }
-                Ok(_) => {}
+                Ok(_) => silent_ticks = 0,
                 Err(e) if is_timeout(&e) => {
                     if shutdown.load(Ordering::SeqCst) && self.rbuf.is_empty() {
                         return Ok(None);
+                    }
+                    // An idle persistent connection may sit silent
+                    // forever; only a *partial* request on the wire is
+                    // held to the budget.
+                    if !self.rbuf.is_empty() {
+                        silent_ticks += 1;
+                        if silent_ticks >= self.budget_ticks {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "read budget exhausted mid-request",
+                            ));
+                        }
                     }
                 }
                 Err(e) => return Err(e),
@@ -139,9 +172,11 @@ impl HttpConn {
     }
 
     /// Read one `Content-Length`-framed response (headers + body) off a
-    /// client-side connection. Blocks until the full frame arrives;
-    /// premature EOF is an error.
+    /// client-side connection. A response is expected the moment this is
+    /// called, so the whole wait — not just mid-frame silence — is held
+    /// to the read budget; premature EOF is an error.
     pub fn read_response(&mut self) -> io::Result<(Response, Vec<u8>)> {
+        let mut silent_ticks = 0u32;
         loop {
             if let Some((resp, body, used)) = Response::from_bytes(&self.rbuf).map_err(invalid)? {
                 self.rbuf.drain(..used);
@@ -154,8 +189,16 @@ impl HttpConn {
                         "EOF mid-response",
                     ))
                 }
-                Ok(_) => {}
-                Err(e) if is_timeout(&e) => {}
+                Ok(_) => silent_ticks = 0,
+                Err(e) if is_timeout(&e) => {
+                    silent_ticks += 1;
+                    if silent_ticks >= self.budget_ticks {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "read budget exhausted waiting for response",
+                        ));
+                    }
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -291,6 +334,45 @@ mod tests {
         assert_eq!(*lock_clean(&m), 7);
         *lock_clean(&m) = 9;
         assert_eq!(*lock_clean(&m), 9);
+    }
+
+    #[test]
+    fn stalled_upstream_times_out_instead_of_wedging() {
+        let (_server, mut client) = pair();
+        // The server accepts but never answers; a bounded budget turns
+        // the would-be-infinite wait into a clean TimedOut.
+        client.set_read_budget_ticks(2);
+        let err = client.read_response().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn partial_request_then_silence_times_out() {
+        let (mut server, client) = pair();
+        let shutdown = AtomicBool::new(false);
+        server.set_read_budget_ticks(2);
+        // Half a request line, then nothing: the worker must not be
+        // pinned forever by a wedged (or malicious) client.
+        client.stream().write_all(b"GET /half").unwrap();
+        let err = server.read_request(&shutdown).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn idle_persistent_connection_is_not_timed_out() {
+        let (mut server, mut client) = pair();
+        let shutdown = AtomicBool::new(false);
+        server.set_read_budget_ticks(1);
+        // The client sits idle past the budget, then sends a complete
+        // request: idle waits between requests are exempt.
+        let sender = thread::spawn(move || {
+            thread::sleep(POLL_TICK * 4);
+            client.write_request(&Request::get("/late")).unwrap();
+            client
+        });
+        let got = server.read_request(&shutdown).unwrap().unwrap();
+        assert_eq!(got.path, "/late");
+        drop(sender.join().unwrap());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
@@ -340,6 +340,12 @@ pub struct LiveOrigin {
     /// The mutex serialises concurrent `advance_to` callers so events
     /// are always published in schedule order.
     mods: Mutex<(Vec<(SimTime, FileId)>, usize)>,
+    /// The next scripted modification instant in seconds (`u64::MAX`
+    /// once the schedule is exhausted). Written only under the `mods`
+    /// lock; read lock-free by `advance_to` so the per-request clock
+    /// advance — by far the common case, with nothing due — never
+    /// serialises client threads on the schedule mutex.
+    next_due: AtomicU64,
     data_addr: SocketAddr,
     control_addr: SocketAddr,
     data_thread: Option<JoinHandle<()>>,
@@ -423,9 +429,11 @@ impl LiveOrigin {
             })
         };
 
+        let next_due = mods.first().map_or(u64::MAX, |&(t, _)| t.as_secs());
         Ok(LiveOrigin {
             shared,
             mods: Mutex::new((mods, 0)),
+            next_due: AtomicU64::new(next_due),
             data_addr,
             control_addr,
             data_thread: Some(data_thread),
@@ -448,6 +456,12 @@ impl LiveOrigin {
     /// each fully acknowledged before the next).
     pub fn advance_to(&self, t: SimTime) {
         self.shared.clock.advance_to(t);
+        // Fast path: nothing due yet. `next_due` only moves forward, so
+        // a stale read can at worst send us to the mutex needlessly —
+        // never skip a due event.
+        if self.next_due.load(Ordering::SeqCst) > t.as_secs() {
+            return;
+        }
         let mut guard = lock_clean(&self.mods);
         let (schedule, cursor) = &mut *guard;
         while *cursor < schedule.len() && schedule[*cursor].0 <= t {
@@ -455,6 +469,10 @@ impl LiveOrigin {
             *cursor += 1;
             self.shared.deliver_invalidation(file);
         }
+        let due = schedule
+            .get(*cursor)
+            .map_or(u64::MAX, |&(t, _)| t.as_secs());
+        self.next_due.store(due, Ordering::SeqCst);
     }
 
     /// Current subscription count (for tests and the serve status line).

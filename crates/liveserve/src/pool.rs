@@ -1,0 +1,265 @@
+//! Bounded per-shard pools of persistent upstream connections.
+//!
+//! Every proxy shard owns one [`UpstreamPool`] to the origin's data
+//! port. A request checks a connection out, runs its exchange, and
+//! checks it back in; the next request on the shard reuses the warm
+//! socket instead of dialling. The pool is bounded twice over — at most
+//! `max_conns` live sockets, and at most `max_waiters` requests queued
+//! for one — so a stalled origin surfaces as backpressure and then a
+//! clean error, never unbounded growth (wcc-analyze r5).
+//!
+//! Locking: the pool mutex guards only the idle list and two counts.
+//! Dialling happens strictly after the guard is dropped (r3), and a
+//! failed dial releases the reserved slot so waiters are never stranded.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use simcore::SimTime;
+use wcc_obs::{ObsEvent, ProbeHandle};
+
+use crate::netio::{lock_clean, HttpConn, POLL_TICK};
+
+/// Pool state behind the mutex. `live` counts sockets that exist or are
+/// being dialled (a reserved slot), so `idle.len() <= live <= max_conns`
+/// always holds.
+struct PoolInner {
+    idle: Vec<HttpConn>,
+    live: usize,
+    waiters: usize,
+}
+
+/// A bounded pool of keep-alive [`HttpConn`]s to one upstream address.
+pub struct UpstreamPool {
+    addr: SocketAddr,
+    shard: u32,
+    max_conns: usize,
+    max_waiters: usize,
+    inner: Mutex<PoolInner>,
+    available: Condvar,
+    dials: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl std::fmt::Debug for UpstreamPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpstreamPool")
+            .field("addr", &self.addr)
+            .field("shard", &self.shard)
+            .field("max_conns", &self.max_conns)
+            .finish()
+    }
+}
+
+impl UpstreamPool {
+    /// Requests queued beyond this per pool are refused outright rather
+    /// than buffered without bound.
+    pub const MAX_WAITERS: usize = 256;
+
+    /// A pool of at most `max_conns` connections to `addr`, labelled
+    /// with its shard index for observability.
+    pub fn new(addr: SocketAddr, shard: u32, max_conns: usize) -> Self {
+        UpstreamPool {
+            addr,
+            shard,
+            max_conns: max_conns.max(1),
+            max_waiters: Self::MAX_WAITERS,
+            inner: Mutex::new(PoolInner {
+                idle: Vec::new(),
+                live: 0,
+                waiters: 0,
+            }),
+            available: Condvar::new(),
+            dials: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// Check a connection out: reuse an idle one, dial if under the
+    /// connection cap, otherwise wait (bounded) for a checkin.
+    ///
+    /// `now` stamps the observability events; `shutdown` bounds the wait.
+    pub fn checkout(
+        &self,
+        now: SimTime,
+        probe: &ProbeHandle,
+        shutdown: &AtomicBool,
+    ) -> io::Result<HttpConn> {
+        let mut inner = lock_clean(&self.inner);
+        probe.record(
+            now,
+            ObsEvent::ShardQueue {
+                shard: self.shard,
+                depth: inner.waiters as u32,
+            },
+        );
+        loop {
+            if let Some(conn) = inner.idle.pop() {
+                drop(inner);
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                probe.record(now, ObsEvent::Upstream { reused: true });
+                return Ok(conn);
+            }
+            if inner.live < self.max_conns {
+                // Reserve the slot before dialling (lock released) so two
+                // checkouts never race past the cap.
+                inner.live += 1;
+                break;
+            }
+            if inner.waiters >= self.max_waiters {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "upstream pool request queue full",
+                ));
+            }
+            inner.waiters += 1;
+            let (guard, _) = self
+                .available
+                .wait_timeout(inner, POLL_TICK)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            inner.waiters -= 1;
+            if shutdown.load(Ordering::SeqCst) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "shutdown while waiting for an upstream connection",
+                ));
+            }
+        }
+        drop(inner);
+        match TcpStream::connect(self.addr).and_then(HttpConn::new) {
+            Ok(conn) => {
+                self.dials.fetch_add(1, Ordering::Relaxed);
+                probe.record(now, ObsEvent::Upstream { reused: false });
+                Ok(conn)
+            }
+            Err(e) => {
+                self.release_slot();
+                Err(e)
+            }
+        }
+    }
+
+    /// Return a healthy connection for reuse.
+    pub fn checkin(&self, conn: HttpConn) {
+        let mut inner = lock_clean(&self.inner);
+        // Bounded by `max_conns`: only checked-out connections come back.
+        inner.idle.push(conn);
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    /// Drop a connection that errored mid-exchange, freeing its slot for
+    /// a fresh dial.
+    pub fn discard(&self) {
+        self.release_slot();
+    }
+
+    fn release_slot(&self) {
+        let mut inner = lock_clean(&self.inner);
+        inner.live = inner.live.saturating_sub(1);
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    /// Connections dialled over the pool's lifetime.
+    pub fn dials(&self) -> u64 {
+        self.dials.load(Ordering::Relaxed)
+    }
+
+    /// Checkouts served by an idle pooled connection.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn listener() -> (TcpListener, SocketAddr) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        (l, addr)
+    }
+
+    fn now() -> SimTime {
+        SimTime::from_secs(0)
+    }
+
+    #[test]
+    fn checkin_then_checkout_reuses_the_socket() {
+        let (l, addr) = listener();
+        let accepter = thread::spawn(move || {
+            let (s, _) = l.accept().unwrap();
+            s // keep the server end alive
+        });
+        let pool = UpstreamPool::new(addr, 0, 2);
+        let probe = ProbeHandle::none();
+        let shutdown = AtomicBool::new(false);
+        let conn = pool.checkout(now(), &probe, &shutdown).unwrap();
+        assert_eq!((pool.dials(), pool.reuses()), (1, 0));
+        pool.checkin(conn);
+        let _conn = pool.checkout(now(), &probe, &shutdown).unwrap();
+        assert_eq!((pool.dials(), pool.reuses()), (1, 1));
+        drop(accepter.join().unwrap());
+    }
+
+    #[test]
+    fn cap_blocks_until_checkin_and_shutdown_unblocks() {
+        let (l, addr) = listener();
+        let accepter = thread::spawn(move || {
+            let (a, _) = l.accept().unwrap();
+            (a, l)
+        });
+        let pool = Arc::new(UpstreamPool::new(addr, 0, 1));
+        let probe = ProbeHandle::none();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let held = pool.checkout(now(), &probe, &shutdown).unwrap();
+        let keep_alive = accepter.join().unwrap();
+
+        // A second checkout must wait; returning the held connection
+        // hands it over.
+        let waiter = {
+            let (pool, shutdown) = (Arc::clone(&pool), Arc::clone(&shutdown));
+            thread::spawn(move || pool.checkout(now(), &ProbeHandle::none(), &shutdown))
+        };
+        thread::sleep(POLL_TICK * 2);
+        pool.checkin(held);
+        let got = waiter.join().unwrap().unwrap();
+        assert_eq!(pool.reuses(), 1);
+
+        // With the connection checked out again, shutdown unblocks a
+        // fresh waiter with a clean error.
+        let waiter = {
+            let (pool, shutdown) = (Arc::clone(&pool), Arc::clone(&shutdown));
+            thread::spawn(move || pool.checkout(now(), &ProbeHandle::none(), &shutdown))
+        };
+        thread::sleep(POLL_TICK * 2);
+        shutdown.store(true, Ordering::SeqCst);
+        let err = waiter.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        drop(got);
+        drop(keep_alive);
+    }
+
+    #[test]
+    fn failed_dial_releases_the_reserved_slot() {
+        let (l, addr) = listener();
+        drop(l); // nobody listening: dials fail
+        let pool = UpstreamPool::new(addr, 0, 1);
+        let probe = ProbeHandle::none();
+        let shutdown = AtomicBool::new(false);
+        for _ in 0..3 {
+            // Each failure must free the slot, or the third attempt
+            // would block on the cap instead of erroring.
+            assert!(pool.checkout(now(), &probe, &shutdown).is_err());
+        }
+        assert_eq!(pool.dials(), 0);
+    }
+}

@@ -3,7 +3,7 @@
 //! [`LiveProxy`] fronts a [`LiveOrigin`](crate::LiveOrigin) (or any
 //! server speaking the same HTTP/1.0 subset): clients connect to its
 //! data port, and each request is served from the in-memory cache or
-//! fetched/revalidated upstream over a persistent per-worker origin
+//! fetched/revalidated upstream over a pooled persistent origin
 //! connection. The cache reuses the workspace's existing pieces
 //! unchanged — a `proxycache` store (via [`AnyStore`]), the
 //! `consistency::Policy` trait for freshness, and `simcore::metrics`
@@ -11,35 +11,70 @@
 //! the optimized simulator's `World::on_request` (conditional
 //! retrieval), so a single-threaded replay produces identical counters.
 //!
-//! Under the invalidation policy the proxy keeps one persistent control
-//! connection to the origin: it subscribes before inserting an entry
-//! (exactly where the simulator calls `subscribe`), unsubscribes
+//! **Sharding.** Cache state is split into `shards` independent
+//! [`Shard`]s, routed by [`shard_for`] (`FileId` index modulo the shard
+//! count). Each shard owns its own mutex, its own store and policy
+//! instance, its own bounded [`UpstreamPool`] of keep-alive origin
+//! connections, and — under the invalidation mechanism — its own
+//! persistent control connection, so the proxy scales with cores
+//! instead of serializing on one global lock and one origin socket.
+//! Requests for different files on different shards never contend; the
+//! run's totals are the merge of the per-shard counters. With one shard
+//! the topology degenerates to exactly the pre-sharding proxy, which is
+//! what keeps the single-threaded differential test counter-exact.
+//!
+//! **Single-flight.** Concurrent misses for the same file coalesce: the
+//! first request registers the file as in flight and fetches; followers
+//! wait on the shard's condvar and re-evaluate, finding the freshly
+//! inserted copy. One cold file under a thundering herd costs one
+//! upstream fetch, and the delayed-hit window is first-class instead of
+//! N duplicate transfers.
+//!
+//! Under the invalidation policy each shard keeps one persistent
+//! control connection to the origin: it subscribes before inserting an
+//! entry (exactly where the simulator calls `subscribe`), unsubscribes
 //! evicted victims, and a dedicated reader thread applies `INVALIDATE`
 //! notices (marking resident entries invalid) before acknowledging.
+//! A file's subscriptions always travel over its owning shard's
+//! channel, so subscribe-before-insert and victim-unsubscribe ordering
+//! are preserved per shard.
 //!
-//! Locking: one mutex guards the whole cache state (store + bodies +
+//! Locking: a shard's mutex guards that shard's state (store + bodies +
 //! policy + counters) and is only ever held for in-memory work. Workers
 //! copy the entry out, talk to the origin with the lock released, then
 //! re-lock to apply the outcome — the same copy-out/reinsert shape the
 //! simulator uses, which is what makes the port exact.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 
 use consistency::{AdaptiveTtl, FixedTtl, NeverExpire, Policy};
 use httpsim::{Request, Response, Status};
 use originserver::FilePopulation;
-use proxycache::{AnyStore, EntryMeta, Store};
+use proxycache::{shard_capacity, AnyStore, EntryMeta, Store};
 use simcore::{CacheStats, FileId, SimDuration, SimTime, TrafficMeter};
 use wcc_obs::{ObsEvent, ProbeHandle, RequestOutcome};
 
 use crate::clock::{sim_instant, wall_date, LiveClock};
 use crate::control::{write_msg, ControlMsg, LineConn};
 use crate::netio::{lock_clean, log_conn_error, HttpConn, POLL_TICK};
+use crate::pool::UpstreamPool;
+
+/// Keep-alive origin connections per shard. Misses and validations are
+/// a minority of requests once the cache warms, so a few pooled sockets
+/// per shard absorb them without the one-conn-per-client sprawl.
+const UPSTREAM_CONNS_PER_SHARD: usize = 4;
+
+/// The shard owning `file`: a pure function of the id and the shard
+/// count, so every thread (request workers, control readers) routes a
+/// file to the same state without coordination.
+pub fn shard_for(file: FileId, shards: usize) -> usize {
+    file.index() % shards.max(1)
+}
 
 /// The consistency mechanisms the live stack runs — the paper's three,
 /// as cache-side policies plus the invalidation wiring.
@@ -54,7 +89,9 @@ pub enum LivePolicy {
 }
 
 impl LivePolicy {
-    /// Instantiate the cache-side policy object.
+    /// Instantiate the cache-side policy object. The three mechanisms
+    /// are stateless (expiry is a function of the entry alone), so each
+    /// shard holds its own instance without changing aggregate counts.
     pub fn build(self) -> Box<dyn Policy + Send> {
         match self {
             LivePolicy::Ttl(hours) => Box::new(FixedTtl::hours(hours)),
@@ -90,11 +127,15 @@ pub enum StoreKind {
 }
 
 impl StoreKind {
-    fn build(self) -> AnyStore {
+    /// Shard `shard`'s store instance: unbounded stores are simply
+    /// replicated; bounded stores split the byte budget evenly
+    /// (`proxycache::shard_capacity`), trading global for per-shard
+    /// eviction pressure.
+    fn build_shard(self, shard: usize, shards: usize) -> AnyStore {
         match self {
             StoreKind::Unbounded => AnyStore::unbounded(),
-            StoreKind::Lru(cap) => AnyStore::lru(cap),
-            StoreKind::Fifo(cap) => AnyStore::fifo(cap),
+            StoreKind::Lru(cap) => AnyStore::lru(shard_capacity(cap, shard, shards)),
+            StoreKind::Fifo(cap) => AnyStore::fifo(shard_capacity(cap, shard, shards)),
         }
     }
 }
@@ -111,6 +152,9 @@ pub struct ProxyConfig {
     pub policy: LivePolicy,
     /// Cache store.
     pub store: StoreKind,
+    /// Cache shards (0 is treated as 1). Each shard gets its own lock,
+    /// store, upstream pool, and control connection.
+    pub shards: usize,
     /// The clock freshness decisions are made against.
     pub clock: LiveClock,
     /// When present, the origin's scripted population: ids/paths are
@@ -143,6 +187,7 @@ impl ProxyConfig {
             origin_control,
             policy,
             store: StoreKind::Unbounded,
+            shards: 1,
             clock,
             ground_truth: None,
             classes: Vec::new(),
@@ -153,7 +198,8 @@ impl ProxyConfig {
     }
 }
 
-/// The counters a run accumulates, frozen at shutdown.
+/// The counters a run accumulates, frozen at shutdown. For a sharded
+/// proxy this is the merge of every shard's counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProxySnapshot {
     /// Hit/miss/validation classification (same type the simulator
@@ -169,13 +215,20 @@ pub struct ProxySnapshot {
     pub invalidations_delivered: u64,
     /// Entries evicted by a bounded store.
     pub evictions: u64,
+    /// Upstream connections dialled across all shard pools.
+    pub upstream_dials: u64,
+    /// Upstream checkouts served by a pooled keep-alive connection.
+    pub upstream_reuses: u64,
 }
 
-/// Everything the cache mutex guards.
+/// Everything one shard's mutex guards.
 struct CacheState {
     store: AnyStore,
     bodies: HashMap<FileId, Arc<Vec<u8>>>,
     policy: Box<dyn Policy + Send>,
+    /// Files with a single-flight upstream fetch in progress; misses on
+    /// these wait on the shard condvar instead of fetching again.
+    in_flight: HashSet<FileId>,
     traffic: TrafficMeter,
     stats: CacheStats,
     stale_age_total: SimDuration,
@@ -183,15 +236,26 @@ struct CacheState {
     evictions: u64,
 }
 
-/// Path ⇄ id mapping. Prefilled from ground truth when available;
-/// otherwise ids are handed out on first sight of a path.
+/// One cache shard: its state lock, the condvar miss-coalescing waits
+/// on, its upstream pool, and (under invalidation) its control channel.
+struct Shard {
+    state: Mutex<CacheState>,
+    /// Signalled whenever `in_flight` shrinks.
+    flights: Condvar,
+    pool: UpstreamPool,
+    control: Option<ControlHandle>,
+}
+
+/// Path ⇄ id mapping. Ground-truth paths are prefilled into an
+/// immutable table read without any lock (the hot path); paths first
+/// seen on the wire get ids past the prefilled range, behind a mutex.
 #[derive(Default)]
 struct Names {
     by_path: HashMap<String, FileId>,
     paths: Vec<String>,
 }
 
-/// The proxy's half of the control channel: commands go out through the
+/// A shard's half of its control channel: commands go out through the
 /// shared writer; the reader thread forwards `OK`s to whichever
 /// subscriber is waiting.
 struct ControlHandle {
@@ -200,30 +264,46 @@ struct ControlHandle {
 }
 
 struct ProxyShared {
-    state: Mutex<CacheState>,
-    names: Mutex<Names>,
+    shards: Vec<Shard>,
+    static_names: Names,
+    dynamic_names: Mutex<Names>,
     classes: Vec<usize>,
     uncacheable_mask: u32,
     uses_invalidation: bool,
     ground_truth: Option<Arc<FilePopulation>>,
     clock: LiveClock,
-    origin_data: SocketAddr,
-    control: Option<ControlHandle>,
     probe: ProbeHandle,
     shutdown: AtomicBool,
 }
 
 /// What the lock-free middle of a request has to do, decided under the
-/// cache lock (mirrors the branch structure of `World::on_request`).
+/// shard lock (mirrors the branch structure of `World::on_request`).
 enum Action {
     /// Fresh (and valid) local copy: serve it.
     ServeLocal(Response, Arc<Vec<u8>>),
-    /// No usable copy (compulsory miss, uncacheable class, or known
-    /// stale under invalidation/eager): unconditional GET.
+    /// No usable copy (compulsory miss, or known stale under
+    /// invalidation/eager): unconditional GET, flight registered.
     FetchFull,
     /// Possibly stale timed-out copy: conditional GET against its
     /// `Last-Modified`.
     Validate(EntryMeta),
+}
+
+/// Clears a registered single-flight entry when the fetch concludes —
+/// on *every* exit path, including errors, so followers are never
+/// stranded waiting on a dead flight.
+struct FlightGuard<'a> {
+    shard: &'a Shard,
+    file: FileId,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = lock_clean(&self.shard.state);
+        st.in_flight.remove(&self.file);
+        drop(st);
+        self.shard.flights.notify_all();
+    }
 }
 
 impl ProxyShared {
@@ -231,8 +311,12 @@ impl ProxyShared {
         self.classes.get(file.index()).copied().unwrap_or(0)
     }
 
+    fn shard(&self, file: FileId) -> &Shard {
+        &self.shards[shard_for(file, self.shards.len())]
+    }
+
     /// Emit one request-outcome event. In-memory only; safe to call with
-    /// the cache lock held, never wraps socket IO.
+    /// a shard lock held, never wraps socket IO.
     fn record_request(&self, now: SimTime, file: FileId, outcome: RequestOutcome) {
         self.probe.record(now, ObsEvent::Request { file, outcome });
     }
@@ -241,21 +325,31 @@ impl ProxyShared {
         class < 32 && self.uncacheable_mask & (1 << class) != 0
     }
 
+    /// Path → id. Ground-truth paths resolve without taking any lock;
+    /// only never-before-seen paths touch the dynamic table.
     fn resolve(&self, path: &str) -> FileId {
-        let mut names = lock_clean(&self.names);
+        if let Some(&id) = self.static_names.by_path.get(path) {
+            return id;
+        }
+        let base = self.static_names.paths.len();
+        let mut names = lock_clean(&self.dynamic_names);
         if let Some(&id) = names.by_path.get(path) {
             return id;
         }
-        let id = FileId::from_index(names.paths.len());
+        let id = FileId::from_index(base + names.paths.len());
         names.by_path.insert(path.to_string(), id);
         names.paths.push(path.to_string());
         id
     }
 
     fn path_of(&self, file: FileId) -> String {
-        lock_clean(&self.names)
+        let idx = file.index();
+        if let Some(path) = self.static_names.paths.get(idx) {
+            return path.clone();
+        }
+        lock_clean(&self.dynamic_names)
             .paths
-            .get(file.index())
+            .get(idx - self.static_names.paths.len())
             .cloned()
             .unwrap_or_default()
     }
@@ -345,11 +439,12 @@ impl ProxyShared {
 
     // --- control channel -------------------------------------------------
 
-    /// Send one subscription command and wait for its `OK`. Never called
-    /// with any lock held (the reader thread needs the writer to `ACK`
-    /// invalidations, and the cache lock to apply them).
-    fn control_roundtrip(&self, msg: &ControlMsg) {
-        let Some(control) = self.control.as_ref() else {
+    /// Send one subscription command over `shard`'s control channel and
+    /// wait for its `OK`. Never called with any state lock held (the
+    /// reader thread needs the writer to `ACK` invalidations, and the
+    /// shard lock to apply them).
+    fn control_roundtrip(&self, shard: &Shard, msg: &ControlMsg) {
+        let Some(control) = shard.control.as_ref() else {
             return;
         };
         if write_msg(&mut lock_clean(&control.writer), msg).is_err() {
@@ -369,8 +464,9 @@ impl ProxyShared {
         }
     }
 
+    /// Subscribe `file` over its owning shard's control channel.
     fn subscribe_sync(&self, file: FileId) {
-        self.control_roundtrip(&ControlMsg::Subscribe(self.path_of(file)));
+        self.control_roundtrip(self.shard(file), &ControlMsg::Subscribe(self.path_of(file)));
     }
 
     fn unsubscribe_victims(&self, victims: &[FileId]) {
@@ -378,13 +474,17 @@ impl ProxyShared {
             return;
         }
         for &victim in victims {
-            self.control_roundtrip(&ControlMsg::Unsubscribe(self.path_of(victim)));
+            self.control_roundtrip(
+                self.shard(victim),
+                &ControlMsg::Unsubscribe(self.path_of(victim)),
+            );
         }
     }
 
-    /// The control reader thread: applies `INVALIDATE` notices, then
-    /// acknowledges; forwards `OK`s to waiting subscribers.
-    fn control_reader(&self, mut conn: LineConn, ok_tx: mpsc::Sender<()>) {
+    /// Shard `shard_idx`'s control reader thread: applies `INVALIDATE`
+    /// notices to the owning shard's state, then acknowledges; forwards
+    /// `OK`s to waiting subscribers.
+    fn control_reader(&self, shard_idx: usize, mut conn: LineConn, ok_tx: mpsc::Sender<()>) {
         let result: io::Result<()> = (|| {
             while let Some(msg) = conn.read_msg(&self.shutdown)? {
                 match msg {
@@ -393,7 +493,12 @@ impl ProxyShared {
                         let inv_bytes = msg_len(&ControlMsg::Invalidate(path));
                         let ack_bytes = msg_len(&ControlMsg::Ack);
                         {
-                            let mut st = lock_clean(&self.state);
+                            // The origin routes INVALIDATE over the
+                            // subscribing shard's channel, so this is the
+                            // reader's own shard; route by file anyway so
+                            // a misdirected notice can never corrupt a
+                            // foreign shard's accounting.
+                            let mut st = lock_clean(&self.shard(file).state);
                             // One invalidation = one control message
                             // (notice + ack), as in the simulator's
                             // `invalidation_message` costing.
@@ -406,8 +511,13 @@ impl ProxyShared {
                         }
                         // Ack only after the entry is marked: once the
                         // origin sees the ACK, no client can be served
-                        // the stale copy.
-                        if let Some(control) = self.control.as_ref() {
+                        // the stale copy. The ACK goes back on the
+                        // connection the notice arrived on.
+                        if let Some(control) = self
+                            .shards
+                            .get(shard_idx)
+                            .and_then(|shard| shard.control.as_ref())
+                        {
                             write_msg(&mut lock_clean(&control.writer), &ControlMsg::Ack)?;
                         }
                     }
@@ -433,9 +543,48 @@ impl ProxyShared {
 
     // --- request path ----------------------------------------------------
 
+    /// Block until `file`'s in-flight fetch concludes (or shutdown).
+    /// Consumes the shard guard; the caller re-locks and re-evaluates.
+    fn wait_for_flight<'a>(
+        &self,
+        shard: &'a Shard,
+        st: MutexGuard<'a, CacheState>,
+    ) -> io::Result<()> {
+        let (guard, _) = shard
+            .flights
+            .wait_timeout(st, POLL_TICK)
+            .unwrap_or_else(|e| e.into_inner());
+        drop(guard);
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "shutdown while waiting on an in-flight fetch",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Unconditional fetch via `file`'s shard pool — checkout, exchange,
+    /// checkin (broken connections are discarded, freeing their slot).
+    fn fetch_full(
+        &self,
+        file: FileId,
+        path: &str,
+        now: SimTime,
+    ) -> io::Result<(Response, Arc<Vec<u8>>)> {
+        let shard = self.shard(file);
+        let mut upstream = shard.pool.checkout(now, &self.probe, &self.shutdown)?;
+        let result = self.fetch_full_on(&mut upstream, file, path, now);
+        match &result {
+            Ok(_) => shard.pool.checkin(upstream),
+            Err(_) => shard.pool.discard(),
+        }
+        result
+    }
+
     /// Unconditional fetch from the origin — the port of the simulator's
     /// `fetch_full` (always called with `since = None`, as there).
-    fn fetch_full(
+    fn fetch_full_on(
         &self,
         upstream: &mut HttpConn,
         file: FileId,
@@ -443,6 +592,7 @@ impl ProxyShared {
         now: SimTime,
     ) -> io::Result<(Response, Arc<Vec<u8>>)> {
         let class = self.class_of(file);
+        let shard = self.shard(file);
         let sent = upstream.write_request(&Request::get(path))?;
         let (resp, body) = upstream.read_response()?;
         let header_bytes = resp.header_size();
@@ -451,7 +601,7 @@ impl ProxyShared {
             // The simulator never requests nonexistent files; pass the
             // origin's answer through, charging the exchange as one
             // message and dropping any cached copy.
-            let mut st = lock_clean(&self.state);
+            let mut st = lock_clean(&shard.state);
             st.traffic.add_message(sent + header_bytes);
             st.stats.misses += 1;
             st.store.remove(file);
@@ -464,7 +614,7 @@ impl ProxyShared {
         let expires = resp.expires.map(sim_instant);
 
         if self.is_uncacheable(class) {
-            let mut st = lock_clean(&self.state);
+            let mut st = lock_clean(&shard.state);
             st.traffic.add_message(sent + header_bytes);
             st.traffic.add_file_transfer(body.len() as u64);
             st.stats.misses += 1;
@@ -474,15 +624,16 @@ impl ProxyShared {
         }
 
         // New entries subscribe *before* insertion, exactly where the
-        // simulator does; the peek is racy but only this worker inserts
-        // this file during a deterministic (single-client) run.
-        let is_new = lock_clean(&self.state).store.peek(file).is_none();
+        // simulator does. Single-flight registration makes the peek
+        // stable: no other worker inserts this file while the flight is
+        // held.
+        let is_new = lock_clean(&shard.state).store.peek(file).is_none();
         if is_new && self.uses_invalidation {
             self.subscribe_sync(file);
         }
 
         let victims = {
-            let mut st = lock_clean(&self.state);
+            let mut st = lock_clean(&shard.state);
             st.traffic.add_message(sent + header_bytes);
             st.traffic.add_file_transfer(body.len() as u64);
             st.stats.misses += 1;
@@ -508,47 +659,72 @@ impl ProxyShared {
         Ok((resp, body))
     }
 
-    /// Serve one client request — the port of `World::on_request`.
-    fn handle(
-        &self,
-        upstream: &mut HttpConn,
-        req: &Request,
-    ) -> io::Result<(Response, Arc<Vec<u8>>)> {
+    /// Serve one client request — the port of `World::on_request`, with
+    /// shard routing and single-flight miss coalescing layered on.
+    fn handle(&self, req: &Request) -> io::Result<(Response, Arc<Vec<u8>>)> {
         let file = self.resolve(&req.path);
         let class = self.class_of(file);
         let now = self.clock.now();
 
-        let action = if self.is_uncacheable(class) {
+        if self.is_uncacheable(class) {
+            // Forwarded, never cached — and never coalesced: every
+            // uncacheable request is its own upstream exchange, exactly
+            // as the simulator counts them.
             self.record_request(now, file, RequestOutcome::Uncacheable);
-            Action::FetchFull
-        } else {
-            let mut st = lock_clean(&self.state);
+            return self.fetch_full(file, &req.path, now);
+        }
+
+        let shard = self.shard(file);
+        let action = loop {
+            let mut st = lock_clean(&shard.state);
             match st.store.access(file, now).copied() {
                 None => {
-                    // Compulsory miss.
+                    if st.in_flight.contains(&file) {
+                        self.wait_for_flight(shard, st)?;
+                        continue;
+                    }
+                    // Compulsory miss; this request leads the flight.
+                    st.in_flight.insert(file);
                     self.record_request(now, file, RequestOutcome::Miss);
-                    Action::FetchFull
+                    break Action::FetchFull;
                 }
                 Some(entry) => {
                     let fresh = entry.is_valid() && st.policy.is_fresh(&entry, class, now);
-                    self.probe
-                        .record(now, ObsEvent::PolicyDecision { file, fresh });
                     if fresh {
                         match st.bodies.get(&file).map(Arc::clone) {
                             Some(body) => {
+                                self.probe
+                                    .record(now, ObsEvent::PolicyDecision { file, fresh });
                                 self.classify_local_hit(&mut st, file, &entry, now);
-                                Action::ServeLocal(Self::local_response(&entry, &body, now), body)
+                                break Action::ServeLocal(
+                                    Self::local_response(&entry, &body, now),
+                                    body,
+                                );
                             }
                             // Resident meta whose body was dropped by a
                             // concurrent eviction: treat as a miss.
                             None => {
+                                if st.in_flight.contains(&file) {
+                                    self.wait_for_flight(shard, st)?;
+                                    continue;
+                                }
+                                st.in_flight.insert(file);
+                                self.probe
+                                    .record(now, ObsEvent::PolicyDecision { file, fresh });
                                 self.record_request(now, file, RequestOutcome::Miss);
-                                Action::FetchFull
+                                break Action::FetchFull;
                             }
                         }
                     } else if self.uses_invalidation {
+                        if st.in_flight.contains(&file) {
+                            self.wait_for_flight(shard, st)?;
+                            continue;
+                        }
+                        st.in_flight.insert(file);
                         // Known stale: refetch without a conditional
                         // round-trip (the simulator's eager branch).
+                        self.probe
+                            .record(now, ObsEvent::PolicyDecision { file, fresh });
                         let changed = self.changed_since(file, &entry, now);
                         st.policy.on_validation(class, changed);
                         self.probe.record(
@@ -559,9 +735,11 @@ impl ProxyShared {
                             },
                         );
                         self.record_request(now, file, RequestOutcome::Miss);
-                        Action::FetchFull
+                        break Action::FetchFull;
                     } else {
-                        Action::Validate(entry)
+                        self.probe
+                            .record(now, ObsEvent::PolicyDecision { file, fresh });
+                        break Action::Validate(entry);
                     }
                 }
             }
@@ -569,11 +747,36 @@ impl ProxyShared {
 
         let entry = match action {
             Action::ServeLocal(resp, body) => return Ok((resp, body)),
-            Action::FetchFull => return self.fetch_full(upstream, file, &req.path, now),
+            Action::FetchFull => {
+                let _flight = FlightGuard { shard, file };
+                return self.fetch_full(file, &req.path, now);
+            }
             Action::Validate(entry) => entry,
         };
 
-        // Combined query-and-fetch via If-Modified-Since.
+        // Combined query-and-fetch via If-Modified-Since, on a pooled
+        // connection held across the (possible) fallback refetch so one
+        // request never checks out two sockets.
+        let mut upstream = shard.pool.checkout(now, &self.probe, &self.shutdown)?;
+        let result = self.validate_on(&mut upstream, file, class, entry, req, now);
+        match &result {
+            Ok(_) => shard.pool.checkin(upstream),
+            Err(_) => shard.pool.discard(),
+        }
+        result
+    }
+
+    /// The conditional-GET exchange and its outcome bookkeeping.
+    fn validate_on(
+        &self,
+        upstream: &mut HttpConn,
+        file: FileId,
+        class: usize,
+        entry: EntryMeta,
+        req: &Request,
+        now: SimTime,
+    ) -> io::Result<(Response, Arc<Vec<u8>>)> {
+        let shard = self.shard(file);
         let ims = wall_date(entry.last_modified);
         let sent = upstream.write_request(&Request::get_if_modified_since(&req.path, ims))?;
         let (resp, body) = upstream.read_response()?;
@@ -583,7 +786,7 @@ impl ProxyShared {
             Status::NotModified => {
                 let expires = resp.expires.map(sim_instant);
                 let served = {
-                    let mut st = lock_clean(&self.state);
+                    let mut st = lock_clean(&shard.state);
                     st.traffic.add_message(sent + header_bytes);
                     st.stats.validations_not_modified += 1;
                     st.policy.on_validation(class, false);
@@ -616,10 +819,11 @@ impl ProxyShared {
                         Ok((client_resp, body))
                     }
                     // The validated entry (or its body) vanished under a
-                    // concurrent eviction between lock drops: refetch.
+                    // concurrent eviction between lock drops: refetch on
+                    // the connection already in hand.
                     None => {
                         self.record_request(now, file, RequestOutcome::Miss);
-                        self.fetch_full(upstream, file, &req.path, now)
+                        self.fetch_full_on(upstream, file, &req.path, now)
                     }
                 }
             }
@@ -628,7 +832,7 @@ impl ProxyShared {
                 let last_modified = sim_instant(require_last_modified(&resp)?);
                 let expires = resp.expires.map(sim_instant);
                 let victims = {
-                    let mut st = lock_clean(&self.state);
+                    let mut st = lock_clean(&shard.state);
                     st.traffic.add_message(sent + header_bytes);
                     st.traffic.add_file_transfer(body.len() as u64);
                     st.stats.validations_modified += 1;
@@ -659,7 +863,7 @@ impl ProxyShared {
                 Ok((resp, body))
             }
             Status::NotFound => {
-                let mut st = lock_clean(&self.state);
+                let mut st = lock_clean(&shard.state);
                 st.traffic.add_message(sent + header_bytes);
                 st.stats.misses += 1;
                 st.store.remove(file);
@@ -671,19 +875,12 @@ impl ProxyShared {
         }
     }
 
-    /// Serve one client connection with a lazily-dialled persistent
-    /// origin connection.
+    /// Serve one client connection; upstream traffic rides the shard
+    /// pools, so the connection itself owns no origin socket.
     fn serve_client(&self, stream: TcpStream) -> io::Result<()> {
         let mut conn = HttpConn::server_side(stream)?;
-        let mut upstream: Option<HttpConn> = None;
         while let Some(req) = conn.read_request(&self.shutdown)? {
-            if upstream.is_none() {
-                upstream = Some(HttpConn::new(TcpStream::connect(self.origin_data)?)?);
-            }
-            let Some(up) = upstream.as_mut() else {
-                break; // unreachable: dialled just above
-            };
-            let (resp, body) = self.handle(up, &req)?;
+            let (resp, body) = self.handle(&req)?;
             conn.write_response(&resp, &body)?;
         }
         Ok(())
@@ -711,82 +908,98 @@ pub struct LiveProxy {
     shared: Arc<ProxyShared>,
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
-    control_thread: Option<JoinHandle<()>>,
+    control_threads: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for LiveProxy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LiveProxy")
             .field("addr", &self.addr)
+            .field("shards", &self.shared.shards.len())
             .finish()
     }
 }
 
 impl LiveProxy {
-    /// Dial the origin's control port (when the policy needs it), bind
-    /// the client listener, and start serving.
+    /// Dial one control connection per shard (when the policy needs
+    /// them), bind the client listener, and start serving.
     pub fn spawn(config: ProxyConfig) -> io::Result<LiveProxy> {
         let listener = TcpListener::bind(&config.bind)?;
         let addr = listener.local_addr()?;
+        let shard_count = config.shards.max(1);
 
-        let mut names = Names::default();
+        let mut static_names = Names::default();
         if let Some(gt) = config.ground_truth.as_ref() {
             for (id, rec) in gt.iter() {
-                debug_assert_eq!(id.index(), names.paths.len());
-                names.by_path.insert(rec.path.clone(), id);
+                debug_assert_eq!(id.index(), static_names.paths.len());
+                static_names.by_path.insert(rec.path.clone(), id);
                 // wcc-allow: r5 prefill from the fixed ground-truth population, not per-request growth
-                names.paths.push(rec.path.clone());
+                static_names.paths.push(rec.path.clone());
             }
         }
 
         let uses_invalidation = config.policy.uses_invalidation();
-        // wcc-allow: r5 OK channel — bounded by in-flight control commands, one per worker
-        let (ok_tx, ok_rx) = mpsc::channel();
-        let (control, control_stream) = if uses_invalidation {
-            let stream = TcpStream::connect(config.origin_control)?;
-            let writer = stream.try_clone()?;
-            (
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut control_streams: Vec<Option<(LineConn, mpsc::Sender<()>)>> =
+            Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let control = if uses_invalidation {
+                let stream = TcpStream::connect(config.origin_control)?;
+                let writer = stream.try_clone()?;
+                // wcc-allow: r5 OK channel — bounded by in-flight control commands, one per worker
+                let (ok_tx, ok_rx) = mpsc::channel();
+                // wcc-allow: r5 one control stream per shard, fixed at spawn
+                control_streams.push(Some((LineConn::new(stream)?, ok_tx)));
                 Some(ControlHandle {
                     writer: Mutex::new(writer),
                     ok_rx: Mutex::new(ok_rx),
+                })
+            } else {
+                // wcc-allow: r5 one slot per shard, fixed at spawn
+                control_streams.push(None);
+                None
+            };
+            // wcc-allow: r5 one shard per configured slot, fixed at spawn
+            shards.push(Shard {
+                state: Mutex::new(CacheState {
+                    store: config.store.build_shard(i, shard_count),
+                    bodies: HashMap::new(),
+                    policy: config.policy.build(),
+                    in_flight: HashSet::new(),
+                    traffic: TrafficMeter::default(),
+                    stats: CacheStats::default(),
+                    stale_age_total: SimDuration::ZERO,
+                    invalidations_delivered: 0,
+                    evictions: 0,
                 }),
-                Some(stream),
-            )
-        } else {
-            (None, None)
-        };
+                flights: Condvar::new(),
+                pool: UpstreamPool::new(config.origin_data, i as u32, UPSTREAM_CONNS_PER_SHARD),
+                control,
+            });
+        }
 
         let shared = Arc::new(ProxyShared {
-            state: Mutex::new(CacheState {
-                store: config.store.build(),
-                bodies: HashMap::new(),
-                policy: config.policy.build(),
-                traffic: TrafficMeter::default(),
-                stats: CacheStats::default(),
-                stale_age_total: SimDuration::ZERO,
-                invalidations_delivered: 0,
-                evictions: 0,
-            }),
-            names: Mutex::new(names),
+            shards,
+            static_names,
+            dynamic_names: Mutex::new(Names::default()),
             classes: config.classes,
             uncacheable_mask: config.uncacheable_mask,
             uses_invalidation,
             ground_truth: config.ground_truth,
             clock: config.clock,
-            origin_data: config.origin_data,
-            control,
             probe: config.probe,
             shutdown: AtomicBool::new(false),
         });
 
-        let control_thread = control_stream.map(|stream| {
+        let mut control_threads = Vec::with_capacity(shard_count);
+        for (i, slot) in control_streams.into_iter().enumerate() {
+            let Some((conn, ok_tx)) = slot else { continue };
             let shared = Arc::clone(&shared);
-            thread::spawn(move || {
-                if let Ok(conn) = LineConn::new(stream) {
-                    shared.control_reader(conn, ok_tx);
-                }
-            })
-        });
+            // wcc-allow: r5 one reader thread per shard, fixed at spawn
+            control_threads.push(thread::spawn(move || {
+                shared.control_reader(i, conn, ok_tx);
+            }));
+        }
 
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -828,7 +1041,7 @@ impl LiveProxy {
             shared,
             addr,
             accept_thread: Some(accept_thread),
-            control_thread,
+            control_threads,
         })
     }
 
@@ -842,22 +1055,27 @@ impl LiveProxy {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.control_thread.take() {
+        for h in self.control_threads.drain(..) {
             let _ = h.join();
         }
     }
 
-    /// Stop serving and return the accumulated counters.
+    /// Stop serving and return the merged per-shard counters.
     pub fn shutdown(mut self) -> ProxySnapshot {
         self.stop();
-        let st = lock_clean(&self.shared.state);
-        ProxySnapshot {
-            cache: st.stats,
-            traffic: st.traffic,
-            stale_age_total: st.stale_age_total,
-            invalidations_delivered: st.invalidations_delivered,
-            evictions: st.evictions,
+        let mut snap = ProxySnapshot::default();
+        for shard in &self.shared.shards {
+            let st = lock_clean(&shard.state);
+            snap.cache.merge(&st.stats);
+            snap.traffic.merge(&st.traffic);
+            snap.stale_age_total = snap.stale_age_total.saturating_add(st.stale_age_total);
+            snap.invalidations_delivered += st.invalidations_delivered;
+            snap.evictions += st.evictions;
+            drop(st);
+            snap.upstream_dials += shard.pool.dials();
+            snap.upstream_reuses += shard.pool.reuses();
         }
+        snap
     }
 }
 
@@ -873,6 +1091,7 @@ mod tests {
     use crate::origin::{LiveOrigin, OriginConfig};
     use originserver::FileRecord;
     use std::io::{Read as _, Write as _};
+    use std::sync::Barrier;
 
     #[test]
     fn malformed_client_request_kills_only_that_connection() {
@@ -910,6 +1129,70 @@ mod tests {
         let snap = proxy.shutdown();
         assert_eq!(snap.cache.misses, 1);
         assert_eq!(snap.cache.fresh_hits, 1);
+        assert_eq!(
+            snap.upstream_dials, 1,
+            "both exchanges share one pooled conn"
+        );
         drop(origin);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 8] {
+            for idx in 0..64usize {
+                let file = FileId::from_index(idx);
+                let s = shard_for(file, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(file, shards), "routing must be pure");
+            }
+        }
+        assert_eq!(shard_for(FileId::from_index(7), 0), 0, "0 shards ⇒ shard 0");
+    }
+
+    /// The ISSUE's miss-coalescing contract: N concurrent requests for
+    /// one cold file produce exactly one upstream fetch and N responses.
+    #[test]
+    fn concurrent_cold_misses_coalesce_into_one_fetch() {
+        const N: usize = 8;
+        const BODY: u64 = 512 * 1024;
+        let mut pop = FilePopulation::new();
+        pop.add(FileRecord::new("/cold.html", SimTime::from_secs(0), BODY));
+        let pop = Arc::new(pop);
+        let clock = LiveClock::virtual_at(SimTime::from_secs(10));
+        let origin = LiveOrigin::spawn(OriginConfig::new(Arc::clone(&pop), clock.clone())).unwrap();
+        let mut cfg = ProxyConfig::new(
+            origin.data_addr(),
+            origin.control_addr(),
+            LivePolicy::Ttl(24),
+            clock,
+        );
+        cfg.ground_truth = Some(Arc::clone(&pop));
+        cfg.shards = 4;
+        let proxy = LiveProxy::spawn(cfg).unwrap();
+
+        let barrier = Barrier::new(N);
+        thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    let mut conn =
+                        HttpConn::new(TcpStream::connect(proxy.addr()).unwrap()).unwrap();
+                    barrier.wait();
+                    conn.write_request(&Request::get("/cold.html")).unwrap();
+                    let (resp, body) = conn.read_response().unwrap();
+                    assert_eq!(resp.status, Status::Ok);
+                    assert_eq!(body.len() as u64, BODY);
+                });
+            }
+        });
+
+        let snap = proxy.shutdown();
+        let load = origin.shutdown();
+        assert_eq!(
+            snap.cache.misses, 1,
+            "followers must not duplicate the fetch"
+        );
+        assert_eq!(snap.cache.fresh_hits as usize, N - 1);
+        assert_eq!(snap.traffic.file_transfers, 1);
+        assert_eq!(load.document_requests, 1, "origin saw exactly one GET");
     }
 }

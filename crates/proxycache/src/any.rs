@@ -66,6 +66,26 @@ impl AnyStore {
     }
 }
 
+/// Shard `shard`'s share of a `total`-byte capacity split across
+/// `shards` stores: the integer share plus one spare byte for the first
+/// `total % shards` shards (so the shares sum exactly to `total`), and
+/// never less than one byte — the bounded stores reject a zero capacity.
+///
+/// A sharded cache that splits its budget this way evicts *locally*
+/// (each shard sees only its own pressure), so bounded-store behaviour
+/// is equivalent to, but not byte-identical with, one global store;
+/// only the unbounded store is exactly shard-count-invariant.
+///
+/// # Panics
+/// Panics if `shards` is zero or `shard >= shards`.
+pub fn shard_capacity(total: u64, shard: usize, shards: usize) -> u64 {
+    assert!(shards > 0, "capacity split over zero shards");
+    assert!(shard < shards, "shard index out of range");
+    let base = total / shards as u64;
+    let spare = u64::from((shard as u64) < total % shards as u64);
+    (base + spare).max(1)
+}
+
 impl Default for AnyStore {
     fn default() -> Self {
         AnyStore::unbounded()
@@ -180,6 +200,32 @@ mod tests {
             assert_eq!(s.len(), 1);
             assert_eq!(s.evictions(), 0);
         }
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_total_and_stay_positive() {
+        for (total, shards) in [(1000u64, 4usize), (1001, 4), (7, 3), (2, 8), (0, 5)] {
+            let shares: Vec<u64> = (0..shards)
+                .map(|i| shard_capacity(total, i, shards))
+                .collect();
+            assert!(
+                shares.iter().all(|&c| c >= 1),
+                "{total}/{shards}: {shares:?}"
+            );
+            if total >= shards as u64 {
+                assert_eq!(shares.iter().sum::<u64>(), total, "{total}/{shards}");
+            }
+            // Even split within one byte.
+            let (min, max) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(max - min <= 1, "{total}/{shards}: {shares:?}");
+        }
+        assert_eq!(shard_capacity(100, 0, 1), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index out of range")]
+    fn shard_capacity_rejects_out_of_range_shard() {
+        shard_capacity(10, 3, 3);
     }
 
     #[test]

@@ -20,7 +20,7 @@ mod hierarchy;
 mod lru;
 mod store;
 
-pub use any::{AnyStore, AnyStoreIter};
+pub use any::{shard_capacity, AnyStore, AnyStoreIter};
 pub use entry::{EntryMeta, EntryState};
 pub use fifo::{FifoIter, FifoStore};
 pub use hierarchy::HierarchyTopology;

@@ -193,6 +193,7 @@ impl fmt::Display for ServerLoad {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyStats {
     samples_ns: Vec<u64>,
+    dropped: u64,
 }
 
 impl LatencyStats {
@@ -204,6 +205,21 @@ impl LatencyStats {
     /// Record one request's service time in nanoseconds.
     pub fn record_ns(&mut self, ns: u64) {
         self.samples_ns.push(ns);
+    }
+
+    /// Count one request whose measured latency could not be recorded
+    /// (overflowed the sample type, or the measurement was otherwise
+    /// unusable). Percentiles silently computed over a censored sample
+    /// set would under-report the tail; the drop count keeps them
+    /// honest.
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Requests whose latency measurement was discarded (see
+    /// [`record_drop`](LatencyStats::record_drop)).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Number of samples recorded.
@@ -237,6 +253,12 @@ impl LatencyStats {
         self.quantile_ns(0.99)
     }
 
+    /// 99.9th-percentile service time in nanoseconds — the tail the
+    /// closed-loop bench reports.
+    pub fn p999_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.999)
+    }
+
     /// Mean service time in nanoseconds.
     pub fn mean_ns(&self) -> Option<f64> {
         (!self.samples_ns.is_empty())
@@ -246,6 +268,7 @@ impl LatencyStats {
     /// Absorb another worker's samples.
     pub fn merge(&mut self, other: &LatencyStats) {
         self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.dropped += other.dropped;
     }
 }
 
@@ -405,6 +428,35 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.p50_ns(), Some(3));
         assert!(a.to_string().contains("p50"));
+    }
+
+    #[test]
+    fn latency_p999_resolves_the_tail() {
+        let mut l = LatencyStats::new();
+        for ns in 1..=1000 {
+            l.record_ns(ns);
+        }
+        assert_eq!(l.p99_ns(), Some(990));
+        assert_eq!(l.p999_ns(), Some(999));
+        // With few samples p999 degrades to the max, never to None.
+        let mut s = LatencyStats::new();
+        s.record_ns(7);
+        assert_eq!(s.p999_ns(), Some(7));
+    }
+
+    #[test]
+    fn latency_drops_are_counted_and_merged() {
+        let mut a = LatencyStats::new();
+        a.record_ns(10);
+        a.record_drop();
+        assert_eq!(a.count(), 1, "drops are not samples");
+        assert_eq!(a.dropped(), 1);
+        let mut b = LatencyStats::new();
+        b.record_drop();
+        b.record_drop();
+        a.merge(&b);
+        assert_eq!(a.dropped(), 3);
+        assert_eq!(a.count(), 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! | r1 | no-wall-clock             | every crate except `bench`; `liveserve/clock.rs` + `loadgen.rs` allowlisted |
 //! | r2 | no-unordered-iter         | files that write reports/stats |
 //! | r3 | no-lock-across-io         | `liveserve`, `wcc-obs` |
-//! | r4 | no-panic-in-server-path   | `liveserve::{origin,proxy,netio,control}` |
+//! | r4 | no-panic-in-server-path   | `liveserve::{origin,proxy,netio,control,pool}` |
 //! | r5 | bounded-channel-or-comment| `liveserve` |
 //!
 //! Suppression: `// wcc-allow: <rule>[,<rule>] <reason>` on the finding
@@ -495,7 +495,7 @@ fn r4_no_panic_in_server_path(
     if ctx.crate_name != "liveserve"
         || !matches!(
             ctx.file_name(),
-            "origin.rs" | "proxy.rs" | "netio.rs" | "control.rs"
+            "origin.rs" | "proxy.rs" | "netio.rs" | "control.rs" | "pool.rs"
         )
     {
         return;

@@ -343,6 +343,20 @@ impl Probe for MetricsProbe {
             ObsEvent::LiveLatency { micros } => {
                 self.registry.observe("live_latency_us", micros);
             }
+            ObsEvent::ShardQueue { depth, .. } => {
+                self.registry
+                    .gauge_max("shard_queue_depth", i64::from(depth));
+            }
+            ObsEvent::Upstream { reused } => {
+                self.registry.add(
+                    if reused {
+                        "upstream.reused"
+                    } else {
+                        "upstream.dialed"
+                    },
+                    1,
+                );
+            }
         }
     }
 }

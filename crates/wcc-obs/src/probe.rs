@@ -102,6 +102,20 @@ pub enum ObsEvent {
         /// Client-observed service time in microseconds.
         micros: u64,
     },
+    /// A proxy shard's upstream pool was asked for a connection;
+    /// `depth` is how many requests were queued waiting for one.
+    ShardQueue {
+        /// Which proxy shard.
+        shard: u32,
+        /// Waiters queued on the shard's upstream pool at checkout.
+        depth: u32,
+    },
+    /// One upstream connection checkout completed.
+    Upstream {
+        /// Whether an idle pooled connection was reused (`false` means
+        /// a fresh dial).
+        reused: bool,
+    },
 }
 
 /// The observability seam. Implementations receive sim-time-stamped

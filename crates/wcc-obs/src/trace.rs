@@ -168,6 +168,16 @@ pub fn event_json(seq: u64, at: SimTime, event: &ObsEvent) -> String {
         ObsEvent::LiveLatency { micros } => {
             write!(s, ",\"kind\":\"live_latency\",\"us\":{micros}").expect("infallible");
         }
+        ObsEvent::ShardQueue { shard, depth } => {
+            write!(
+                s,
+                ",\"kind\":\"shard_queue\",\"shard\":{shard},\"depth\":{depth}"
+            )
+            .expect("infallible");
+        }
+        ObsEvent::Upstream { reused } => {
+            write!(s, ",\"kind\":\"upstream\",\"reused\":{reused}").expect("infallible");
+        }
     }
     s.push('}');
     s

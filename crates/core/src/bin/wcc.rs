@@ -9,7 +9,8 @@
 //! wcc trace <fig2..fig8 | --smoke> [--quick] [--jobs N] [--obs PATH] [--limit N]
 //! wcc metrics       [--quick] [--jobs N]     event metrics + wall-clock profile
 //! wcc serve   [--smoke | --listen A --control A] [workload flags]
-//! wcc loadgen [--smoke | --bench] [--threads N] [--shards N] [workload flags]
+//! wcc loadgen [--smoke | --bench] [--threads N] [--shards N] [--reactor-threads N] [workload flags]
+//! wcc soak    [--smoke] [--conns N] [--processes N] [--reactor-threads N]
 //! wcc analyze [--json] [--check-fixtures [DIR]]  run the invariant linter
 //! ```
 //!
@@ -39,8 +40,17 @@
 //! 1/4/8 cache-shard matrix. `--shards N` shards the proxy cache (per
 //! shard: own lock, store, pooled upstream connections); with `--smoke`
 //! it additionally self-checks that aggregate counters are identical at
-//! 1 and N shards. Workload flags: `--files N --requests N --seed S`
-//! (synthetic Worrell-style workload).
+//! 1 and N shards. `--reactor-threads N` sizes the epoll event-loop
+//! pool on each data path. Workload flags: `--files N --requests N
+//! --seed S` (synthetic Worrell-style workload).
+//!
+//! `soak` is the open-loop connection soak: it parks thousands of idle
+//! keep-alive connections against the proxy (in child worker processes
+//! at full scale, in-process for `--smoke`) while an active request mix
+//! keeps latency histograms honest, then gates on the reactor's scaling
+//! invariants (every connection held, zero shed accepts, request totals
+//! preserved, cache self-check exact). `soak-worker` is the hidden
+//! child-process entry point.
 
 use webcache::experiments::report::{
     render_bandwidth_figure, render_figure1, render_missrate_figure, render_server_load_figure,
@@ -60,7 +70,8 @@ fn usage() -> ! {
          \x20      wcc trace   <fig2-fig8 | --smoke> [--quick] [--jobs N] [--obs PATH] [--limit N]\n\
          \x20      wcc metrics [--quick] [--jobs N]\n\
          \x20      wcc serve   [--smoke | --listen ADDR --control ADDR] [--files N --requests N --seed S]\n\
-         \x20      wcc loadgen [--smoke | --bench] [--threads N] [--shards N] [--files N --requests N --seed S]\n\
+         \x20      wcc loadgen [--smoke | --bench] [--threads N] [--shards N] [--reactor-threads N] [--files N --requests N --seed S]\n\
+         \x20      wcc soak    [--smoke] [--conns N] [--processes N] [--reactor-threads N] [--active N]\n\
          \x20      wcc analyze [--json] [--check-fixtures [DIR]] [--quiet]\n\
          regenerates the tables and figures of Gwertzman & Seltzer,\n\
          'World Wide Web Cache Consistency' (USENIX 1996), or runs the\n\
@@ -316,6 +327,7 @@ struct LiveArgs {
     seed: u64,
     threads: usize,
     shards: usize,
+    reactor_threads: usize,
     listen: String,
     control: String,
 }
@@ -329,6 +341,7 @@ fn parse_live_args(args: &[String]) -> LiveArgs {
         seed: 1996,
         threads: 1,
         shards: 1,
+        reactor_threads: 1,
         listen: "127.0.0.1:8080".to_string(),
         control: "127.0.0.1:8081".to_string(),
     };
@@ -345,6 +358,9 @@ fn parse_live_args(args: &[String]) -> LiveArgs {
             "--seed" => parsed.seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
             "--threads" => parsed.threads = value(&mut it).parse().unwrap_or_else(|_| usage()),
             "--shards" => parsed.shards = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--reactor-threads" => {
+                parsed.reactor_threads = value(&mut it).parse().unwrap_or_else(|_| usage())
+            }
             "--listen" => parsed.listen = value(&mut it),
             "--control" => parsed.control = value(&mut it),
             _ => usage(),
@@ -373,6 +389,7 @@ fn cmd_serve(a: &LiveArgs) {
         let mut config = OriginConfig::new(std::sync::Arc::clone(&wl.population), clock);
         config.window_start = wl.start;
         config.window_end = wl.end;
+        config.reactor_threads = a.reactor_threads;
         let origin = LiveOrigin::spawn(config).expect("bind loopback origin");
 
         // 1) A full GET returns the body with its stamps.
@@ -441,6 +458,7 @@ fn cmd_serve(a: &LiveArgs) {
     config.window_end = wl.end;
     config.data_bind = a.listen.clone();
     config.control_bind = a.control.clone();
+    config.reactor_threads = a.reactor_threads;
     let origin = LiveOrigin::spawn(config).expect("bind serve addresses");
     println!(
         "{{\"mode\":\"serve\",\"data\":\"{}\",\"control\":\"{}\",\"files\":{}}}",
@@ -460,15 +478,21 @@ fn cmd_serve(a: &LiveArgs) {
 /// `--bench` scales client threads instead of policies.
 fn cmd_loadgen(a: &LiveArgs) {
     let wl = live_workload(a);
+    let run = |spec: ProtocolSpec, threads: usize, shards: usize| {
+        webcache::Experiment::new(&wl)
+            .protocol(spec)
+            .threads(threads)
+            .shards(shards)
+            .reactor_threads(a.reactor_threads)
+            .run_live()
+    };
 
     if a.bench {
         // Thread × shard matrix so the sharding speedup is visible next
         // to the single-lock baseline in one capture.
         for threads in [1usize, 4, 8] {
             for shards in [1usize, 4, 8] {
-                let report =
-                    webcache::live::run_live_sharded(&wl, ProtocolSpec::Alex(20), threads, shards)
-                        .expect("live bench run");
+                let report = run(ProtocolSpec::Alex(20), threads, shards).expect("live bench run");
                 println!("{}", report.to_json());
             }
         }
@@ -485,8 +509,7 @@ fn cmd_loadgen(a: &LiveArgs) {
     let mut saw_invalidation = false;
     let mut shards_agree = true;
     for spec in specs {
-        let report = webcache::live::run_live_sharded(&wl, spec, a.threads, a.shards)
-            .expect("live loadgen run");
+        let report = run(spec, a.threads, a.shards).expect("live loadgen run");
         saw_hits &= report.cache.fresh_hits + report.cache.stale_hits > 0;
         saw_304 |= report.cache.validations_not_modified > 0;
         saw_invalidation |= report.invalidations_delivered > 0;
@@ -496,10 +519,8 @@ fn cmd_loadgen(a: &LiveArgs) {
             // replay single-threaded (where even wire byte counts are
             // deterministic) at 1 shard and at the requested count, and
             // demand identical aggregates.
-            let baseline =
-                webcache::live::run_live_sharded(&wl, spec, 1, 1).expect("1-shard baseline run");
-            let sharded = webcache::live::run_live_sharded(&wl, spec, 1, a.shards)
-                .expect("sharded comparison run");
+            let baseline = run(spec, 1, 1).expect("1-shard baseline run");
+            let sharded = run(spec, 1, a.shards).expect("sharded comparison run");
             let agrees = sharded.cache == baseline.cache
                 && sharded.traffic == baseline.traffic
                 && sharded.server == baseline.server
@@ -521,6 +542,93 @@ fn cmd_loadgen(a: &LiveArgs) {
              (hits in every run: {saw_hits}, any 304: {saw_304}, \
              any invalidation: {saw_invalidation}, shard-invariant counts: {shards_agree})"
         );
+        std::process::exit(1);
+    }
+}
+
+/// Flags for `wcc soak`; unset fields fall back to the profile
+/// (`--smoke` or full-scale) defaults.
+struct SoakArgs {
+    smoke: bool,
+    conns: Option<usize>,
+    processes: Option<usize>,
+    reactor_threads: Option<usize>,
+    active: Option<usize>,
+}
+
+fn parse_soak_args(args: &[String]) -> SoakArgs {
+    let mut parsed = SoakArgs {
+        smoke: false,
+        conns: None,
+        processes: None,
+        reactor_threads: None,
+        active: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--conns" => parsed.conns = Some(value(&mut it)),
+            "--processes" => parsed.processes = Some(value(&mut it)),
+            "--reactor-threads" => parsed.reactor_threads = Some(value(&mut it)),
+            "--active" => parsed.active = Some(value(&mut it)),
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+/// `wcc soak`: the open-loop connection soak (see module docs). Prints
+/// the report JSON plus the wcc-obs histograms (accept backlog depth,
+/// live latency) and exits nonzero if any scaling invariant fails.
+fn cmd_soak(a: &SoakArgs) {
+    use liveserve::{run_soak, SoakConfig};
+
+    let mut cfg = if a.smoke {
+        SoakConfig::smoke()
+    } else {
+        SoakConfig::full()
+    };
+    if let Some(conns) = a.conns {
+        cfg.conns = conns;
+    }
+    if let Some(processes) = a.processes {
+        cfg.worker_processes = processes;
+    }
+    if let Some(reactors) = a.reactor_threads {
+        cfg.reactor_threads = reactors;
+    }
+    if let Some(active) = a.active {
+        cfg.active = active;
+    }
+
+    // Capture the reactor's event stream (ConnAccepted/ConnClosed/
+    // AcceptBacklog plus per-request latency) into a ring large enough
+    // for the full 10k soak, then fold it into metrics tables.
+    let handle = wcc_obs::ProbeHandle::buffered(1 << 18);
+    let report = match run_soak(&cfg, &handle) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut metrics = wcc_obs::MetricsProbe::new();
+    handle.drain_into(&mut metrics);
+
+    println!("{}", report.to_json());
+    println!("\n== Soak counters ==");
+    print!("{}", metrics.registry().render_counters());
+    println!("\n== Soak histograms (log2 buckets) ==");
+    print!("{}", metrics.registry().render_histograms());
+
+    if let Err(problems) = report.verify() {
+        eprintln!("soak: invariants violated: {problems}");
         std::process::exit(1);
     }
 }
@@ -673,6 +781,20 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&parse_live_args(&args[1..])),
         Some("loadgen") => return cmd_loadgen(&parse_live_args(&args[1..])),
+        Some("soak") => return cmd_soak(&parse_soak_args(&args[1..])),
+        // Hidden: the child-process mode `wcc soak` re-execs to hold
+        // idle connections outside the parent's fd table.
+        Some("soak-worker") => {
+            let (addr, conns) = match (args.get(1), args.get(2).and_then(|v| v.parse().ok())) {
+                (Some(addr), Some(conns)) => (addr, conns),
+                _ => usage(),
+            };
+            if let Err(e) = liveserve::soak_worker(addr, conns) {
+                eprintln!("soak-worker: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
         Some("analyze") => std::process::exit(wcc_analyze::cli::run(&args[1..])),
         _ => {}
     }

@@ -82,6 +82,7 @@ pub struct Experiment<'a> {
     probe: Option<&'a mut dyn Probe>,
     threads: usize,
     shards: usize,
+    reactor_threads: usize,
 }
 
 impl std::fmt::Debug for Experiment<'_> {
@@ -94,6 +95,7 @@ impl std::fmt::Debug for Experiment<'_> {
             .field("probe", &self.probe.is_some())
             .field("threads", &self.threads)
             .field("shards", &self.shards)
+            .field("reactor_threads", &self.reactor_threads)
             .finish()
     }
 }
@@ -109,6 +111,7 @@ impl<'a> Experiment<'a> {
             probe: None,
             threads: 1,
             shards: 1,
+            reactor_threads: 1,
         }
     }
 
@@ -186,6 +189,15 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Epoll reactor threads on each live data path for
+    /// [`Experiment::run_live`] (ignored by the simulators; 0 is
+    /// treated as 1).
+    #[must_use]
+    pub fn reactor_threads(mut self, reactor_threads: usize) -> Self {
+        self.reactor_threads = reactor_threads;
+        self
+    }
+
     /// Execute as a discrete-event simulation.
     pub fn run(self) -> RunOutcome {
         let mut noop = NoopProbe;
@@ -238,6 +250,7 @@ impl<'a> Experiment<'a> {
         let mut config = LiveRunConfig::new(policy);
         config.threads = self.threads;
         config.shards = self.shards;
+        config.reactor_threads = self.reactor_threads;
         config.uncacheable_mask = self.config.uncacheable_mask;
         config.store = match self.store {
             Store::Unbounded => StoreKind::Unbounded,

@@ -25,22 +25,32 @@
 //!   deterministic workload through N client threads, reporting hit
 //!   rates, bytes moved, and latency percentiles as a [`LoadReport`].
 //!
-//! Everything is `std::net` + scoped threads (the build environment has
-//! no async runtime); see `DESIGN.md` §8 for the thread model, the
-//! control-channel protocol, the shutdown sequence, and the determinism
-//! argument.
+//! The origin and proxy **data paths** run on a hand-rolled nonblocking
+//! epoll reactor (`--reactor-threads` event loops, each owning an epoll
+//! instance and a slab of per-connection state machines), so one process
+//! sustains 10k+ concurrently open connections; control channels and
+//! load-generator clients stay blocking `std::net` threads (the build
+//! environment has no async runtime, and none is needed). See
+//! `DESIGN.md` §8 for the thread model and §12 for the reactor.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the single `sys` module scopes an `allow` for
+// the raw epoll/eventfd syscall declarations (the vendored-only policy
+// rules out a `libc` dependency). Every other module stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod clock;
+mod conn;
 mod control;
 mod loadgen;
 mod netio;
 mod origin;
 mod pool;
 mod proxy;
+mod reactor;
 mod report;
+mod soak;
+mod sys;
 
 pub use clock::LiveClock;
 pub use loadgen::{
@@ -50,6 +60,7 @@ pub use netio::HttpConn;
 pub use origin::{LiveOrigin, OriginConfig};
 pub use pool::UpstreamPool;
 pub use proxy::{shard_for, LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind};
+pub use soak::{run_soak, soak_worker, SoakConfig, SoakReport};
 // Re-exported so callers can hand a probe to the configs above without
 // naming `wcc-obs` themselves.
 pub use wcc_obs::ProbeHandle;

@@ -65,6 +65,9 @@ pub struct LiveRunConfig {
     pub threads: usize,
     /// Proxy cache shards (0 is treated as 1).
     pub shards: usize,
+    /// Epoll reactor threads on each of the origin and proxy data paths
+    /// (0 is treated as 1).
+    pub reactor_threads: usize,
     /// Consistency mechanism under test.
     pub policy: LivePolicy,
     /// Proxy store.
@@ -80,6 +83,7 @@ impl LiveRunConfig {
         LiveRunConfig {
             threads: 1,
             shards: 1,
+            reactor_threads: 1,
             policy,
             store: StoreKind::Unbounded,
             uncacheable_mask: 0,
@@ -96,6 +100,8 @@ pub struct LoadReport {
     pub threads: usize,
     /// Proxy cache shards used.
     pub shards: usize,
+    /// Reactor threads used on each data path.
+    pub reactor_threads: usize,
     /// Requests replayed.
     pub requests: u64,
     /// Wall-clock seconds spent replaying.
@@ -191,6 +197,7 @@ impl LoadReport {
             .str("policy", &self.policy)
             .u64("threads", self.threads as u64)
             .u64("shards", self.shards as u64)
+            .u64("reactor_threads", self.reactor_threads as u64)
             .u64("requests", self.requests)
             .f64("wall_seconds", self.wall_seconds)
             .f64("requests_per_sec", self.requests_per_sec())
@@ -286,6 +293,7 @@ pub fn run_closed_loop_observed(
 ) -> io::Result<LoadReport> {
     let threads = config.threads.max(1);
     let shards = config.shards.max(1);
+    let reactor_threads = config.reactor_threads.max(1);
     let clock = LiveClock::virtual_at(workload.start);
 
     let mut origin_config = OriginConfig::new(Arc::clone(&workload.population), clock.clone());
@@ -294,6 +302,7 @@ pub fn run_closed_loop_observed(
     origin_config.window_start = workload.start;
     origin_config.window_end = workload.end;
     origin_config.probe = probe.clone();
+    origin_config.reactor_threads = reactor_threads;
     let origin = LiveOrigin::spawn(origin_config)?;
 
     let mut proxy_config = ProxyConfig::new(
@@ -308,6 +317,7 @@ pub fn run_closed_loop_observed(
     proxy_config.classes = workload.classes.clone();
     proxy_config.uncacheable_mask = config.uncacheable_mask;
     proxy_config.probe = probe.clone();
+    proxy_config.reactor_threads = reactor_threads;
     let proxy = LiveProxy::spawn(proxy_config)?;
     let proxy_addr = proxy.addr();
 
@@ -341,6 +351,7 @@ pub fn run_closed_loop_observed(
         policy: config.policy.label(),
         threads,
         shards,
+        reactor_threads,
         requests: workload.requests.len() as u64,
         wall_seconds,
         cache: snapshot.cache,

@@ -24,7 +24,7 @@ use httpsim::{Request, Response};
 /// shutdown can lag.
 pub(crate) const POLL_TICK: Duration = Duration::from_millis(25);
 
-const READ_CHUNK: usize = 16 * 1024;
+pub(crate) const READ_CHUNK: usize = 16 * 1024;
 
 /// Hard cap on one framed message (headers + body). A peer that streams
 /// more than this without completing a frame is protocol-broken or
@@ -91,12 +91,6 @@ impl HttpConn {
         })
     }
 
-    /// Like [`HttpConn::new`]; server workers additionally use the read
-    /// timeout to poll their shutdown flag between requests.
-    pub(crate) fn server_side(stream: TcpStream) -> io::Result<Self> {
-        Self::new(stream)
-    }
-
     /// Override the mid-frame read budget (in [`POLL_TICK`]s). Tests use
     /// tiny budgets; production code keeps the 30 s default.
     pub fn set_read_budget_ticks(&mut self, ticks: u32) {
@@ -106,6 +100,30 @@ impl HttpConn {
     /// The underlying stream.
     pub fn stream(&self) -> &TcpStream {
         &self.stream
+    }
+
+    /// Whether the peer has already closed (or broken) this idle
+    /// keep-alive connection. An idle upstream owes us nothing, so a
+    /// nonblocking 1-byte probe seeing EOF, an error, or *any* byte
+    /// means the connection is unusable; `WouldBlock` means healthy.
+    /// Non-destructive for a healthy connection.
+    pub(crate) fn peer_gone(&mut self) -> bool {
+        if !self.rbuf.is_empty() {
+            return true; // leftover unparsed bytes: protocol desync
+        }
+        if self.stream.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut probe = [0u8; 1];
+        let gone = match self.stream.read(&mut probe) {
+            Ok(_) => true, // EOF (0) or an unsolicited byte
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => false,
+            Err(_) => true,
+        };
+        if self.stream.set_nonblocking(false).is_err() {
+            return true;
+        }
+        gone
     }
 
     /// Pull more bytes off the socket into the frame buffer. `Ok(0)`
@@ -234,7 +252,7 @@ mod tests {
         let client = thread::spawn(move || TcpStream::connect(addr).unwrap());
         let (server, _) = listener.accept().unwrap();
         (
-            HttpConn::server_side(server).unwrap(),
+            HttpConn::new(server).unwrap(),
             HttpConn::new(client.join().unwrap()).unwrap(),
         )
     }

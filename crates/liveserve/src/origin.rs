@@ -34,7 +34,8 @@ use wcc_obs::{ObsEvent, ProbeHandle, ServerOpKind};
 
 use crate::clock::{sim_instant, wall_date, LiveClock};
 use crate::control::{write_msg, ControlMsg, LineConn};
-use crate::netio::{lock_clean, log_conn_error, HttpConn, POLL_TICK};
+use crate::netio::{lock_clean, log_conn_error, DEFAULT_READ_BUDGET_TICKS, POLL_TICK};
+use crate::reactor::{Dispatch, Reactor, ReactorConfig};
 
 /// Configuration for [`LiveOrigin::spawn`].
 #[derive(Debug, Clone)]
@@ -62,6 +63,10 @@ pub struct OriginConfig {
     /// invalidation fan-out. Inactive by default; recording happens in
     /// memory only (never across socket IO).
     pub probe: ProbeHandle,
+    /// Reactor (event-loop) threads serving the data port.
+    pub reactor_threads: usize,
+    /// Concurrent data-connection cap; accepts beyond it are shed.
+    pub max_conns: usize,
 }
 
 impl OriginConfig {
@@ -78,9 +83,14 @@ impl OriginConfig {
             data_bind: "127.0.0.1:0".to_string(),
             control_bind: "127.0.0.1:0".to_string(),
             probe: ProbeHandle::none(),
+            reactor_threads: 1,
+            max_conns: DEFAULT_MAX_CONNS,
         }
     }
 }
+
+/// Default cap on concurrently open data connections (per server).
+pub(crate) const DEFAULT_MAX_CONNS: usize = 16 * 1024;
 
 /// One connected proxy's control channel, as seen from the origin.
 ///
@@ -225,18 +235,6 @@ impl OriginShared {
         }
     }
 
-    /// Serve one persistent data connection until the peer hangs up or
-    /// shutdown.
-    fn serve_data_conn(&self, stream: TcpStream) -> io::Result<()> {
-        let mut conn = HttpConn::server_side(stream)?;
-        while let Some(req) = conn.read_request(&self.shutdown)? {
-            let now = self.clock.now();
-            let (resp, body) = self.respond(&req, now);
-            conn.write_response(&resp, &body)?;
-        }
-        Ok(())
-    }
-
     /// Read one proxy's control channel until it hangs up, then drop all
     /// of its subscriptions.
     fn serve_control_conn(&self, cache: CacheId, mut conn: LineConn, acks: mpsc::Sender<()>) {
@@ -294,6 +292,21 @@ impl OriginShared {
     }
 }
 
+/// The origin's reactor dispatcher: `respond` is pure in-memory
+/// accounting (no IO, no blocking waits), so it runs inline on the
+/// reactor thread.
+struct OriginDispatch {
+    shared: Arc<OriginShared>,
+}
+
+impl Dispatch for OriginDispatch {
+    fn dispatch(&self, req: &Request) -> io::Result<(Response, Arc<Vec<u8>>)> {
+        let now = self.shared.clock.now();
+        let (resp, body) = self.shared.respond(req, now);
+        Ok((resp, Arc::new(body)))
+    }
+}
+
 /// Accept connections until shutdown, handing each to `serve`; joins all
 /// per-connection workers before returning.
 fn accept_loop(
@@ -348,7 +361,7 @@ pub struct LiveOrigin {
     next_due: AtomicU64,
     data_addr: SocketAddr,
     control_addr: SocketAddr,
-    data_thread: Option<JoinHandle<()>>,
+    reactor: Option<Reactor>,
     control_thread: Option<JoinHandle<()>>,
 }
 
@@ -379,18 +392,23 @@ impl LiveOrigin {
             peers: Mutex::new(Vec::new()),
         });
 
-        let data_thread = {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || {
-                accept_loop(shared, data_listener, |shared, stream| {
-                    thread::spawn(move || {
-                        if let Err(e) = shared.serve_data_conn(stream) {
-                            log_conn_error("origin-data", &e);
-                        }
-                    })
-                })
-            })
-        };
+        // The data path runs on the epoll reactor; `respond` is pure
+        // in-memory accounting, so dispatch is inline (no worker pool).
+        let reactor = Reactor::spawn(
+            data_listener,
+            Arc::new(OriginDispatch {
+                shared: Arc::clone(&shared),
+            }),
+            ReactorConfig {
+                reactor_threads: config.reactor_threads,
+                dispatch_threads: 0,
+                max_conns: config.max_conns,
+                budget_ticks: DEFAULT_READ_BUDGET_TICKS,
+                role: "origin-data",
+                probe: shared.probe.clone(),
+                clock: shared.clock.clone(),
+            },
+        )?;
 
         let control_thread = {
             let shared = Arc::clone(&shared);
@@ -436,7 +454,7 @@ impl LiveOrigin {
             next_due: AtomicU64::new(next_due),
             data_addr,
             control_addr,
-            data_thread: Some(data_thread),
+            reactor: Some(reactor),
             control_thread: Some(control_thread),
         })
     }
@@ -480,10 +498,21 @@ impl LiveOrigin {
         lock_clean(&self.shared.server).subscription_count()
     }
 
+    /// Connections currently open on the data reactor (for the soak
+    /// driver and tests).
+    pub fn open_conns(&self) -> usize {
+        self.reactor.as_ref().map_or(0, Reactor::open_conns)
+    }
+
+    /// Data-port accepts shed at the connection cap.
+    pub fn dropped_accepts(&self) -> u64 {
+        self.reactor.as_ref().map_or(0, Reactor::dropped_accepts)
+    }
+
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.data_thread.take() {
-            let _ = h.join();
+        if let Some(mut r) = self.reactor.take() {
+            r.stop();
         }
         if let Some(h) = self.control_thread.take() {
             let _ = h.join();
@@ -523,6 +552,7 @@ pub(crate) fn synth_body(file: FileId, v: Version) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::netio::HttpConn;
     use httpsim::Status;
     use originserver::FileRecord;
 

@@ -96,8 +96,18 @@ impl UpstreamPool {
             },
         );
         loop {
-            if let Some(conn) = inner.idle.pop() {
+            if let Some(mut conn) = inner.idle.pop() {
+                // Health-check outside the lock (r3): the origin may
+                // have closed this keep-alive while it sat idle. A
+                // stale connection is discarded here, transparently,
+                // instead of surfacing as a request error mid-exchange.
                 drop(inner);
+                if conn.peer_gone() {
+                    drop(conn);
+                    self.release_slot();
+                    inner = lock_clean(&self.inner);
+                    continue;
+                }
                 self.reuses.fetch_add(1, Ordering::Relaxed);
                 probe.record(now, ObsEvent::Upstream { reused: true });
                 return Ok(conn);
@@ -246,6 +256,35 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::Interrupted);
         drop(got);
         drop(keep_alive);
+    }
+
+    #[test]
+    fn stale_idle_connection_is_discarded_not_an_error() {
+        let (l, addr) = listener();
+        let pool = UpstreamPool::new(addr, 0, 2);
+        let probe = ProbeHandle::none();
+        let shutdown = AtomicBool::new(false);
+        // The origin accepts our dial, then closes its end while the
+        // connection sits idle in the pool (keep-alive timeout, restart,
+        // ...); it keeps listening for the redial.
+        let server = thread::spawn(move || {
+            let (s, _) = l.accept().unwrap();
+            drop(s); // origin-side EOF
+            l
+        });
+        let conn = pool.checkout(now(), &probe, &shutdown).unwrap();
+        let l = server.join().unwrap();
+        pool.checkin(conn);
+        // Let the FIN land before the health check probes.
+        thread::sleep(POLL_TICK);
+        let accepter = thread::spawn(move || l.accept().map(|(s, _)| s));
+        let fresh = pool
+            .checkout(now(), &probe, &shutdown)
+            .expect("stale idle conn must be discarded, not surfaced");
+        // The checkout transparently redialled: no reuse of the corpse.
+        assert_eq!((pool.dials(), pool.reuses()), (2, 0));
+        drop(fresh);
+        let _ = accepter.join().unwrap();
     }
 
     #[test]

@@ -61,8 +61,9 @@ use wcc_obs::{ObsEvent, ProbeHandle, RequestOutcome};
 
 use crate::clock::{sim_instant, wall_date, LiveClock};
 use crate::control::{write_msg, ControlMsg, LineConn};
-use crate::netio::{lock_clean, log_conn_error, HttpConn, POLL_TICK};
+use crate::netio::{lock_clean, log_conn_error, HttpConn, DEFAULT_READ_BUDGET_TICKS, POLL_TICK};
 use crate::pool::UpstreamPool;
+use crate::reactor::{Dispatch, Reactor, ReactorConfig};
 
 /// Keep-alive origin connections per shard. Misses and validations are
 /// a minority of requests once the cache warms, so a few pooled sockets
@@ -172,6 +173,14 @@ pub struct ProxyConfig {
     /// evictions. Inactive by default; recording happens in memory only
     /// (never across socket IO).
     pub probe: ProbeHandle,
+    /// Reactor (event-loop) threads serving the client listener.
+    pub reactor_threads: usize,
+    /// Dispatch worker threads running [`ProxyShared::handle`] (which
+    /// does blocking upstream IO and single-flight waits, so it must
+    /// not run on a reactor thread).
+    pub dispatch_threads: usize,
+    /// Concurrent client-connection cap; accepts beyond it are shed.
+    pub max_conns: usize,
 }
 
 impl ProxyConfig {
@@ -194,9 +203,17 @@ impl ProxyConfig {
             uncacheable_mask: 0,
             bind: "127.0.0.1:0".to_string(),
             probe: ProbeHandle::none(),
+            reactor_threads: 1,
+            dispatch_threads: DEFAULT_DISPATCH_THREADS,
+            max_conns: crate::origin::DEFAULT_MAX_CONNS,
         }
     }
 }
+
+/// Default dispatch worker count. Dispatch is where upstream IO and
+/// single-flight waits happen; a handful of workers keeps the reactor
+/// threads free to move bytes.
+pub(crate) const DEFAULT_DISPATCH_THREADS: usize = 4;
 
 /// The counters a run accumulates, frozen at shutdown. For a sharded
 /// proxy this is the merge of every shard's counters.
@@ -874,16 +891,22 @@ impl ProxyShared {
             }
         }
     }
+}
 
-    /// Serve one client connection; upstream traffic rides the shard
-    /// pools, so the connection itself owns no origin socket.
-    fn serve_client(&self, stream: TcpStream) -> io::Result<()> {
-        let mut conn = HttpConn::server_side(stream)?;
-        while let Some(req) = conn.read_request(&self.shutdown)? {
-            let (resp, body) = self.handle(&req)?;
-            conn.write_response(&resp, &body)?;
-        }
-        Ok(())
+/// The proxy's reactor dispatcher. `handle` checks out pooled upstream
+/// connections (blocking IO) and can wait on the single-flight condvar,
+/// so it runs on the dispatch worker pool, never on a reactor thread.
+/// A single-flight follower only waits while its leader is already
+/// executing `handle` on some worker slot (the leader registers the
+/// flight from inside `handle`), so followers can never starve the
+/// leader out of the pool.
+struct ProxyDispatch {
+    shared: Arc<ProxyShared>,
+}
+
+impl Dispatch for ProxyDispatch {
+    fn dispatch(&self, req: &Request) -> io::Result<(Response, Arc<Vec<u8>>)> {
+        self.shared.handle(req)
     }
 }
 
@@ -907,7 +930,7 @@ fn require_last_modified(resp: &Response) -> io::Result<httpsim::HttpDate> {
 pub struct LiveProxy {
     shared: Arc<ProxyShared>,
     addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<Reactor>,
     control_threads: Vec<JoinHandle<()>>,
 }
 
@@ -933,7 +956,6 @@ impl LiveProxy {
             for (id, rec) in gt.iter() {
                 debug_assert_eq!(id.index(), static_names.paths.len());
                 static_names.by_path.insert(rec.path.clone(), id);
-                // wcc-allow: r5 prefill from the fixed ground-truth population, not per-request growth
                 static_names.paths.push(rec.path.clone());
             }
         }
@@ -948,18 +970,15 @@ impl LiveProxy {
                 let writer = stream.try_clone()?;
                 // wcc-allow: r5 OK channel — bounded by in-flight control commands, one per worker
                 let (ok_tx, ok_rx) = mpsc::channel();
-                // wcc-allow: r5 one control stream per shard, fixed at spawn
                 control_streams.push(Some((LineConn::new(stream)?, ok_tx)));
                 Some(ControlHandle {
                     writer: Mutex::new(writer),
                     ok_rx: Mutex::new(ok_rx),
                 })
             } else {
-                // wcc-allow: r5 one slot per shard, fixed at spawn
                 control_streams.push(None);
                 None
             };
-            // wcc-allow: r5 one shard per configured slot, fixed at spawn
             shards.push(Shard {
                 state: Mutex::new(CacheState {
                     store: config.store.build_shard(i, shard_count),
@@ -995,52 +1014,33 @@ impl LiveProxy {
         for (i, slot) in control_streams.into_iter().enumerate() {
             let Some((conn, ok_tx)) = slot else { continue };
             let shared = Arc::clone(&shared);
-            // wcc-allow: r5 one reader thread per shard, fixed at spawn
             control_threads.push(thread::spawn(move || {
                 shared.control_reader(i, conn, ok_tx);
             }));
         }
 
-        let accept_thread = {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || {
-                if let Err(e) = listener.set_nonblocking(true) {
-                    // Cannot poll shutdown on a blocking listener; refuse
-                    // to serve rather than hang the process on join.
-                    log_conn_error("proxy-accept", &e);
-                    return;
-                }
-                let mut workers: Vec<JoinHandle<()>> = Vec::new();
-                while !shared.shutdown.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            if stream.set_nonblocking(false).is_ok() {
-                                let shared = Arc::clone(&shared);
-                                workers.retain(|w| !w.is_finished());
-                                // wcc-allow: r5 bounded by live connections — finished workers reaped above
-                                workers.push(thread::spawn(move || {
-                                    if let Err(e) = shared.serve_client(stream) {
-                                        log_conn_error("proxy-data", &e);
-                                    }
-                                }));
-                            }
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            thread::sleep(std::time::Duration::from_millis(1));
-                        }
-                        Err(_) => break,
-                    }
-                }
-                for w in workers {
-                    let _ = w.join();
-                }
-            })
-        };
+        // The client data path runs on the epoll reactor; request
+        // decisions run on the dispatch worker pool.
+        let reactor = Reactor::spawn(
+            listener,
+            Arc::new(ProxyDispatch {
+                shared: Arc::clone(&shared),
+            }),
+            ReactorConfig {
+                reactor_threads: config.reactor_threads,
+                dispatch_threads: config.dispatch_threads.max(1),
+                max_conns: config.max_conns,
+                budget_ticks: DEFAULT_READ_BUDGET_TICKS,
+                role: "proxy-data",
+                probe: shared.probe.clone(),
+                clock: shared.clock.clone(),
+            },
+        )?;
 
         Ok(LiveProxy {
             shared,
             addr,
-            accept_thread: Some(accept_thread),
+            reactor: Some(reactor),
             control_threads,
         })
     }
@@ -1050,10 +1050,21 @@ impl LiveProxy {
         self.addr
     }
 
+    /// Connections currently open on the client reactor (for the soak
+    /// driver and tests).
+    pub fn open_conns(&self) -> usize {
+        self.reactor.as_ref().map_or(0, Reactor::open_conns)
+    }
+
+    /// Client accepts shed at the connection cap.
+    pub fn dropped_accepts(&self) -> u64 {
+        self.reactor.as_ref().map_or(0, Reactor::dropped_accepts)
+    }
+
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
+        if let Some(mut r) = self.reactor.take() {
+            r.stop();
         }
         for h in self.control_threads.drain(..) {
             let _ = h.join();

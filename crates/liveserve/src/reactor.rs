@@ -1,0 +1,701 @@
+//! The nonblocking epoll reactor behind both live data paths.
+//!
+//! `reactor_threads` event-loop threads each own one epoll instance, a
+//! slab of [`Conn`] state machines, and an eventfd wakeup. All reactors
+//! register (a clone of) the shared nonblocking listener level-triggered:
+//! whichever thread wakes drains a bounded accept burst and **owns** the
+//! connections it accepted — partitioning happens at accept time and a
+//! connection never migrates. Client sockets are registered
+//! edge-triggered (`EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP`) with a
+//! generation-tagged token, and every readiness notification drives the
+//! state machine to `WouldBlock` in both directions, as edge-triggering
+//! requires.
+//!
+//! Request dispatch is pluggable via [`Dispatch`]:
+//!
+//! * the **origin** answers from memory (no IO, no blocking waits), so
+//!   its dispatcher runs *inline* on the reactor thread;
+//! * the **proxy**'s handler does blocking upstream IO and can wait on
+//!   the single-flight condvar, so its dispatches run on a small worker
+//!   pool (`dispatch_threads`) fed by a queue bounded by the connection
+//!   cap (at most one outstanding request per connection, enforced by
+//!   the state machine). Workers push completions onto the owning
+//!   reactor's completion queue and nudge its eventfd.
+//!
+//! The slow-loris read budget is tick-counted, never clock-read (§r1):
+//! each `epoll_wait` timeout is one idle tick swept over every mid-frame
+//! or mid-write connection. A saturated reactor therefore defers
+//! reaping — the memory cost is bounded by `max_conns × MAX_FRAME`
+//! either way — and an idle keep-alive connection is never reaped.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use httpsim::{Request, Response};
+use wcc_obs::{ConnCloseReason, ObsEvent, ProbeHandle};
+
+use crate::clock::LiveClock;
+use crate::conn::{Conn, ConnEvent};
+use crate::netio::{lock_clean, log_conn_error, POLL_TICK};
+use crate::sys::{
+    Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+
+/// Epoll token of the shared listener.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Epoll token of the per-reactor eventfd.
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+/// Readiness entries fetched per `epoll_wait`.
+const EVENT_BATCH: usize = 1024;
+/// Accepts drained per listener readiness notification, so one thread
+/// can't monopolise its loop on a connect flood.
+const ACCEPT_BATCH: usize = 64;
+
+/// Produces the response for one parsed request. Implementations must
+/// be callable from many threads at once.
+pub(crate) trait Dispatch: Send + Sync + 'static {
+    /// Decide and produce the response. An error closes the client
+    /// connection (matching the blocking path's behaviour).
+    fn dispatch(&self, req: &Request) -> io::Result<(Response, Arc<Vec<u8>>)>;
+}
+
+/// Reactor sizing and instrumentation.
+pub(crate) struct ReactorConfig {
+    /// Event-loop threads (each owns an epoll instance).
+    pub reactor_threads: usize,
+    /// Dispatch worker threads; `0` runs dispatch inline on the
+    /// reactor thread (only sound for non-blocking dispatchers).
+    pub dispatch_threads: usize,
+    /// Connection cap across all reactor threads; accepts beyond it
+    /// are shed (accepted, counted, closed).
+    pub max_conns: usize,
+    /// Slow-loris budget in poll ticks.
+    pub budget_ticks: u32,
+    /// Label for connection-error logging ("origin-data" / "proxy-data").
+    pub role: &'static str,
+    /// Observability sink.
+    pub probe: ProbeHandle,
+    /// Clock used only to stamp probe events.
+    pub clock: LiveClock,
+}
+
+struct Job {
+    reactor: usize,
+    slot: usize,
+    gen: u32,
+    req: Request,
+}
+
+struct Completion {
+    slot: usize,
+    gen: u32,
+    result: io::Result<(Response, Arc<Vec<u8>>)>,
+}
+
+/// Hand-rolled bounded-by-construction job queue: the state machine
+/// allows at most one outstanding request per connection, so the queue
+/// never holds more than `max_conns` jobs.
+struct JobQueue {
+    inner: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        let mut q = lock_clean(&self.inner);
+        q.push_back(job);
+        drop(q);
+        self.cond.notify_one();
+    }
+
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Job> {
+        let mut q = lock_clean(&self.inner);
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .cond
+                .wait_timeout(q, POLL_TICK)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q = guard;
+        }
+    }
+}
+
+struct CompletionQueue {
+    queue: Mutex<Vec<Completion>>,
+    wake: WakeFd,
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    open_conns: AtomicUsize,
+    dropped_accepts: AtomicU64,
+    jobs: JobQueue,
+    completions: Vec<CompletionQueue>,
+    dispatch: Arc<dyn Dispatch>,
+    probe: ProbeHandle,
+    clock: LiveClock,
+    role: &'static str,
+    max_conns: usize,
+    budget_ticks: u32,
+    inline_dispatch: bool,
+}
+
+impl Shared {
+    fn record(&self, event: ObsEvent) {
+        self.probe.record(self.clock.now(), event);
+    }
+}
+
+/// A generation-tagged slab slot. The generation is baked into the
+/// epoll token and into queued jobs, so readiness or completions for a
+/// connection that has since been closed (and its slot reused) are
+/// recognised as stale and dropped.
+struct Slot {
+    gen: u32,
+    conn: Option<Conn>,
+}
+
+fn token_of(slot: usize, gen: u32) -> u64 {
+    (slot as u64) | (u64::from(gen) << 32)
+}
+
+/// The running reactor: `reactor_threads` event loops plus
+/// `dispatch_threads` workers, all joined on [`Reactor::stop`].
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("open_conns", &self.open_conns())
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl Reactor {
+    /// Take ownership of `listener`'s accept stream and serve it on
+    /// the reactor.
+    pub(crate) fn spawn(
+        listener: TcpListener,
+        dispatch: Arc<dyn Dispatch>,
+        cfg: ReactorConfig,
+    ) -> io::Result<Reactor> {
+        let reactors = cfg.reactor_threads.max(1);
+        listener.set_nonblocking(true)?;
+        let mut completions = Vec::with_capacity(reactors);
+        for _ in 0..reactors {
+            completions.push(CompletionQueue {
+                queue: Mutex::new(Vec::new()),
+                wake: WakeFd::new()?,
+            });
+        }
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
+            dropped_accepts: AtomicU64::new(0),
+            jobs: JobQueue {
+                inner: Mutex::new(VecDeque::new()),
+                cond: Condvar::new(),
+            },
+            completions,
+            dispatch,
+            probe: cfg.probe,
+            clock: cfg.clock,
+            role: cfg.role,
+            max_conns: cfg.max_conns,
+            budget_ticks: cfg.budget_ticks,
+            inline_dispatch: cfg.dispatch_threads == 0,
+        });
+        let mut threads = Vec::with_capacity(reactors + cfg.dispatch_threads);
+        for idx in 0..reactors {
+            let shared = Arc::clone(&shared);
+            // Every reactor registers its own dup of the listener fd in
+            // its epoll; the original is dropped when spawn returns.
+            let listener = listener.try_clone()?;
+            threads.push(std::thread::spawn(move || {
+                reactor_loop(shared, idx, listener)
+            }));
+        }
+        for _ in 0..cfg.dispatch_threads {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(shared)));
+        }
+        Ok(Reactor { shared, threads })
+    }
+
+    /// Connections currently open across all reactor threads.
+    pub(crate) fn open_conns(&self) -> usize {
+        self.shared.open_conns.load(Ordering::SeqCst)
+    }
+
+    /// Accepts shed at the connection cap.
+    pub(crate) fn dropped_accepts(&self) -> u64 {
+        self.shared.dropped_accepts.load(Ordering::SeqCst)
+    }
+
+    /// Signal shutdown, wake every thread, and join them. Idempotent.
+    pub(crate) fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.jobs.cond.notify_all();
+        for cq in &self.shared.completions {
+            cq.wake.wake();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(job) = shared.jobs.pop(&shared.shutdown) {
+        let result = shared.dispatch.dispatch(&job.req);
+        let cq = &shared.completions[job.reactor];
+        {
+            let mut q = lock_clean(&cq.queue);
+            q.push(Completion {
+                slot: job.slot,
+                gen: job.gen,
+                result,
+            });
+        }
+        cq.wake.wake();
+    }
+}
+
+fn reactor_loop(shared: Arc<Shared>, idx: usize, listener: TcpListener) {
+    if let Err(e) = run_reactor(&shared, idx, &listener) {
+        log_conn_error(shared.role, &e);
+    }
+}
+
+fn run_reactor(shared: &Arc<Shared>, idx: usize, listener: &TcpListener) -> io::Result<()> {
+    let ep = Epoll::new()?;
+    // The listener is level-triggered: if one thread's accept burst
+    // doesn't drain the backlog, every reactor keeps getting told.
+    ep.add(listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+    ep.add(shared.completions[idx].wake.fd(), EPOLLIN, WAKE_TOKEN)?;
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = vec![EpollEvent::zeroed(); EVENT_BATCH];
+    let timeout_ms = POLL_TICK.as_millis() as i32;
+    loop {
+        let n = ep.epoll_wait(&mut events, timeout_ms)?;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        apply_completions(shared, idx, &ep, &mut slots, &mut free);
+        for event in events.iter().take(n) {
+            let (mask, token) = (event.events(), event.token());
+            match token {
+                WAKE_TOKEN => shared.completions[idx].wake.drain(),
+                LISTENER_TOKEN => accept_burst(shared, idx, listener, &ep, &mut slots, &mut free),
+                _ => {
+                    let slot = (token & u64::from(u32::MAX)) as usize;
+                    let gen = (token >> 32) as u32;
+                    if slots.get(slot).map(|s| s.gen) != Some(gen) {
+                        continue; // stale readiness for a reused slot
+                    }
+                    let readable = mask & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0;
+                    let writable = mask & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0;
+                    drive(
+                        shared, idx, &ep, &mut slots, &mut free, slot, readable, writable,
+                    );
+                }
+            }
+        }
+        if n == 0 {
+            tick_sweep(shared, idx, &ep, &mut slots, &mut free);
+        }
+    }
+    // Shutdown: close every remaining connection.
+    for slot in 0..slots.len() {
+        close_conn(
+            shared,
+            idx,
+            &ep,
+            &mut slots,
+            &mut free,
+            slot,
+            ConnCloseReason::Shutdown,
+        );
+    }
+    Ok(())
+}
+
+fn accept_burst(
+    shared: &Arc<Shared>,
+    idx: usize,
+    listener: &TcpListener,
+    ep: &Epoll,
+    slots: &mut Vec<Slot>,
+    free: &mut Vec<usize>,
+) {
+    let mut depth = 0u32;
+    for _ in 0..ACCEPT_BATCH {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                depth += 1;
+                if shared.open_conns.load(Ordering::SeqCst) >= shared.max_conns {
+                    // Shed: accept-then-close so the backlog drains and
+                    // the peer sees a deterministic reset, not a hang.
+                    shared.dropped_accepts.fetch_add(1, Ordering::SeqCst);
+                    shared.record(ObsEvent::ConnClosed {
+                        reactor: idx as u32,
+                        reason: ConnCloseReason::AtCapacity,
+                    });
+                    continue;
+                }
+                if let Err(e) = register_conn(shared, idx, ep, slots, free, stream) {
+                    shared.dropped_accepts.fetch_add(1, Ordering::SeqCst);
+                    log_conn_error(shared.role, &e);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                log_conn_error(shared.role, &e);
+                break;
+            }
+        }
+    }
+    if depth > 0 {
+        shared.record(ObsEvent::AcceptBacklog {
+            reactor: idx as u32,
+            depth,
+        });
+    }
+}
+
+fn register_conn(
+    shared: &Arc<Shared>,
+    idx: usize,
+    ep: &Epoll,
+    slots: &mut Vec<Slot>,
+    free: &mut Vec<usize>,
+    stream: TcpStream,
+) -> io::Result<()> {
+    stream.set_nonblocking(true)?;
+    let _ = stream.set_nodelay(true);
+    let slot = match free.pop() {
+        Some(s) => s,
+        None => {
+            // Slot-table growth is bounded by max_conns: a conn only
+            // occupies a slot while counted against the cap.
+            slots.push(Slot { gen: 0, conn: None });
+            slots.len() - 1
+        }
+    };
+    let gen = slots[slot].gen;
+    let fd = stream.as_raw_fd();
+    if let Err(e) = ep.add(
+        fd,
+        EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP,
+        token_of(slot, gen),
+    ) {
+        free.push(slot);
+        return Err(e);
+    }
+    slots[slot].conn = Some(Conn::new(stream, shared.budget_ticks));
+    let open = shared.open_conns.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.record(ObsEvent::ConnAccepted {
+        reactor: idx as u32,
+        open: open as u32,
+    });
+    // Bytes may have arrived before registration; with edge-triggered
+    // delivery the add itself reports initial readiness, but driving
+    // once here keeps latency off the first request either way.
+    drive(shared, idx, ep, slots, free, slot, true, false);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    shared: &Arc<Shared>,
+    idx: usize,
+    ep: &Epoll,
+    slots: &mut [Slot],
+    free: &mut Vec<usize>,
+    slot: usize,
+    readable: bool,
+    writable: bool,
+) {
+    if writable {
+        let ev = match slots[slot].conn.as_mut() {
+            Some(c) => c.on_writable(shared.role),
+            None => return,
+        };
+        handle_event(shared, idx, ep, slots, free, slot, ev);
+    }
+    if readable {
+        let ev = match slots[slot].conn.as_mut() {
+            Some(c) => c.on_readable(shared.role),
+            None => return,
+        };
+        handle_event(shared, idx, ep, slots, free, slot, ev);
+    }
+}
+
+/// Run one state-machine outcome to quiescence. Inline dispatch can
+/// chain (response written → pipelined request parsed → dispatched
+/// again), hence the loop.
+fn handle_event(
+    shared: &Arc<Shared>,
+    idx: usize,
+    ep: &Epoll,
+    slots: &mut [Slot],
+    free: &mut Vec<usize>,
+    slot: usize,
+    mut ev: ConnEvent,
+) {
+    loop {
+        match ev {
+            ConnEvent::Idle => return,
+            ConnEvent::Close(reason) => {
+                close_conn(shared, idx, ep, slots, free, slot, reason);
+                return;
+            }
+            ConnEvent::Dispatch(req) => {
+                if shared.inline_dispatch {
+                    match shared.dispatch.dispatch(&req) {
+                        Ok((resp, body)) => {
+                            ev = match slots[slot].conn.as_mut() {
+                                Some(c) => c.on_response(&resp, &body, shared.role),
+                                None => return,
+                            };
+                        }
+                        Err(e) => {
+                            log_conn_error(shared.role, &e);
+                            close_conn(shared, idx, ep, slots, free, slot, ConnCloseReason::Error);
+                            return;
+                        }
+                    }
+                } else {
+                    shared.jobs.push(Job {
+                        reactor: idx,
+                        slot,
+                        gen: slots[slot].gen,
+                        req,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn apply_completions(
+    shared: &Arc<Shared>,
+    idx: usize,
+    ep: &Epoll,
+    slots: &mut [Slot],
+    free: &mut Vec<usize>,
+) {
+    let done = {
+        let mut q = lock_clean(&shared.completions[idx].queue);
+        std::mem::take(&mut *q)
+    };
+    for c in done {
+        if slots.get(c.slot).map(|s| s.gen) != Some(c.gen) {
+            continue; // the connection closed while its request was in flight
+        }
+        match c.result {
+            Ok((resp, body)) => {
+                let ev = match slots[c.slot].conn.as_mut() {
+                    Some(conn) => conn.on_response(&resp, &body, shared.role),
+                    None => continue,
+                };
+                handle_event(shared, idx, ep, slots, free, c.slot, ev);
+            }
+            Err(e) => {
+                log_conn_error(shared.role, &e);
+                close_conn(shared, idx, ep, slots, free, c.slot, ConnCloseReason::Error);
+            }
+        }
+    }
+}
+
+fn tick_sweep(
+    shared: &Arc<Shared>,
+    idx: usize,
+    ep: &Epoll,
+    slots: &mut [Slot],
+    free: &mut Vec<usize>,
+) {
+    for slot in 0..slots.len() {
+        let ev = match slots[slot].conn.as_mut() {
+            Some(c) => c.on_tick(),
+            None => continue,
+        };
+        if let ConnEvent::Close(reason) = ev {
+            close_conn(shared, idx, ep, slots, free, slot, reason);
+        }
+    }
+}
+
+fn close_conn(
+    shared: &Arc<Shared>,
+    idx: usize,
+    ep: &Epoll,
+    slots: &mut [Slot],
+    free: &mut Vec<usize>,
+    slot: usize,
+    reason: ConnCloseReason,
+) {
+    let Some(entry) = slots.get_mut(slot) else {
+        return;
+    };
+    if let Some(conn) = entry.conn.take() {
+        let _ = ep.del(conn.stream().as_raw_fd());
+        drop(conn);
+        entry.gen = entry.gen.wrapping_add(1);
+        free.push(slot);
+        shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+        shared.record(ObsEvent::ConnClosed {
+            reactor: idx as u32,
+            reason,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netio::HttpConn;
+    use httpsim::{HttpDate, Status};
+    use simcore::SimTime;
+    use std::io::{Read, Write};
+    use std::net::SocketAddr;
+    use std::time::{Duration, Instant};
+
+    /// Answers every request from memory with a body echoing the path.
+    struct Canned;
+
+    impl Dispatch for Canned {
+        fn dispatch(&self, req: &Request) -> io::Result<(Response, Arc<Vec<u8>>)> {
+            let body = format!("canned:{}", req.path).into_bytes();
+            let resp = Response::ok(HttpDate(2), HttpDate(1), body.len() as u64);
+            Ok((resp, Arc::new(body)))
+        }
+    }
+
+    fn spawn_reactor(
+        max_conns: usize,
+        budget_ticks: u32,
+        dispatch_threads: usize,
+    ) -> (Reactor, SocketAddr) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reactor = Reactor::spawn(
+            listener,
+            Arc::new(Canned),
+            ReactorConfig {
+                reactor_threads: 1,
+                dispatch_threads,
+                max_conns,
+                budget_ticks,
+                role: "test-data",
+                probe: ProbeHandle::none(),
+                clock: LiveClock::virtual_at(SimTime::ZERO),
+            },
+        )
+        .unwrap();
+        (reactor, addr)
+    }
+
+    fn await_until(what: &str, mut done: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !done() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn exchange(conn: &mut HttpConn, path: &str) {
+        conn.write_request(&Request::get(path)).unwrap();
+        let (resp, body) = conn.read_response().unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(body, format!("canned:{path}").into_bytes());
+    }
+
+    #[test]
+    fn requests_round_trip_inline_and_via_workers() {
+        for dispatch_threads in [0, 2] {
+            let (reactor, addr) = spawn_reactor(64, 1200, dispatch_threads);
+            let mut conn = HttpConn::new(TcpStream::connect(addr).unwrap()).unwrap();
+            for i in 0..3 {
+                exchange(&mut conn, &format!("/f{i}"));
+            }
+            drop(conn);
+            await_until("conn close after client hangup", || {
+                reactor.open_conns() == 0
+            });
+        }
+    }
+
+    #[test]
+    fn slow_loris_is_reaped_by_the_tick_budget() {
+        let (reactor, addr) = spawn_reactor(16, 2, 0);
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.write_all(b"GET /half").unwrap(); // partial request, then silence
+        await_until("loris registration", || reactor.open_conns() == 1);
+        // The budget is ticked only on idle epoll timeouts; with nothing
+        // else running, two 25 ms ticks reap the wedged connection.
+        await_until("budget reap", || reactor.open_conns() == 0);
+        // The reactor keeps serving healthy clients afterwards.
+        let mut conn = HttpConn::new(TcpStream::connect(addr).unwrap()).unwrap();
+        exchange(&mut conn, "/after");
+    }
+
+    #[test]
+    fn idle_keepalive_outlives_the_budget() {
+        let (reactor, addr) = spawn_reactor(16, 1, 0);
+        let mut conn = HttpConn::new(TcpStream::connect(addr).unwrap()).unwrap();
+        exchange(&mut conn, "/first");
+        // Sit idle well past the 1-tick budget: an idle keep-alive
+        // connection (no partial frame) is exempt from reaping.
+        std::thread::sleep(POLL_TICK * 6);
+        assert_eq!(reactor.open_conns(), 1);
+        exchange(&mut conn, "/second");
+    }
+
+    #[test]
+    fn accepts_beyond_the_cap_are_shed_not_queued() {
+        let (reactor, addr) = spawn_reactor(2, 1200, 0);
+        let mut a = HttpConn::new(TcpStream::connect(addr).unwrap()).unwrap();
+        let mut b = HttpConn::new(TcpStream::connect(addr).unwrap()).unwrap();
+        exchange(&mut a, "/a");
+        exchange(&mut b, "/b");
+        assert_eq!(reactor.open_conns(), 2);
+        // A third connection is accepted and immediately closed, so the
+        // peer sees deterministic EOF instead of a hang.
+        let mut shed = TcpStream::connect(addr).unwrap();
+        await_until("shed accounting", || reactor.dropped_accepts() >= 1);
+        let mut byte = [0u8; 1];
+        assert_eq!(shed.read(&mut byte).unwrap(), 0, "shed conn must see EOF");
+        // Capacity frees up once an established connection leaves.
+        drop(a);
+        await_until("slot release", || reactor.open_conns() == 1);
+        let mut c = HttpConn::new(TcpStream::connect(addr).unwrap()).unwrap();
+        exchange(&mut c, "/c");
+    }
+}

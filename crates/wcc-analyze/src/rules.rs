@@ -117,13 +117,15 @@ fn is_path(ctx: &FileCtx, i: usize, a: &str, b: &str) -> bool {
 /// Wall-clock reads make runs unreproducible: the golden-hash
 /// determinism tests (`tests/determinism.rs`) hash entire sweeps, so a
 /// single `Instant::now()` in a simulation crate breaks bit-exactness.
-/// `liveserve` is real-time by design in exactly two files.
+/// `liveserve` is real-time by design in exactly three files.
 fn r1_no_wall_clock(ctx: &FileCtx, out: &mut Vec<(&'static str, &'static str, u32, String)>) {
     if ctx.crate_name == "bench" {
         return; // benches measure wall time; that is their job
     }
-    if ctx.crate_name == "liveserve" && matches!(ctx.file_name(), "clock.rs" | "loadgen.rs") {
-        return; // the two places real time is the point
+    if ctx.crate_name == "liveserve"
+        && matches!(ctx.file_name(), "clock.rs" | "loadgen.rs" | "soak.rs")
+    {
+        return; // the load generators and the clock: real time is the point
     }
     for i in 0..ctx.tokens.len() {
         if ctx.in_test[i] {
@@ -291,7 +293,7 @@ fn r2_no_unordered_iter(ctx: &FileCtx, out: &mut Vec<(&'static str, &'static str
 
 // --- R3 ------------------------------------------------------------------
 
-const IO_CALLS: [&str; 16] = [
+const IO_CALLS: [&str; 17] = [
     "read",
     "read_exact",
     "read_to_end",
@@ -302,6 +304,7 @@ const IO_CALLS: [&str; 16] = [
     "flush",
     "connect",
     "accept",
+    "epoll_wait",
     "read_request",
     "read_response",
     "write_request",
@@ -495,7 +498,14 @@ fn r4_no_panic_in_server_path(
     if ctx.crate_name != "liveserve"
         || !matches!(
             ctx.file_name(),
-            "origin.rs" | "proxy.rs" | "netio.rs" | "control.rs" | "pool.rs"
+            "origin.rs"
+                | "proxy.rs"
+                | "netio.rs"
+                | "control.rs"
+                | "pool.rs"
+                | "reactor.rs"
+                | "conn.rs"
+                | "sys.rs"
         )
     {
         return;
@@ -634,6 +644,7 @@ mod tests {
         // Allowlisted files and the bench crate are clean.
         assert!(unsuppressed("crates/liveserve/src/clock.rs", src).is_empty());
         assert!(unsuppressed("crates/liveserve/src/loadgen.rs", src).is_empty());
+        assert!(unsuppressed("crates/liveserve/src/soak.rs", src).is_empty());
         assert!(unsuppressed("crates/bench/benches/x.rs", src).is_empty());
         // ...but other liveserve files are in scope.
         assert_eq!(

@@ -36,5 +36,7 @@ pub mod profile;
 mod trace;
 
 pub use metrics::{Log2Histogram, MetricsProbe, MetricsRegistry};
-pub use probe::{NoopProbe, ObsEvent, Probe, ProbeHandle, RequestOutcome, ServerOpKind};
+pub use probe::{
+    ConnCloseReason, NoopProbe, ObsEvent, Probe, ProbeHandle, RequestOutcome, ServerOpKind,
+};
 pub use trace::TraceProbe;

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 use simcore::{SimDuration, SimTime};
 
-use crate::probe::{ObsEvent, Probe, RequestOutcome, ServerOpKind};
+use crate::probe::{ConnCloseReason, ObsEvent, Probe, RequestOutcome, ServerOpKind};
 
 /// A power-of-two-bucketed histogram of `u64` samples.
 ///
@@ -356,6 +356,24 @@ impl Probe for MetricsProbe {
                     },
                     1,
                 );
+            }
+            ObsEvent::ConnAccepted { open, .. } => {
+                self.registry.add("conn.accepted", 1);
+                self.registry.gauge_max("reactor_conns", i64::from(open));
+            }
+            ObsEvent::ConnClosed { reason, .. } => {
+                let name = match reason {
+                    ConnCloseReason::PeerClosed => "conn.closed.peer_closed",
+                    ConnCloseReason::Error => "conn.closed.error",
+                    ConnCloseReason::BudgetExhausted => "conn.closed.budget_exhausted",
+                    ConnCloseReason::AtCapacity => "conn.closed.at_capacity",
+                    ConnCloseReason::Shutdown => "conn.closed.shutdown",
+                };
+                self.registry.add(name, 1);
+            }
+            ObsEvent::AcceptBacklog { depth, .. } => {
+                self.registry
+                    .observe("accept_backlog_depth", u64::from(depth));
             }
         }
     }

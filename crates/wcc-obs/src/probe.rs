@@ -116,6 +116,59 @@ pub enum ObsEvent {
         /// a fresh dial).
         reused: bool,
     },
+    /// A reactor accepted one client connection.
+    ConnAccepted {
+        /// Which reactor thread now owns the connection.
+        reactor: u32,
+        /// Connections open across the whole reactor (all threads)
+        /// after this accept.
+        open: u32,
+    },
+    /// A reactor closed one of its connections.
+    ConnClosed {
+        /// The reactor thread that owned the connection.
+        reactor: u32,
+        /// Why it was closed.
+        reason: ConnCloseReason,
+    },
+    /// A reactor drained a burst of pending accepts; `depth` is how
+    /// many connections were waiting in that burst (a proxy for the
+    /// kernel accept-backlog depth).
+    AcceptBacklog {
+        /// The reactor thread that drained the burst.
+        reactor: u32,
+        /// Accepts drained in one readiness notification.
+        depth: u32,
+    },
+}
+
+/// Why a reactor closed a connection (see [`ObsEvent::ConnClosed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnCloseReason {
+    /// The peer shut its end down cleanly.
+    PeerClosed,
+    /// An IO error or a malformed frame.
+    Error,
+    /// The per-connection read budget (slow-loris bound) expired
+    /// mid-frame or mid-response.
+    BudgetExhausted,
+    /// The reactor was at its connection cap; the accept was shed.
+    AtCapacity,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl ConnCloseReason {
+    /// Stable lowercase label used in metric names and trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConnCloseReason::PeerClosed => "peer_closed",
+            ConnCloseReason::Error => "error",
+            ConnCloseReason::BudgetExhausted => "budget_exhausted",
+            ConnCloseReason::AtCapacity => "at_capacity",
+            ConnCloseReason::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// The observability seam. Implementations receive sim-time-stamped

@@ -178,6 +178,28 @@ pub fn event_json(seq: u64, at: SimTime, event: &ObsEvent) -> String {
         ObsEvent::Upstream { reused } => {
             write!(s, ",\"kind\":\"upstream\",\"reused\":{reused}").expect("infallible");
         }
+        ObsEvent::ConnAccepted { reactor, open } => {
+            write!(
+                s,
+                ",\"kind\":\"conn_accepted\",\"reactor\":{reactor},\"open\":{open}"
+            )
+            .expect("infallible");
+        }
+        ObsEvent::ConnClosed { reactor, reason } => {
+            write!(
+                s,
+                ",\"kind\":\"conn_closed\",\"reactor\":{reactor},\"reason\":\"{}\"",
+                reason.label()
+            )
+            .expect("infallible");
+        }
+        ObsEvent::AcceptBacklog { reactor, depth } => {
+            write!(
+                s,
+                ",\"kind\":\"accept_backlog\",\"reactor\":{reactor},\"depth\":{depth}"
+            )
+            .expect("infallible");
+        }
     }
     s.push('}');
     s

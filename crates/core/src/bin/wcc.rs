@@ -10,6 +10,8 @@
 //! wcc metrics       [--quick] [--jobs N]     event metrics + wall-clock profile
 //! wcc serve   [--smoke | --listen A --control A] [workload flags]
 //! wcc loadgen [--smoke | --bench] [--threads N] [--shards N] [--reactor-threads N] [workload flags]
+//! wcc openloop [--smoke | --bench] [--rate RPS] [--arrivals N] [--mode poisson|fixed] [workload flags]
+//! wcc replay  [--smoke | --bench] [--trace NAME] [--requests N] [--compression C]
 //! wcc soak    [--smoke] [--conns N] [--processes N] [--reactor-threads N]
 //! wcc analyze [--json] [--check-fixtures [DIR]]  run the invariant linter
 //! ```
@@ -44,6 +46,19 @@
 //! pool on each data path. Workload flags: `--files N --requests N
 //! --seed S` (synthetic Worrell-style workload).
 //!
+//! `openloop` drives the live stack open-loop: arrivals come from a
+//! deterministic virtual-time schedule (`--mode poisson|fixed` at
+//! `--rate` requests/s) and fire whether or not earlier requests have
+//! completed; a bounded pending queue sheds what the stack cannot
+//! absorb, so the report separates offered from achieved rate and
+//! counts queue-full and timeout drops. `replay` streams a synthetic
+//! trace (`--trace campus:das|campus:fas|campus:hcs|microsoft|bu`)
+//! through the same stack without materializing it, compressed by
+//! `--compression` virtual seconds per wall second. Both carry
+//! self-checking `--smoke` modes (conservation, schedule invariance,
+//! lockstep-vs-materialized counter equality) and `--bench` offered-load
+//! sweeps per policy.
+//!
 //! `soak` is the open-loop connection soak: it parks thousands of idle
 //! keep-alive connections against the proxy (in child worker processes
 //! at full scale, in-process for `--smoke`) while an active request mix
@@ -71,6 +86,8 @@ fn usage() -> ! {
          \x20      wcc metrics [--quick] [--jobs N]\n\
          \x20      wcc serve   [--smoke | --listen ADDR --control ADDR] [--files N --requests N --seed S]\n\
          \x20      wcc loadgen [--smoke | --bench] [--threads N] [--shards N] [--reactor-threads N] [--files N --requests N --seed S]\n\
+         \x20      wcc openloop [--smoke | --bench] [--rate RPS --arrivals N --mode poisson|fixed --jobs N --compression C] [workload flags]\n\
+         \x20      wcc replay  [--smoke | --bench] [--trace campus:das|campus:fas|campus:hcs|microsoft|bu --requests N --compression C]\n\
          \x20      wcc soak    [--smoke] [--conns N] [--processes N] [--reactor-threads N] [--active N]\n\
          \x20      wcc analyze [--json] [--check-fixtures [DIR]] [--quiet]\n\
          regenerates the tables and figures of Gwertzman & Seltzer,\n\
@@ -318,7 +335,8 @@ fn run_ablations(runner: &SweepRunner) {
     );
 }
 
-/// Flags shared by the live-stack subcommands (`serve`, `loadgen`).
+/// Flags shared by the live-stack subcommands (`serve`, `loadgen`,
+/// `openloop`, `replay`).
 struct LiveArgs {
     smoke: bool,
     bench: bool,
@@ -330,6 +348,14 @@ struct LiveArgs {
     reactor_threads: usize,
     listen: String,
     control: String,
+    rate: f64,
+    arrivals: u64,
+    mode: wcc_load::ArrivalMode,
+    workers: usize,
+    queue_cap: usize,
+    timeout_ms: u64,
+    compression: f64,
+    trace: String,
 }
 
 fn parse_live_args(args: &[String]) -> LiveArgs {
@@ -344,6 +370,14 @@ fn parse_live_args(args: &[String]) -> LiveArgs {
         reactor_threads: 1,
         listen: "127.0.0.1:8080".to_string(),
         control: "127.0.0.1:8081".to_string(),
+        rate: 1_000.0,
+        arrivals: 5_000,
+        mode: wcc_load::ArrivalMode::Poisson,
+        workers: 4,
+        queue_cap: 512,
+        timeout_ms: 1_000,
+        compression: 0.0, // 0 = pick so the workload window fits the run
+        trace: "campus:das".to_string(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -363,6 +397,26 @@ fn parse_live_args(args: &[String]) -> LiveArgs {
             }
             "--listen" => parsed.listen = value(&mut it),
             "--control" => parsed.control = value(&mut it),
+            "--rate" => parsed.rate = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--arrivals" => parsed.arrivals = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--mode" => {
+                parsed.mode = match value(&mut it).as_str() {
+                    "poisson" => wcc_load::ArrivalMode::Poisson,
+                    "fixed" => wcc_load::ArrivalMode::FixedRate,
+                    _ => usage(),
+                }
+            }
+            "--jobs" | "--workers" => {
+                parsed.workers = value(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-cap" => parsed.queue_cap = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--timeout-ms" => {
+                parsed.timeout_ms = value(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--compression" => {
+                parsed.compression = value(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--trace" => parsed.trace = value(&mut it),
             _ => usage(),
         }
     }
@@ -544,6 +598,283 @@ fn cmd_loadgen(a: &LiveArgs) {
         );
         std::process::exit(1);
     }
+}
+
+/// `wcc openloop`: impose load instead of negotiating it. Arrivals
+/// follow a deterministic virtual-time schedule (Poisson or fixed-rate)
+/// and fire regardless of completions; a bounded pending queue sheds
+/// (and counts) what the stack cannot absorb, so offered and achieved
+/// rate are separate, honest report fields. `--smoke` self-checks
+/// conservation and schedule invariance; `--bench` sweeps offered load
+/// per policy (the knee curves for `BENCH_liveserve.json`).
+fn cmd_openloop(a: &LiveArgs) {
+    use wcc_load::ScheduleConfig;
+
+    let wl = live_workload(a);
+    let window = (wl.end - wl.start).as_secs() as f64;
+    let schedule = |rate: f64, total: u64| ScheduleConfig {
+        clients: 16,
+        rate_rps: rate,
+        mode: a.mode,
+        seed: a.seed,
+        total,
+    };
+    // Unless overridden, compress the workload's whole virtual window
+    // into the expected run duration (total/rate wall seconds) so the
+    // scripted modification script plays out while the run lasts.
+    let compression = |rate: f64, total: u64| {
+        if a.compression > 0.0 {
+            a.compression
+        } else {
+            window * rate / total as f64
+        }
+    };
+    let run = |spec: ProtocolSpec, rate: f64, total: u64| {
+        webcache::Experiment::new(&wl)
+            .protocol(spec)
+            .shards(a.shards)
+            .reactor_threads(a.reactor_threads)
+            .run_open_loop(&schedule(rate, total), a.workers, compression(rate, total))
+    };
+    let specs = [
+        ProtocolSpec::Ttl(24),
+        ProtocolSpec::Alex(20),
+        ProtocolSpec::Invalidation,
+    ];
+
+    if a.bench {
+        // Offered-load sweep per policy, ~4 wall seconds per point.
+        for spec in specs {
+            for rate in [500.0, 1_000.0, 2_000.0, 4_000.0] {
+                let total = (rate * 4.0) as u64;
+                let report = run(spec, rate, total).expect("open-loop bench run");
+                println!("{}", report.to_json());
+            }
+        }
+        return;
+    }
+
+    let mut conserved = true;
+    let mut completed_all = true;
+    let mut saw_invalidation = false;
+    for spec in specs {
+        let report = run(spec, a.rate, a.arrivals).expect("open-loop run");
+        conserved &= report.conserves() && report.offered == a.arrivals;
+        completed_all &= report.completed > 0;
+        saw_invalidation |= report.invalidations_delivered > 0;
+        println!("{}", report.to_json());
+    }
+
+    if a.smoke {
+        // The offered plan must be a pure function of the schedule —
+        // bit-identical across worker counts.
+        let sched = schedule(a.rate, a.arrivals);
+        let files: Vec<simcore::FileId> = wl.requests.iter().map(|&(_, f)| f).collect();
+        let plan = |jobs: usize| {
+            let mut oc = wcc_load::OpenLoopConfig::new(
+                liveserve::LiveRunConfig::new(liveserve::LivePolicy::Ttl(24)),
+                a.rate,
+            );
+            oc.workers = jobs;
+            wcc_load::plan_shots(
+                &sched,
+                &oc,
+                &files,
+                wl.start,
+                compression(a.rate, a.arrivals),
+            )
+            .collect::<Vec<_>>()
+        };
+        let plan_invariant = plan(1) == plan(7);
+        println!(
+            "{{\"mode\":\"openloop-smoke\",\"conserved\":{conserved},\
+             \"completed_all\":{completed_all},\"invalidation_delivered\":{saw_invalidation},\
+             \"plan_invariant_to_jobs\":{plan_invariant}}}"
+        );
+        if !(conserved && completed_all && saw_invalidation && plan_invariant) {
+            eprintln!(
+                "openloop --smoke: acceptance checks failed \
+                 (conserved: {conserved}, completed in every run: {completed_all}, \
+                 any invalidation: {saw_invalidation}, plan invariant: {plan_invariant})"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `wcc replay`: stream a synthetic trace through the live stack
+/// without materializing it, at `--compression` virtual seconds per
+/// wall second. `--smoke` streams ≥100k records open-loop (conservation
+/// self-check) and verifies the lockstep streaming path reproduces the
+/// materialized closed-loop counters exactly, per policy; `--bench`
+/// sweeps offered load per policy by varying the compression factor.
+fn cmd_replay(a: &LiveArgs) {
+    use liveserve::{run_closed_loop, LiveWorkload, StackSpec};
+    use webtrace::campus::CampusProfile;
+    use webtrace::microsoft::MicrosoftProfile;
+    use webtrace::stream::{synthetic_stream, StreamMeta, SyntheticStreamConfig};
+
+    let stream_config = |requests: u64| -> SyntheticStreamConfig {
+        match a.trace.as_str() {
+            "campus:das" => SyntheticStreamConfig::campus(&CampusProfile::das(), requests, a.seed),
+            "campus:fas" => SyntheticStreamConfig::campus(&CampusProfile::fas(), requests, a.seed),
+            "campus:hcs" => SyntheticStreamConfig::campus(&CampusProfile::hcs(), requests, a.seed),
+            "microsoft" => SyntheticStreamConfig::microsoft(
+                &MicrosoftProfile::scaled(requests as usize),
+                800,
+                a.seed,
+            ),
+            "bu" => SyntheticStreamConfig::bu(requests, a.seed),
+            _ => usage(),
+        }
+    };
+    let spec_of = |meta: &StreamMeta| StackSpec {
+        population: std::sync::Arc::clone(&meta.population),
+        classes: meta.classes.clone(),
+        class_expires: Vec::new(),
+        start: meta.start,
+        end: meta.end,
+    };
+    let open_config = |policy: liveserve::LivePolicy, target_rps: f64| {
+        let mut run = liveserve::LiveRunConfig::new(policy);
+        run.shards = a.shards;
+        run.reactor_threads = a.reactor_threads;
+        let mut open = wcc_load::OpenLoopConfig::new(run, target_rps);
+        open.workers = a.workers;
+        open.queue_cap = a.queue_cap;
+        open.timeout_us = a.timeout_ms.saturating_mul(1_000);
+        open
+    };
+    let policies = [
+        liveserve::LivePolicy::Ttl(24),
+        liveserve::LivePolicy::Alex(20),
+        liveserve::LivePolicy::Invalidation,
+    ];
+
+    if a.bench {
+        // Offered-load sweep per policy: the trace's virtual request
+        // rate times the compression factor is the wall offered rate.
+        for policy in policies {
+            for target_rps in [1_000.0, 2_000.0, 4_000.0, 8_000.0] {
+                let requests = (target_rps * 4.0) as u64; // ~4s per point
+                let cfg = stream_config(requests);
+                let (meta, stream) = synthetic_stream(&cfg);
+                let window = (meta.end - meta.start).as_secs() as f64;
+                let compression = window * target_rps / requests as f64;
+                let report = wcc_load::replay_open_loop(
+                    &spec_of(&meta),
+                    stream,
+                    compression,
+                    &open_config(policy, target_rps),
+                    &wcc_obs::ProbeHandle::none(),
+                )
+                .expect("replay bench run");
+                println!("{}", report.to_json());
+            }
+        }
+        return;
+    }
+
+    if a.smoke {
+        // 1) Stream >= 100k records open-loop, never materialized, and
+        // demand every record accounted for.
+        let requests = (a.requests as u64).max(100_000);
+        let cfg = stream_config(requests);
+        let (meta, stream) = synthetic_stream(&cfg);
+        let window = (meta.end - meta.start).as_secs() as f64;
+        let target_wall = 15.0;
+        let compression = if a.compression > 0.0 {
+            a.compression
+        } else {
+            window / target_wall
+        };
+        let report = wcc_load::replay_open_loop(
+            &spec_of(&meta),
+            stream,
+            compression,
+            &open_config(
+                liveserve::LivePolicy::Ttl(24),
+                requests as f64 / target_wall,
+            ),
+            &wcc_obs::ProbeHandle::none(),
+        )
+        .expect("streamed open-loop replay");
+        println!("{}", report.to_json());
+        let streamed_ok = report.offered == requests && report.conserves();
+
+        // 2) The lockstep streaming path must reproduce the trusted
+        // materialized closed-loop counters exactly, per policy.
+        let small = stream_config(5_000);
+        let (small_meta, small_stream) = synthetic_stream(&small);
+        let materialized = LiveWorkload {
+            name: small_meta.name.clone(),
+            start: small_meta.start,
+            end: small_meta.end,
+            population: std::sync::Arc::clone(&small_meta.population),
+            requests: small_stream.map(|r| (r.time, r.file)).collect(),
+            classes: small_meta.classes.clone(),
+            class_expires: Vec::new(),
+        };
+        let mut counters_match = true;
+        for policy in policies {
+            let run = liveserve::LiveRunConfig::new(policy);
+            let reference = run_closed_loop(&materialized, &run).expect("materialized reference");
+            let (_, fresh_stream) = synthetic_stream(&small);
+            let streamed = wcc_load::replay_lockstep(
+                &spec_of(&small_meta),
+                fresh_stream,
+                &run,
+                &wcc_obs::ProbeHandle::none(),
+            )
+            .expect("lockstep streamed replay");
+            let agrees = streamed.requests == reference.requests
+                && streamed.cache == reference.cache
+                && streamed.server == reference.server
+                && streamed.traffic == reference.traffic
+                && streamed.invalidations_delivered == reference.invalidations_delivered
+                && streamed.stale_age_total == reference.stale_age_total;
+            if !agrees {
+                eprintln!(
+                    "replay --smoke: {} streamed counters diverge from the sequential reference",
+                    run.policy.label()
+                );
+            }
+            counters_match &= agrees;
+        }
+        println!(
+            "{{\"mode\":\"replay-smoke\",\"streamed_records\":{requests},\
+             \"conserved\":{streamed_ok},\"lockstep_matches_reference\":{counters_match}}}"
+        );
+        if !(streamed_ok && counters_match) {
+            eprintln!(
+                "replay --smoke: acceptance checks failed \
+                 (conserved: {streamed_ok}, counters match: {counters_match})"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Plain run: open-loop replay of the requested trace at the
+    // requested compression (default: compress the window into ~30s).
+    let cfg = stream_config(a.requests as u64);
+    let (meta, stream) = synthetic_stream(&cfg);
+    let window = (meta.end - meta.start).as_secs() as f64;
+    let compression = if a.compression > 0.0 {
+        a.compression
+    } else {
+        window / 30.0
+    };
+    let target_rps = a.requests as f64 * compression / window.max(1.0);
+    let report = wcc_load::replay_open_loop(
+        &spec_of(&meta),
+        stream,
+        compression,
+        &open_config(liveserve::LivePolicy::Ttl(24), target_rps),
+        &wcc_obs::ProbeHandle::none(),
+    )
+    .expect("open-loop replay");
+    println!("{}", report.to_json());
 }
 
 /// Flags for `wcc soak`; unset fields fall back to the profile
@@ -781,6 +1112,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&parse_live_args(&args[1..])),
         Some("loadgen") => return cmd_loadgen(&parse_live_args(&args[1..])),
+        Some("openloop") => return cmd_openloop(&parse_live_args(&args[1..])),
+        Some("replay") => return cmd_replay(&parse_live_args(&args[1..])),
         Some("soak") => return cmd_soak(&parse_soak_args(&args[1..])),
         // Hidden: the child-process mode `wcc soak` re-execs to hold
         // idle connections outside the parent's fd table.

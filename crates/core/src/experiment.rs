@@ -39,6 +39,7 @@ use crate::workload::Workload;
 use crate::RetrievalMode;
 use httpsim::MessageCosting;
 use liveserve::{run_closed_loop_observed, LiveRunConfig, LoadReport, StoreKind};
+use wcc_load::{OpenLoopConfig, OpenLoopReport, ScheduleConfig};
 
 /// Cache store selection for an [`Experiment`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -267,6 +268,61 @@ impl<'a> Experiment<'a> {
         }
         Ok(report)
     }
+
+    /// Execute *open-loop* over the live loopback TCP stack: arrivals
+    /// keep `schedule`'s virtual-time plan no matter how fast the stack
+    /// answers (the `wcc-load` driver), with the workload's request mix
+    /// cycled across arrivals and `compression` virtual seconds of the
+    /// workload window passing per wall second.
+    ///
+    /// `workers` sizes the drain-side worker pool; it never affects the
+    /// offered schedule. The builder's `threads` knob is a closed-loop
+    /// concept and is ignored here.
+    ///
+    /// # Errors
+    /// Propagates socket errors, and rejects specs the live stack does
+    /// not implement (see [`live_policy`]).
+    pub fn run_open_loop(
+        self,
+        schedule: &ScheduleConfig,
+        workers: usize,
+        compression: f64,
+    ) -> io::Result<OpenLoopReport> {
+        let policy = live_policy(self.spec).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("no live implementation for protocol {}", self.spec.label()),
+            )
+        })?;
+        let mut config = LiveRunConfig::new(policy);
+        config.shards = self.shards;
+        config.reactor_threads = self.reactor_threads;
+        config.uncacheable_mask = self.config.uncacheable_mask;
+        config.store = match self.store {
+            Store::Unbounded => StoreKind::Unbounded,
+            Store::Lru(capacity) => StoreKind::Lru(capacity),
+            Store::Fifo(capacity) => StoreKind::Fifo(capacity),
+        };
+        let mut open = OpenLoopConfig::new(config, schedule.rate_rps);
+        open.workers = workers;
+        let live = to_live_workload(self.workload);
+        let spec = live.stack_spec();
+        let files: Vec<simcore::FileId> = live.requests.iter().map(|&(_, f)| f).collect();
+        let handle = match self.probe {
+            Some(_) => ProbeHandle::buffered(LIVE_TRACE_CAPACITY),
+            None => ProbeHandle::none(),
+        };
+        let report = wcc_load::run_open_loop(
+            &spec,
+            wcc_load::plan_shots(schedule, &open, &files, spec.start, compression),
+            &open,
+            &handle,
+        )?;
+        if let Some(probe) = self.probe {
+            handle.drain_into(probe);
+        }
+        Ok(report)
+    }
 }
 
 /// Ring capacity for live-run capture; newest events win once full.
@@ -324,6 +380,20 @@ mod tests {
             .run();
         assert_eq!(bare, observed);
         assert!(trace.recorded() > 0);
+    }
+
+    #[test]
+    fn open_loop_leg_conserves_and_reports() {
+        let wl = wl(9);
+        let schedule = ScheduleConfig::poisson(800.0, 1_000, 5);
+        let report = Experiment::new(&wl)
+            .protocol(ProtocolSpec::Ttl(24))
+            .run_open_loop(&schedule, 2, 2_000.0)
+            .unwrap();
+        assert_eq!(report.offered, 1_000);
+        assert!(report.conserves());
+        assert!(report.completed > 0);
+        assert!(report.to_json().contains("\"rates\":{\"offered_rps\":"));
     }
 
     #[test]

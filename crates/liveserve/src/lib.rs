@@ -48,17 +48,18 @@ mod origin;
 mod pool;
 mod proxy;
 mod reactor;
-mod report;
+pub mod report;
 mod soak;
 mod sys;
 
 pub use clock::LiveClock;
 pub use loadgen::{
-    run_closed_loop, run_closed_loop_observed, LiveRunConfig, LiveWorkload, LoadReport,
+    run_closed_loop, run_closed_loop_observed, LiveRunConfig, LiveStack, LiveWorkload, LoadReport,
+    StackSpec,
 };
 pub use netio::HttpConn;
 pub use origin::{LiveOrigin, OriginConfig};
-pub use pool::UpstreamPool;
+pub use pool::{is_pool_saturated, PoolSaturated, UpstreamPool};
 pub use proxy::{shard_for, LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind};
 pub use soak::{run_soak, soak_worker, SoakConfig, SoakReport};
 // Re-exported so callers can hand a probe to the configs above without

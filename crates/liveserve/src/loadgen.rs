@@ -33,8 +33,8 @@ use wcc_obs::{ObsEvent, ProbeHandle};
 use crate::clock::LiveClock;
 use crate::netio::HttpConn;
 use crate::origin::{LiveOrigin, OriginConfig};
-use crate::proxy::{LivePolicy, LiveProxy, ProxyConfig, StoreKind};
-use crate::report::JsonObj;
+use crate::proxy::{LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind};
+use crate::report::{latency_json, rates_json, JsonObj};
 
 /// A scripted workload for the live stack — the same fields
 /// `webcache::Workload` carries, decoupled so `liveserve` does not
@@ -56,6 +56,117 @@ pub struct LiveWorkload {
     pub classes: Vec<usize>,
     /// Per-class origin `Expires` lifetimes.
     pub class_expires: Vec<Option<SimDuration>>,
+}
+
+impl LiveWorkload {
+    /// The stack ingredients of this workload — everything except the
+    /// materialized request list, for drivers (the open-loop generator)
+    /// that source requests from a stream instead.
+    pub fn stack_spec(&self) -> StackSpec {
+        StackSpec {
+            population: Arc::clone(&self.population),
+            classes: self.classes.clone(),
+            class_expires: self.class_expires.clone(),
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+/// What a live origin + proxy pair needs to exist, independent of how
+/// requests will be driven through it: the file set with its scripted
+/// modification history, document classes, and the simulation window.
+///
+/// [`LiveWorkload`] is this plus a materialized request schedule; the
+/// open-loop driver in `wcc-load` pairs a `StackSpec` with a *streamed*
+/// request source instead.
+#[derive(Debug, Clone)]
+pub struct StackSpec {
+    /// The origin's file set with its scripted modification history.
+    pub population: Arc<FilePopulation>,
+    /// Per-file document class (empty ⇒ class 0).
+    pub classes: Vec<usize>,
+    /// Per-class origin `Expires` lifetimes.
+    pub class_expires: Vec<Option<SimDuration>>,
+    /// Simulation window start; the clock begins here.
+    pub start: SimTime,
+    /// Simulation window end; modifications after this are not
+    /// published.
+    pub end: SimTime,
+}
+
+/// A freshly spawned loopback origin + caching proxy sharing one
+/// virtual clock — the stack every load generator (closed-loop here,
+/// open-loop in `wcc-load`) drives requests through.
+#[derive(Debug)]
+pub struct LiveStack {
+    origin: LiveOrigin,
+    proxy: LiveProxy,
+}
+
+impl LiveStack {
+    /// Spawn the origin and proxy described by `spec` under `config`,
+    /// on loopback ephemeral ports, with a shared virtual clock
+    /// starting at `spec.start`.
+    pub fn spawn(
+        spec: &StackSpec,
+        config: &LiveRunConfig,
+        probe: &ProbeHandle,
+    ) -> io::Result<Self> {
+        let shards = config.shards.max(1);
+        let reactor_threads = config.reactor_threads.max(1);
+        let clock = LiveClock::virtual_at(spec.start);
+
+        let mut origin_config = OriginConfig::new(Arc::clone(&spec.population), clock.clone());
+        origin_config.classes = spec.classes.clone();
+        origin_config.class_expires = spec.class_expires.clone();
+        origin_config.window_start = spec.start;
+        origin_config.window_end = spec.end;
+        origin_config.probe = probe.clone();
+        origin_config.reactor_threads = reactor_threads;
+        let origin = LiveOrigin::spawn(origin_config)?;
+
+        let mut proxy_config = ProxyConfig::new(
+            origin.data_addr(),
+            origin.control_addr(),
+            config.policy,
+            clock,
+        );
+        proxy_config.store = config.store;
+        proxy_config.shards = shards;
+        proxy_config.ground_truth = Some(Arc::clone(&spec.population));
+        proxy_config.classes = spec.classes.clone();
+        proxy_config.uncacheable_mask = config.uncacheable_mask;
+        proxy_config.probe = probe.clone();
+        proxy_config.reactor_threads = reactor_threads;
+        let proxy = LiveProxy::spawn(proxy_config)?;
+        Ok(LiveStack { origin, proxy })
+    }
+
+    /// The origin half (drivers call [`LiveOrigin::advance_to`] before
+    /// each scheduled instant).
+    pub fn origin(&self) -> &LiveOrigin {
+        &self.origin
+    }
+
+    /// Where clients connect to the proxy's data port.
+    pub fn proxy_addr(&self) -> std::net::SocketAddr {
+        self.proxy.addr()
+    }
+
+    /// Advance the shared virtual clock, publishing (and waiting out)
+    /// every scripted modification due by `t`.
+    pub fn advance_to(&self, t: SimTime) {
+        self.origin.advance_to(t);
+    }
+
+    /// Stop both halves and return their frozen counters (proxy first,
+    /// then origin, matching the shutdown order the counters assume).
+    pub fn shutdown(self) -> (ProxySnapshot, ServerLoad) {
+        let snapshot = self.proxy.shutdown();
+        let server = self.origin.shutdown();
+        (snapshot, server)
+    }
 }
 
 /// Configuration for one [`run_closed_loop`] execution.
@@ -127,6 +238,8 @@ pub struct LoadReport {
     pub upstream_dials: u64,
     /// Upstream exchanges served by a pooled keep-alive connection.
     pub upstream_reuses: u64,
+    /// Upstream checkouts refused at the waiter cap (pool saturation).
+    pub upstream_saturations: u64,
 }
 
 impl LoadReport {
@@ -147,6 +260,22 @@ impl LoadReport {
         } else {
             0.0
         }
+    }
+
+    /// The rate the generator offered. Closed-loop clients only issue a
+    /// request once the previous response arrives, so offered load
+    /// *adapts to* service rate and equals the achieved rate by
+    /// construction — reported explicitly so closed- and open-loop
+    /// reports share one schema (an open-loop report is where the two
+    /// diverge).
+    pub fn offered_rps(&self) -> f64 {
+        self.requests_per_sec()
+    }
+
+    /// The completed-response rate actually measured (alias of
+    /// [`LoadReport::requests_per_sec`] under the shared schema name).
+    pub fn achieved_rps(&self) -> f64 {
+        self.requests_per_sec()
     }
 
     /// The report as one JSON object (single line).
@@ -172,26 +301,15 @@ impl LoadReport {
             .u64("validation_queries", self.server.validation_queries)
             .u64("invalidations_sent", self.server.invalidations_sent)
             .finish();
-        let mut latency = JsonObj::new();
-        latency.u64("samples", self.latency.count());
-        latency.u64("dropped", self.latency.dropped());
-        if let (Some(p50), Some(p99), Some(p999), Some(mean)) = (
-            self.latency.p50_ns(),
-            self.latency.p99_ns(),
-            self.latency.p999_ns(),
-            self.latency.mean_ns(),
-        ) {
-            latency
-                .u64("p50_ns", p50)
-                .u64("p99_ns", p99)
-                .u64("p999_ns", p999)
-                .f64("mean_ns", mean);
-        }
-        let latency = latency.finish();
+        let latency = latency_json(&self.latency);
         let upstream = JsonObj::new()
             .u64("dials", self.upstream_dials)
             .u64("reuses", self.upstream_reuses)
+            .u64("saturations", self.upstream_saturations)
             .finish();
+        // Closed-loop: nothing is ever shed, so both drop counters are
+        // structurally zero.
+        let rates = rates_json(self.offered_rps(), self.achieved_rps(), 0, 0);
 
         JsonObj::new()
             .str("policy", &self.policy)
@@ -201,6 +319,7 @@ impl LoadReport {
             .u64("requests", self.requests)
             .f64("wall_seconds", self.wall_seconds)
             .f64("requests_per_sec", self.requests_per_sec())
+            .raw("rates", &rates)
             .f64("hit_rate", self.hit_rate())
             .f64("stale_hit_rate", self.stale_hit_rate())
             .raw("cache", &cache)
@@ -292,39 +411,13 @@ pub fn run_closed_loop_observed(
     probe: &ProbeHandle,
 ) -> io::Result<LoadReport> {
     let threads = config.threads.max(1);
-    let shards = config.shards.max(1);
-    let reactor_threads = config.reactor_threads.max(1);
-    let clock = LiveClock::virtual_at(workload.start);
-
-    let mut origin_config = OriginConfig::new(Arc::clone(&workload.population), clock.clone());
-    origin_config.classes = workload.classes.clone();
-    origin_config.class_expires = workload.class_expires.clone();
-    origin_config.window_start = workload.start;
-    origin_config.window_end = workload.end;
-    origin_config.probe = probe.clone();
-    origin_config.reactor_threads = reactor_threads;
-    let origin = LiveOrigin::spawn(origin_config)?;
-
-    let mut proxy_config = ProxyConfig::new(
-        origin.data_addr(),
-        origin.control_addr(),
-        config.policy,
-        clock,
-    );
-    proxy_config.store = config.store;
-    proxy_config.shards = shards;
-    proxy_config.ground_truth = Some(Arc::clone(&workload.population));
-    proxy_config.classes = workload.classes.clone();
-    proxy_config.uncacheable_mask = config.uncacheable_mask;
-    proxy_config.probe = probe.clone();
-    proxy_config.reactor_threads = reactor_threads;
-    let proxy = LiveProxy::spawn(proxy_config)?;
-    let proxy_addr = proxy.addr();
+    let stack = LiveStack::spawn(&workload.stack_spec(), config, probe)?;
+    let proxy_addr = stack.proxy_addr();
 
     let started = Instant::now();
     let mut latency = LatencyStats::new();
     let mut bytes_to_clients = 0u64;
-    let origin_ref = &origin;
+    let origin_ref = stack.origin();
     let outcome: io::Result<()> = thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|k| {
@@ -341,17 +434,16 @@ pub fn run_closed_loop_observed(
     outcome?;
     // Trailing modifications (after the last request but inside the
     // window) still count — the simulator schedules them as events.
-    origin.advance_to(workload.end);
+    stack.advance_to(workload.end);
     let wall_seconds = started.elapsed().as_secs_f64();
 
-    let snapshot = proxy.shutdown();
-    let server = origin.shutdown();
+    let (snapshot, server) = stack.shutdown();
 
     Ok(LoadReport {
         policy: config.policy.label(),
         threads,
-        shards,
-        reactor_threads,
+        shards: config.shards.max(1),
+        reactor_threads: config.reactor_threads.max(1),
         requests: workload.requests.len() as u64,
         wall_seconds,
         cache: snapshot.cache,
@@ -364,6 +456,7 @@ pub fn run_closed_loop_observed(
         bytes_to_clients,
         upstream_dials: snapshot.upstream_dials,
         upstream_reuses: snapshot.upstream_reuses,
+        upstream_saturations: snapshot.upstream_saturations,
     })
 }
 
@@ -476,5 +569,36 @@ mod tests {
         assert!(json.contains("\"p999_ns\":"));
         assert!(json.contains("\"dropped\":0"));
         assert!(json.contains("\"upstream\":{\"dials\":"));
+        assert!(json.contains("\"saturations\":0"));
+        // The shared rates schema: closed-loop offered == achieved,
+        // structurally zero drops.
+        assert!(json.contains("\"rates\":{\"offered_rps\":"));
+        assert!(json.contains("\"drops\":{\"queue_full\":0,\"timeout\":0}"));
+        let offered = json
+            .split("\"offered_rps\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .unwrap();
+        let achieved = json
+            .split("\"achieved_rps\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .unwrap();
+        assert_eq!(offered, achieved);
+    }
+
+    #[test]
+    fn live_stack_spawns_and_shuts_down_cleanly() {
+        let workload = tiny_workload();
+        let config = LiveRunConfig::new(LivePolicy::Ttl(100));
+        let stack =
+            LiveStack::spawn(&workload.stack_spec(), &config, &ProbeHandle::none()).unwrap();
+        assert_ne!(stack.proxy_addr().port(), 0);
+        stack.advance_to(workload.end);
+        let (snapshot, server) = stack.shutdown();
+        // No requests were driven, but the scripted /b modification was
+        // published by the advance.
+        assert_eq!(snapshot.cache.requests(), 0);
+        assert_eq!(server.document_requests, 0);
     }
 }

@@ -22,6 +22,37 @@ use wcc_obs::{ObsEvent, ProbeHandle};
 
 use crate::netio::{lock_clean, HttpConn, POLL_TICK};
 
+/// The error payload behind a waiter-cap overflow, distinct from every
+/// other pool failure so overload is attributable: a saturated pool
+/// means the *proxy→origin path* is the bottleneck (all connections
+/// busy, waiter queue full), not a slow origin or a dead socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSaturated {
+    /// The shard whose pool refused the checkout.
+    pub shard: u32,
+    /// The waiter cap that was hit.
+    pub max_waiters: usize,
+}
+
+impl std::fmt::Display for PoolSaturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "upstream pool saturated on shard {}: all connections busy and {} waiters queued",
+            self.shard, self.max_waiters
+        )
+    }
+}
+
+impl std::error::Error for PoolSaturated {}
+
+/// Whether `err` is a pool-saturation refusal (see [`PoolSaturated`]).
+/// Callers use this to attribute open-loop overload: saturation drops
+/// are counted separately from origin/socket errors.
+pub fn is_pool_saturated(err: &io::Error) -> bool {
+    err.get_ref().is_some_and(|e| e.is::<PoolSaturated>())
+}
+
 /// Pool state behind the mutex. `live` counts sockets that exist or are
 /// being dialled (a reserved slot), so `idle.len() <= live <= max_conns`
 /// always holds.
@@ -41,6 +72,7 @@ pub struct UpstreamPool {
     available: Condvar,
     dials: AtomicU64,
     reuses: AtomicU64,
+    saturations: AtomicU64,
 }
 
 impl std::fmt::Debug for UpstreamPool {
@@ -74,6 +106,7 @@ impl UpstreamPool {
             available: Condvar::new(),
             dials: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
+            saturations: AtomicU64::new(0),
         }
     }
 
@@ -119,9 +152,13 @@ impl UpstreamPool {
                 break;
             }
             if inner.waiters >= self.max_waiters {
+                self.saturations.fetch_add(1, Ordering::Relaxed);
                 return Err(io::Error::new(
                     io::ErrorKind::WouldBlock,
-                    "upstream pool request queue full",
+                    PoolSaturated {
+                        shard: self.shard,
+                        max_waiters: self.max_waiters,
+                    },
                 ));
             }
             inner.waiters += 1;
@@ -182,6 +219,11 @@ impl UpstreamPool {
     /// Checkouts served by an idle pooled connection.
     pub fn reuses(&self) -> u64 {
         self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Checkouts refused because the waiter cap was already reached.
+    pub fn saturations(&self) -> u64 {
+        self.saturations.load(Ordering::Relaxed)
     }
 }
 
@@ -285,6 +327,31 @@ mod tests {
         assert_eq!((pool.dials(), pool.reuses()), (2, 0));
         drop(fresh);
         let _ = accepter.join().unwrap();
+    }
+
+    #[test]
+    fn waiter_cap_overflow_is_a_distinct_counted_error() {
+        let (l, addr) = listener();
+        let accepter = thread::spawn(move || {
+            let (s, _) = l.accept().unwrap();
+            (s, l)
+        });
+        let mut pool = UpstreamPool::new(addr, 7, 1);
+        pool.max_waiters = 0; // every queued checkout overflows immediately
+        let probe = ProbeHandle::none();
+        let shutdown = AtomicBool::new(false);
+        let held = pool.checkout(now(), &probe, &shutdown).unwrap();
+        let keep_alive = accepter.join().unwrap();
+        let err = pool.checkout(now(), &probe, &shutdown).unwrap_err();
+        assert!(is_pool_saturated(&err), "{err}");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(err.to_string().contains("shard 7"));
+        assert_eq!(pool.saturations(), 1);
+        // Other failures are not classified as saturation.
+        let plain = io::Error::new(io::ErrorKind::WouldBlock, "queue full");
+        assert!(!is_pool_saturated(&plain));
+        drop(held);
+        drop(keep_alive);
     }
 
     #[test]

@@ -236,6 +236,10 @@ pub struct ProxySnapshot {
     pub upstream_dials: u64,
     /// Upstream checkouts served by a pooled keep-alive connection.
     pub upstream_reuses: u64,
+    /// Upstream checkouts refused because a shard pool's waiter cap was
+    /// reached (a `PoolSaturated` error) — the signature of
+    /// proxy→origin saturation under open-loop overload.
+    pub upstream_saturations: u64,
 }
 
 /// Everything one shard's mutex guards.
@@ -1085,6 +1089,7 @@ impl LiveProxy {
             drop(st);
             snap.upstream_dials += shard.pool.dials();
             snap.upstream_reuses += shard.pool.reuses();
+            snap.upstream_saturations += shard.pool.saturations();
         }
         snap
     }

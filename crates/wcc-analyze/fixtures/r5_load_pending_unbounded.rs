@@ -1,0 +1,28 @@
+// wcc-fixture-path: crates/wcc-load/src/bad_pending.rs
+//! Known-bad: an open-loop driver whose pending queue has no capacity
+//! bound. Open-loop arrivals keep coming whether or not the stack keeps
+//! up, so an unbounded queue converts overload into unbounded memory —
+//! the driver must shed (and count) instead.
+
+use std::sync::mpsc;
+
+fn pace(conn: &mut HttpConn, shots: Vec<Shot>) {
+    let (tx, rx) = mpsc::channel(); //~ r5
+    let mut pending = Vec::new();
+    for shot in shots {
+        // Workers drain via read_response(); the pacer never waits.
+        let r = conn.read_response();
+        pending.push((shot, r)); //~ r5
+        let _ = tx.send(());
+    }
+    drop((rx, pending));
+}
+
+fn bounded_is_fine(conn: &mut HttpConn, shots: Vec<Shot>) {
+    let (tx, rx) = mpsc::sync_channel(512); // capacity given: fine
+    for shot in shots {
+        let r = conn.read_response();
+        let _ = tx.send((shot, r)); // sender blocks at the bound
+    }
+    drop(rx);
+}

@@ -8,11 +8,11 @@
 //!
 //! | id | name                      | scope |
 //! |----|---------------------------|-------|
-//! | r1 | no-wall-clock             | every crate except `bench`; `liveserve/clock.rs` + `loadgen.rs` allowlisted |
+//! | r1 | no-wall-clock             | every crate except `bench`; `liveserve/{clock,loadgen,soak}.rs` + `wcc-load/{driver,replay}.rs` allowlisted |
 //! | r2 | no-unordered-iter         | files that write reports/stats |
-//! | r3 | no-lock-across-io         | `liveserve`, `wcc-obs` |
-//! | r4 | no-panic-in-server-path   | `liveserve::{origin,proxy,netio,control,pool}` |
-//! | r5 | bounded-channel-or-comment| `liveserve` |
+//! | r3 | no-lock-across-io         | `liveserve`, `wcc-obs`, `wcc-load` |
+//! | r4 | no-panic-in-server-path   | `liveserve::{origin,proxy,netio,control,pool,...}`, `wcc-load::{driver,replay}` |
+//! | r5 | bounded-channel-or-comment| `liveserve`, `wcc-load` |
 //!
 //! Suppression: `// wcc-allow: <rule>[,<rule>] <reason>` on the finding
 //! line or the line above. The reason is mandatory; a reasonless or
@@ -126,6 +126,9 @@ fn r1_no_wall_clock(ctx: &FileCtx, out: &mut Vec<(&'static str, &'static str, u3
         && matches!(ctx.file_name(), "clock.rs" | "loadgen.rs" | "soak.rs")
     {
         return; // the load generators and the clock: real time is the point
+    }
+    if ctx.crate_name == "wcc-load" && matches!(ctx.file_name(), "driver.rs" | "replay.rs") {
+        return; // open-loop pacing fires on the wall clock by definition
     }
     for i in 0..ctx.tokens.len() {
         if ctx.in_test[i] {
@@ -325,7 +328,12 @@ const IO_CALLS: [&str; 17] = [
 fn r3_no_lock_across_io(ctx: &FileCtx, out: &mut Vec<(&'static str, &'static str, u32, String)>) {
     // `wcc-obs` is in scope too: a probe recording under a shared lock
     // must never export (file/socket IO) inside that critical section.
-    if !matches!(ctx.crate_name.as_str(), "liveserve" | "wcc-obs") {
+    // So is `wcc-load`: its pending-queue mutex must never be held while
+    // a worker talks to the stack, or one slow response stalls the pacer.
+    if !matches!(
+        ctx.crate_name.as_str(),
+        "liveserve" | "wcc-obs" | "wcc-load"
+    ) {
         return;
     }
     for span in &ctx.fns {
@@ -495,8 +503,8 @@ fn r4_no_panic_in_server_path(
     ctx: &FileCtx,
     out: &mut Vec<(&'static str, &'static str, u32, String)>,
 ) {
-    if ctx.crate_name != "liveserve"
-        || !matches!(
+    let in_liveserve = ctx.crate_name == "liveserve"
+        && matches!(
             ctx.file_name(),
             "origin.rs"
                 | "proxy.rs"
@@ -506,8 +514,12 @@ fn r4_no_panic_in_server_path(
                 | "reactor.rs"
                 | "conn.rs"
                 | "sys.rs"
-        )
-    {
+        );
+    // The open-loop driver's workers are server-path too: a panicked
+    // worker silently under-achieves the offered rate for the whole run.
+    let in_wcc_load =
+        ctx.crate_name == "wcc-load" && matches!(ctx.file_name(), "driver.rs" | "replay.rs");
+    if !(in_liveserve || in_wcc_load) {
         return;
     }
     let toks = &ctx.tokens;
@@ -522,7 +534,7 @@ fn r4_no_panic_in_server_path(
                     "no-panic-in-server-path",
                     toks[i].line,
                     format!(
-                        ".{m}() in liveserve request/connection handling — return an \
+                        ".{m}() in request/connection handling — return an \
                          io::Error (close only this connection) or recover poisoning \
                          with lock_clean()"
                     ),
@@ -536,7 +548,7 @@ fn r4_no_panic_in_server_path(
                     "no-panic-in-server-path",
                     toks[i].line,
                     format!(
-                        "{m}! in liveserve request/connection handling — a bad request \
+                        "{m}! in request/connection handling — a bad request \
                          must not kill a worker thread; return an error instead"
                     ),
                 ));
@@ -556,7 +568,7 @@ fn r5_bounded_channel_or_comment(
     ctx: &FileCtx,
     out: &mut Vec<(&'static str, &'static str, u32, String)>,
 ) {
-    if ctx.crate_name != "liveserve" {
+    if !matches!(ctx.crate_name.as_str(), "liveserve" | "wcc-load") {
         return;
     }
     let toks = &ctx.tokens;
@@ -809,6 +821,55 @@ fn spawn() {
         let all = findings("crates/liveserve/src/origin.rs", src);
         assert!(all.iter().any(|f| f.rule == "r5" && f.suppressed.is_some()));
         assert!(all.iter().all(|f| f.suppressed.is_some() || f.rule != "r5"));
+    }
+
+    #[test]
+    fn r1_allowlists_the_open_loop_pacer_but_not_its_schedule() {
+        let src = "fn f() { let t = Instant::now(); }";
+        // The pacer and replay clock run on wall time by definition...
+        assert!(unsuppressed("crates/wcc-load/src/driver.rs", src).is_empty());
+        assert!(unsuppressed("crates/wcc-load/src/replay.rs", src).is_empty());
+        // ...but the arrival schedule is pure virtual time.
+        assert_eq!(
+            unsuppressed("crates/wcc-load/src/schedule.rs", src)
+                .iter()
+                .filter(|f| f.rule == "r1")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn r3_and_r4_cover_the_wcc_load_driver() {
+        let src = r#"
+fn worker(&self) {
+    let q = self.queue.lock().unwrap();
+    self.conn.write_all(b"x");
+}
+"#;
+        let hits = unsuppressed("crates/wcc-load/src/driver.rs", src);
+        assert!(hits.iter().any(|f| f.rule == "r3"), "{hits:?}");
+        assert!(hits.iter().any(|f| f.rule == "r4"), "{hits:?}");
+        // The schedule is not a server path: no r4 there.
+        assert!(unsuppressed("crates/wcc-load/src/schedule.rs", src)
+            .iter()
+            .all(|f| f.rule != "r4"));
+    }
+
+    #[test]
+    fn r5_flags_unbounded_pending_growth_in_wcc_load() {
+        let src = r#"
+fn pump(conn: &mut HttpConn) {
+    let (tx, rx) = mpsc::channel();
+    let mut pending = Vec::new();
+    loop {
+        let r = conn.read_response();
+        pending.push(r);
+    }
+}
+"#;
+        let hits = unsuppressed("crates/wcc-load/src/driver.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "r5").count(), 2);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! `wcc-load` — open-loop load generation and streaming trace replay
+//! for the live serving stack.
+//!
+//! The closed-loop generator in `liveserve` answers "how fast can the
+//! stack go?" — each client waits for a response before sending the
+//! next request, so offered load always equals achieved load and
+//! queueing delay is invisible. This crate answers the question the
+//! paper's consistency-vs-load trade-off actually needs: **what happens
+//! to each policy when load is imposed rather than negotiated?**
+//!
+//! * [`schedule`] — deterministic virtual-time arrival schedules
+//!   (Poisson or fixed-rate, per-client RNG streams, lazily merged).
+//!   The schedule is a pure function of its config: bit-identical
+//!   across worker counts and re-runs.
+//! * [`driver`] — the open-loop pacer/worker harness: fire each arrival
+//!   at its wall deadline, advance the shared virtual clock, shed (and
+//!   count) what a bounded pending queue cannot hold, and report
+//!   offered vs. achieved rate, queue delay, and coordinated-
+//!   omission-free sojourn percentiles.
+//! * [`replay`] — stream any `Iterator<Item = TraceRequest>` (the lazy
+//!   generators and CLF streams in [`webtrace::stream`]) through the
+//!   stack at a configurable time-compression factor, open-loop or in
+//!   a counter-exact sequential lockstep.
+//!
+//! Everything is conservation-checked: `offered = completed + shed +
+//! errors`, enforced by [`OpenLoopReport::conserves`] and the smoke
+//! tests behind `wcc openloop --smoke` / `wcc replay --smoke`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod replay;
+pub mod schedule;
+
+pub use driver::{
+    plan_shots, run_open_loop, shots_from_arrivals, OpenLoopConfig, OpenLoopReport, Shot,
+};
+pub use replay::{replay_lockstep, replay_open_loop, shots_from_trace};
+pub use schedule::{Arrival, ArrivalMode, ArrivalSchedule, ScheduleConfig};

@@ -1,0 +1,142 @@
+//! Streaming trace replay: drive any `Iterator<Item = TraceRequest>`
+//! through the live stack without ever materializing the trace.
+//!
+//! Two replay modes share one request source:
+//!
+//! * [`replay_open_loop`] — the trace's virtual arrival instants are
+//!   compressed onto the wall clock (`compression` virtual seconds per
+//!   wall second) and fired through the open-loop
+//!   [`driver`](crate::driver): arrivals keep the trace's schedule,
+//!   overload sheds instead of stalling, and the report separates
+//!   offered from achieved load.
+//! * [`replay_lockstep`] — one request in flight at a time, each
+//!   preceded by advancing the virtual clock to its instant. This is
+//!   byte-for-byte the closed-loop single-thread semantics, so its
+//!   counters are *exactly* reproducible and exactly comparable to
+//!   [`liveserve::run_closed_loop`] on the materialized trace — the
+//!   reference the streaming smoke checks itself against.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Instant;
+
+use httpsim::{Request, Status};
+use liveserve::{HttpConn, LiveRunConfig, LiveStack, LoadReport, StackSpec};
+use simcore::{LatencyStats, SimTime};
+use wcc_obs::{ObsEvent, ProbeHandle};
+use webtrace::TraceRequest;
+
+use crate::driver::{run_open_loop, OpenLoopConfig, OpenLoopReport, Shot};
+
+/// Map a virtual-time request stream onto wall-clock shots:
+/// `compression` virtual seconds replay per wall second. Arrival order
+/// (and thus `due_us` monotonicity) follows the stream, which must be
+/// time-sorted — every trace source in this workspace is.
+pub fn shots_from_trace(
+    stream: impl Iterator<Item = TraceRequest>,
+    start: SimTime,
+    compression: f64,
+) -> impl Iterator<Item = Shot> {
+    let compression = if compression.is_finite() && compression > 0.0 {
+        compression
+    } else {
+        1.0
+    };
+    stream.map(move |r| Shot {
+        due_us: ((r.time.as_secs().saturating_sub(start.as_secs())) as f64 * 1e6 / compression)
+            as u64,
+        at: r.time,
+        file: r.file,
+    })
+}
+
+/// Replay `stream` open-loop at `compression` virtual seconds per wall
+/// second under `config`.
+pub fn replay_open_loop(
+    spec: &StackSpec,
+    stream: impl Iterator<Item = TraceRequest>,
+    compression: f64,
+    config: &OpenLoopConfig,
+    probe: &ProbeHandle,
+) -> io::Result<OpenLoopReport> {
+    run_open_loop(
+        spec,
+        shots_from_trace(stream, spec.start, compression),
+        config,
+        probe,
+    )
+}
+
+/// Replay `stream` with one request in flight at a time — the
+/// counter-exact sequential reference. Virtual time advances to each
+/// request's instant before it is sent, so event order matches the
+/// simulator's (modification before request at equal instants) and the
+/// resulting counters are deterministic.
+pub fn replay_lockstep(
+    spec: &StackSpec,
+    stream: impl Iterator<Item = TraceRequest>,
+    run: &LiveRunConfig,
+    probe: &ProbeHandle,
+) -> io::Result<LoadReport> {
+    let stack = LiveStack::spawn(spec, run, probe)?;
+    let mut conn = HttpConn::new(TcpStream::connect(stack.proxy_addr())?)?;
+    let started = Instant::now();
+    let mut latency = LatencyStats::new();
+    let mut requests = 0u64;
+    let mut bytes_to_clients = 0u64;
+    for r in stream {
+        stack.advance_to(r.time);
+        if r.file.index() >= spec.population.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trace request names a file outside the population",
+            ));
+        }
+        let path = spec.population.get(r.file).path.clone();
+        let sent = Instant::now();
+        conn.write_request(&Request::get(path))?;
+        let (resp, body) = conn.read_response()?;
+        match u64::try_from(sent.elapsed().as_nanos()) {
+            Ok(elapsed_ns) => {
+                latency.record_ns(elapsed_ns);
+                probe.record(
+                    r.time,
+                    ObsEvent::LiveLatency {
+                        micros: elapsed_ns / 1_000,
+                    },
+                );
+            }
+            Err(_) => latency.record_drop(),
+        }
+        if resp.status != Status::Ok {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "non-200 from proxy during lockstep replay",
+            ));
+        }
+        requests += 1;
+        bytes_to_clients += resp.header_size() + body.len() as u64;
+    }
+    stack.advance_to(spec.end);
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let (snapshot, server) = stack.shutdown();
+    Ok(LoadReport {
+        policy: run.policy.label(),
+        threads: 1,
+        shards: run.shards.max(1),
+        reactor_threads: run.reactor_threads.max(1),
+        requests,
+        wall_seconds,
+        cache: snapshot.cache,
+        traffic: snapshot.traffic,
+        server,
+        stale_age_total: snapshot.stale_age_total,
+        invalidations_delivered: snapshot.invalidations_delivered,
+        evictions: snapshot.evictions,
+        latency,
+        bytes_to_clients,
+        upstream_dials: snapshot.upstream_dials,
+        upstream_reuses: snapshot.upstream_reuses,
+        upstream_saturations: snapshot.upstream_saturations,
+    })
+}

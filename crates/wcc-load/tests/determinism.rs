@@ -1,0 +1,60 @@
+//! The open-loop plan is a pure function of its schedule config:
+//! bit-identical across re-runs and across every drain-side knob —
+//! most importantly the `--jobs` worker count, which must never change
+//! what load is offered.
+
+use liveserve::{LivePolicy, LiveRunConfig};
+use proptest::prelude::*;
+use simcore::{FileId, SimTime};
+use wcc_load::{plan_shots, ArrivalMode, ArrivalSchedule, OpenLoopConfig, ScheduleConfig, Shot};
+
+fn config(clients: usize, rate: f64, total: u64, seed: u64, fixed: bool) -> ScheduleConfig {
+    ScheduleConfig {
+        clients,
+        rate_rps: rate,
+        mode: if fixed {
+            ArrivalMode::FixedRate
+        } else {
+            ArrivalMode::Poisson
+        },
+        seed,
+        total,
+    }
+}
+
+fn planned(sched: &ScheduleConfig, jobs: usize) -> Vec<Shot> {
+    let mut open = OpenLoopConfig::new(LiveRunConfig::new(LivePolicy::Ttl(24)), sched.rate_rps);
+    open.workers = jobs;
+    let files: Vec<FileId> = (0..7).map(FileId::from_index).collect();
+    plan_shots(sched, &open, &files, SimTime::from_secs(1_000), 50.0).collect()
+}
+
+proptest! {
+    #[test]
+    fn schedule_is_bit_identical_across_reruns(
+        seed in 0u64..1_000_000,
+        clients in 1usize..12,
+        rate in 10.0f64..5_000.0,
+        total in 1u64..2_000,
+        fixed in proptest::arbitrary::any::<bool>(),
+    ) {
+        let cfg = config(clients, rate, total, seed, fixed);
+        let a: Vec<_> = ArrivalSchedule::new(&cfg).collect();
+        let b: Vec<_> = ArrivalSchedule::new(&cfg).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_is_invariant_to_worker_count(
+        seed in 0u64..1_000_000,
+        clients in 1usize..12,
+        rate in 10.0f64..5_000.0,
+        total in 1u64..1_000,
+        fixed in proptest::arbitrary::any::<bool>(),
+        jobs_a in 1usize..8,
+        jobs_b in 1usize..8,
+    ) {
+        let cfg = config(clients, rate, total, seed, fixed);
+        prop_assert_eq!(planned(&cfg, jobs_a), planned(&cfg, jobs_b));
+    }
+}

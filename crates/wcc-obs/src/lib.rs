@@ -38,5 +38,6 @@ mod trace;
 pub use metrics::{Log2Histogram, MetricsProbe, MetricsRegistry};
 pub use probe::{
     ConnCloseReason, NoopProbe, ObsEvent, Probe, ProbeHandle, RequestOutcome, ServerOpKind,
+    ShedReason,
 };
 pub use trace::TraceProbe;

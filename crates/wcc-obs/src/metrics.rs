@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 use simcore::{SimDuration, SimTime};
 
-use crate::probe::{ConnCloseReason, ObsEvent, Probe, RequestOutcome, ServerOpKind};
+use crate::probe::{ConnCloseReason, ObsEvent, Probe, RequestOutcome, ServerOpKind, ShedReason};
 
 /// A power-of-two-bucketed histogram of `u64` samples.
 ///
@@ -375,6 +375,21 @@ impl Probe for MetricsProbe {
                 self.registry
                     .observe("accept_backlog_depth", u64::from(depth));
             }
+            ObsEvent::OpenLoopArrival { depth } => {
+                self.registry.add("openloop.arrival", 1);
+                self.registry
+                    .observe("openloop_queue_depth", u64::from(depth));
+            }
+            ObsEvent::OpenLoopShed { reason } => {
+                let name = match reason {
+                    ShedReason::QueueFull => "openloop.shed.queue_full",
+                    ShedReason::Timeout => "openloop.shed.timeout",
+                };
+                self.registry.add(name, 1);
+            }
+            ObsEvent::OpenLoopQueueDelay { micros } => {
+                self.registry.observe("openloop_queue_delay_us", micros);
+            }
         }
     }
 }
@@ -446,6 +461,32 @@ mod tests {
         assert_eq!(r.histogram("time_to_stale_s").unwrap().sum(), 7200);
         // One interval between the two validations: 30 s.
         assert_eq!(r.histogram("validation_interval_s").unwrap().sum(), 30);
+    }
+
+    #[test]
+    fn probe_classifies_open_loop_events() {
+        let mut p = MetricsProbe::new();
+        p.record(t(1), ObsEvent::OpenLoopArrival { depth: 3 });
+        p.record(t(1), ObsEvent::OpenLoopArrival { depth: 7 });
+        p.record(
+            t(2),
+            ObsEvent::OpenLoopShed {
+                reason: ShedReason::QueueFull,
+            },
+        );
+        p.record(
+            t(2),
+            ObsEvent::OpenLoopShed {
+                reason: ShedReason::Timeout,
+            },
+        );
+        p.record(t(3), ObsEvent::OpenLoopQueueDelay { micros: 250 });
+        let r = p.registry();
+        assert_eq!(r.counter("openloop.arrival"), 2);
+        assert_eq!(r.counter("openloop.shed.queue_full"), 1);
+        assert_eq!(r.counter("openloop.shed.timeout"), 1);
+        assert_eq!(r.histogram("openloop_queue_depth").unwrap().max(), Some(7));
+        assert_eq!(r.histogram("openloop_queue_delay_us").unwrap().sum(), 250);
     }
 
     #[test]

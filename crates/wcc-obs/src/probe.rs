@@ -140,6 +140,48 @@ pub enum ObsEvent {
         /// Accepts drained in one readiness notification.
         depth: u32,
     },
+    /// The open-loop generator fired one scheduled arrival into the
+    /// pending queue; `depth` is the queue depth after the enqueue (how
+    /// far the system is behind the arrival schedule).
+    OpenLoopArrival {
+        /// Pending requests queued after this arrival.
+        depth: u32,
+    },
+    /// The open-loop generator shed one scheduled request instead of
+    /// serving it.
+    OpenLoopShed {
+        /// Why the request was dropped.
+        reason: ShedReason,
+    },
+    /// One open-loop request left the pending queue; `micros` is how
+    /// long it waited between its scheduled arrival and a worker
+    /// picking it up (the queueing-delay component of sojourn time).
+    OpenLoopQueueDelay {
+        /// Queue delay in microseconds.
+        micros: u64,
+    },
+}
+
+/// Why the open-loop generator dropped a scheduled request (see
+/// [`ObsEvent::OpenLoopShed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded pending queue was full at arrival time — the system
+    /// has fallen behind the offered load.
+    QueueFull,
+    /// The request waited in the queue longer than the queue-delay
+    /// budget and was abandoned at dequeue.
+    Timeout,
+}
+
+impl ShedReason {
+    /// Stable lowercase label used in metric names and trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Timeout => "timeout",
+        }
+    }
 }
 
 /// Why a reactor closed a connection (see [`ObsEvent::ConnClosed`]).

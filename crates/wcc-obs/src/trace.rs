@@ -200,6 +200,20 @@ pub fn event_json(seq: u64, at: SimTime, event: &ObsEvent) -> String {
             )
             .expect("infallible");
         }
+        ObsEvent::OpenLoopArrival { depth } => {
+            write!(s, ",\"kind\":\"openloop_arrival\",\"depth\":{depth}").expect("infallible");
+        }
+        ObsEvent::OpenLoopShed { reason } => {
+            write!(
+                s,
+                ",\"kind\":\"openloop_shed\",\"reason\":\"{}\"",
+                reason.label()
+            )
+            .expect("infallible");
+        }
+        ObsEvent::OpenLoopQueueDelay { micros } => {
+            write!(s, ",\"kind\":\"openloop_queue_delay\",\"us\":{micros}").expect("infallible");
+        }
     }
     s.push('}');
     s
@@ -250,6 +264,26 @@ mod tests {
             "{\"seq\":0,\"t_s\":100,\"kind\":\"request\",\"file\":3,\
              \"outcome\":\"stale_hit\",\"age_s\":3600}\n\
              {\"seq\":1,\"t_s\":101,\"kind\":\"server_op\",\"op\":\"validation_query\"}\n"
+        );
+    }
+
+    #[test]
+    fn open_loop_events_serialize_with_fixed_fields() {
+        use crate::probe::ShedReason;
+        let mut p = TraceProbe::new(8);
+        p.record(t(1), ObsEvent::OpenLoopArrival { depth: 5 });
+        p.record(
+            t(2),
+            ObsEvent::OpenLoopShed {
+                reason: ShedReason::QueueFull,
+            },
+        );
+        p.record(t(3), ObsEvent::OpenLoopQueueDelay { micros: 42 });
+        assert_eq!(
+            p.to_jsonl_string(),
+            "{\"seq\":0,\"t_s\":1,\"kind\":\"openloop_arrival\",\"depth\":5}\n\
+             {\"seq\":1,\"t_s\":2,\"kind\":\"openloop_shed\",\"reason\":\"queue_full\"}\n\
+             {\"seq\":2,\"t_s\":3,\"kind\":\"openloop_queue_delay\",\"us\":42}\n"
         );
     }
 

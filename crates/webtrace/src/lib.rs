@@ -31,6 +31,7 @@ pub mod clf;
 mod io;
 pub mod microsoft;
 mod record;
+pub mod stream;
 mod trace;
 mod types;
 

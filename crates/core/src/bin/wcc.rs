@@ -666,26 +666,37 @@ fn cmd_openloop(a: &LiveArgs) {
     }
 
     if a.smoke {
-        // The offered plan must be a pure function of the schedule —
-        // bit-identical across worker counts.
-        let sched = schedule(a.rate, a.arrivals);
-        let files: Vec<simcore::FileId> = wl.requests.iter().map(|&(_, f)| f).collect();
-        let plan = |jobs: usize| {
-            let mut oc = wcc_load::OpenLoopConfig::new(
-                liveserve::LiveRunConfig::new(liveserve::LivePolicy::Ttl(24)),
-                a.rate,
-            );
-            oc.workers = jobs;
-            wcc_load::plan_shots(
-                &sched,
-                &oc,
-                &files,
-                wl.start,
-                compression(a.rate, a.arrivals),
-            )
-            .collect::<Vec<_>>()
+        // The offered load must be invariant to the drain side: two
+        // real runs differing only in worker count must offer the same
+        // arrivals at the same virtual instants. The pacer records
+        // exactly one event per scheduled shot (`OpenLoopArrival` or a
+        // queue-full shed), so comparing those recorded sequences
+        // checks the live path end to end — unlike re-evaluating
+        // `plan_shots`, which ignores the worker knob by construction
+        // and could never disagree with itself.
+        let total = a.arrivals.min(1_000);
+        let offered_seq = |jobs: usize| -> Vec<simcore::SimTime> {
+            let mut trace = wcc_obs::TraceProbe::new(1 << 16);
+            webcache::Experiment::new(&wl)
+                .protocol(ProtocolSpec::Ttl(24))
+                .shards(a.shards)
+                .reactor_threads(a.reactor_threads)
+                .probe(&mut trace)
+                .run_open_loop(&schedule(a.rate, total), jobs, compression(a.rate, total))
+                .expect("offered-invariance run");
+            trace
+                .events()
+                .filter_map(|&(_, at, event)| match event {
+                    wcc_obs::ObsEvent::OpenLoopArrival { .. } => Some(at),
+                    wcc_obs::ObsEvent::OpenLoopShed {
+                        reason: wcc_obs::ShedReason::QueueFull,
+                    } => Some(at),
+                    _ => None,
+                })
+                .collect()
         };
-        let plan_invariant = plan(1) == plan(7);
+        let narrow = offered_seq(1);
+        let plan_invariant = narrow.len() as u64 == total && narrow == offered_seq(7);
         println!(
             "{{\"mode\":\"openloop-smoke\",\"conserved\":{conserved},\
              \"completed_all\":{completed_all},\"invalidation_delivered\":{saw_invalidation},\

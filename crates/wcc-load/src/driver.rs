@@ -330,6 +330,11 @@ impl PendingQueue {
     }
 
     fn finish(&self) {
+        // Store the flag while holding the queue mutex: a worker that
+        // observed `done == false` under the lock is then guaranteed to
+        // reach `Condvar::wait` before the notification fires, so the
+        // wakeup cannot be lost between its check and its wait.
+        let _q = lock(&self.queue);
         self.done.store(true, Ordering::Release);
         self.ready.notify_all();
     }
@@ -483,7 +488,14 @@ pub fn run_open_loop(
         pending.finish();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_default())
+            .map(|h| {
+                // A panicked worker lost an unknowable share of the
+                // tally; swallowing it would silently break the
+                // `offered = completed + sheds + errors` conservation
+                // law, so surface the panic instead.
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     });
 

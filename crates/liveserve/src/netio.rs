@@ -15,7 +15,6 @@
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 use httpsim::{Request, Response};
@@ -36,16 +35,6 @@ pub(crate) const MAX_FRAME: usize = 8 * 1024 * 1024;
 /// the peer (1200 ticks × 25 ms = 30 s). Counted in ticks, not wall
 /// time, so the budget needs no clock.
 pub(crate) const DEFAULT_READ_BUDGET_TICKS: u32 = 1200;
-
-/// Lock a mutex, recovering the data if a previous holder panicked.
-///
-/// Every liveserve mutex guards plain bookkeeping that is consistent
-/// between statements, so a poisoned lock means "another worker died",
-/// not "the data is torn" — serving must continue (R4: one bad
-/// connection never takes down the rest of the stack).
-pub fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
 
 /// Log a per-connection failure. Workers call this and return, closing
 /// only the offending connection while the accept loop keeps serving.
@@ -337,21 +326,6 @@ mod tests {
         drop(client);
         drop(server);
         writer.join().unwrap();
-    }
-
-    #[test]
-    fn lock_clean_recovers_poisoned_mutex() {
-        let m = std::sync::Arc::new(Mutex::new(7u32));
-        let m2 = std::sync::Arc::clone(&m);
-        let _ = thread::spawn(move || {
-            let _g = m2.lock().unwrap();
-            panic!("poison it");
-        })
-        .join();
-        assert!(m.is_poisoned());
-        assert_eq!(*lock_clean(&m), 7);
-        *lock_clean(&m) = 9;
-        assert_eq!(*lock_clean(&m), 9);
     }
 
     #[test]

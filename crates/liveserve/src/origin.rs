@@ -24,17 +24,18 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 
 use httpsim::{Request, Response};
 use originserver::{CondResult, FilePopulation, OriginServer, Version};
 use simcore::{CacheId, FileId, ServerLoad, SimDuration, SimTime};
 use wcc_obs::{ObsEvent, ProbeHandle, ServerOpKind};
+use wcc_sync::RankedMutex;
 
 use crate::clock::{sim_instant, wall_date, LiveClock};
 use crate::control::{write_msg, ControlMsg, LineConn};
-use crate::netio::{lock_clean, log_conn_error, DEFAULT_READ_BUDGET_TICKS, POLL_TICK};
+use crate::netio::{log_conn_error, DEFAULT_READ_BUDGET_TICKS, POLL_TICK};
 use crate::reactor::{Dispatch, Reactor, ReactorConfig};
 
 /// Configuration for [`LiveOrigin::spawn`].
@@ -92,6 +93,31 @@ impl OriginConfig {
 /// Default cap on concurrently open data connections (per server).
 pub(crate) const DEFAULT_MAX_CONNS: usize = 16 * 1024;
 
+/// Rank of the scripted-modification schedule: the root of the origin's
+/// lock order, held across a full invalidation round-trip so events are
+/// published strictly in schedule order (audited r8 allowance in
+/// [`LiveOrigin::advance_to`]).
+// wcc-lock-rank: origin.mods 30
+const MODS_RANK: u32 = 30;
+
+/// Rank of the accounting [`OriginServer`]; only ever held for
+/// in-memory bookkeeping.
+// wcc-lock-rank: origin.server 35
+const SERVER_RANK: u32 = 35;
+
+/// Rank of the control-peer registry (slot lookup / registration).
+// wcc-lock-rank: origin.peers 40
+const PEERS_RANK: u32 = 40;
+
+/// Rank of one peer's control writer, taken after the registry lookup.
+// wcc-lock-rank: origin.peer.writer 45
+const PEER_WRITER_RANK: u32 = 45;
+
+/// Rank of one peer's ACK receiver — the leaf of the origin's order,
+/// held while a publisher awaits its ACK.
+// wcc-lock-rank: origin.peer.acks 50
+const PEER_ACKS_RANK: u32 = 50;
+
 /// One connected proxy's control channel, as seen from the origin.
 ///
 /// The writer stream is shared between the reader thread (which answers
@@ -101,13 +127,13 @@ pub(crate) const DEFAULT_MAX_CONNS: usize = 16 * 1024;
 /// publisher is waiting.
 #[derive(Debug)]
 struct ControlPeer {
-    writer: Mutex<TcpStream>,
-    acks: Mutex<mpsc::Receiver<()>>,
+    writer: RankedMutex<TcpStream>,
+    acks: RankedMutex<mpsc::Receiver<()>>,
 }
 
 #[derive(Debug)]
 struct OriginShared {
-    server: Mutex<OriginServer>,
+    server: RankedMutex<OriginServer>,
     population: Arc<FilePopulation>,
     path_ids: HashMap<String, FileId>,
     classes: Vec<usize>,
@@ -115,7 +141,7 @@ struct OriginShared {
     clock: LiveClock,
     probe: ProbeHandle,
     shutdown: AtomicBool,
-    peers: Mutex<Vec<Option<Arc<ControlPeer>>>>,
+    peers: RankedMutex<Vec<Option<Arc<ControlPeer>>>>,
 }
 
 impl OriginShared {
@@ -152,7 +178,7 @@ impl OriginShared {
         }
         match req.if_modified_since {
             None => {
-                let v = lock_clean(&self.server).handle_get(file, now);
+                let v = self.server.lock().handle_get(file, now);
                 self.probe.record(
                     now,
                     ObsEvent::ServerOp {
@@ -163,7 +189,7 @@ impl OriginShared {
             }
             Some(ims) => {
                 let since = sim_instant(ims);
-                let result = lock_clean(&self.server).handle_conditional_get(file, since, now);
+                let result = self.server.lock().handle_conditional_get(file, since, now);
                 self.probe.record(
                     now,
                     ObsEvent::ServerOp {
@@ -186,7 +212,7 @@ impl OriginShared {
     /// lock, then (lock released) push `INVALIDATE` to each and wait for
     /// its `ACK`.
     fn deliver_invalidation(&self, file: FileId) {
-        let targets = lock_clean(&self.server).notify_modification(file);
+        let targets = self.server.lock().notify_modification(file);
         let now = self.clock.now();
         self.probe.record(now, ObsEvent::Modification { file });
         self.probe.record(
@@ -208,19 +234,19 @@ impl OriginShared {
                 },
             );
             let peer = {
-                let peers = lock_clean(&self.peers);
+                let peers = self.peers.lock();
                 peers.get(cache.index()).and_then(|p| p.clone())
             };
             let Some(peer) = peer else { continue };
             if write_msg(
-                &mut lock_clean(&peer.writer),
+                &mut peer.writer.lock(),
                 &ControlMsg::Invalidate(path.clone()),
             )
             .is_err()
             {
                 continue;
             }
-            let acks = lock_clean(&peer.acks);
+            let acks = peer.acks.lock();
             loop {
                 match acks.recv_timeout(POLL_TICK) {
                     Ok(()) => break,
@@ -243,13 +269,13 @@ impl OriginShared {
                 match msg {
                     ControlMsg::Subscribe(path) => {
                         if let Some(&file) = self.path_ids.get(&path) {
-                            lock_clean(&self.server).subscribe(cache, file);
+                            self.server.lock().subscribe(cache, file);
                         }
                         self.reply(cache, &ControlMsg::Ok)?;
                     }
                     ControlMsg::Unsubscribe(path) => {
                         if let Some(&file) = self.path_ids.get(&path) {
-                            lock_clean(&self.server).unsubscribe(cache, file);
+                            self.server.lock().unsubscribe(cache, file);
                         }
                         self.reply(cache, &ControlMsg::Ok)?;
                     }
@@ -271,19 +297,19 @@ impl OriginShared {
         if let Err(e) = result {
             log_conn_error("origin-control", &e);
         }
-        lock_clean(&self.server).unsubscribe_all(cache);
-        if let Some(slot) = lock_clean(&self.peers).get_mut(cache.index()) {
+        self.server.lock().unsubscribe_all(cache);
+        if let Some(slot) = self.peers.lock().get_mut(cache.index()) {
             *slot = None;
         }
     }
 
     fn reply(&self, cache: CacheId, msg: &ControlMsg) -> io::Result<()> {
         let peer = {
-            let peers = lock_clean(&self.peers);
+            let peers = self.peers.lock();
             peers.get(cache.index()).and_then(|p| p.clone())
         };
         match peer {
-            Some(peer) => write_msg(&mut lock_clean(&peer.writer), msg).map(|_| ()),
+            Some(peer) => write_msg(&mut peer.writer.lock(), msg).map(|_| ()),
             None => Err(io::Error::new(
                 io::ErrorKind::NotConnected,
                 "control peer deregistered",
@@ -352,7 +378,7 @@ pub struct LiveOrigin {
     /// Scripted modifications still to publish: `(schedule, cursor)`.
     /// The mutex serialises concurrent `advance_to` callers so events
     /// are always published in schedule order.
-    mods: Mutex<(Vec<(SimTime, FileId)>, usize)>,
+    mods: RankedMutex<(Vec<(SimTime, FileId)>, usize)>,
     /// The next scripted modification instant in seconds (`u64::MAX`
     /// once the schedule is exhausted). Written only under the `mods`
     /// lock; read lock-free by `advance_to` so the per-request clock
@@ -381,7 +407,11 @@ impl LiveOrigin {
             .collect();
 
         let shared = Arc::new(OriginShared {
-            server: Mutex::new(OriginServer::new(Arc::clone(&config.population))),
+            server: RankedMutex::new(
+                SERVER_RANK,
+                "origin.server",
+                OriginServer::new(Arc::clone(&config.population)),
+            ),
             path_ids: config.population.path_index(),
             population: config.population,
             classes: config.classes,
@@ -389,7 +419,7 @@ impl LiveOrigin {
             clock: config.clock,
             probe: config.probe,
             shutdown: AtomicBool::new(false),
-            peers: Mutex::new(Vec::new()),
+            peers: RankedMutex::new(PEERS_RANK, "origin.peers", Vec::new()),
         });
 
         // The data path runs on the epoll reactor; `respond` is pure
@@ -420,13 +450,17 @@ impl LiveOrigin {
                     // wcc-allow: r5 ACK channel — the protocol allows one outstanding INVALIDATE per peer
                     let (ack_tx, ack_rx) = mpsc::channel();
                     let registered = stream.try_clone().ok().map(|writer| {
-                        let mut peers = lock_clean(&shared.peers);
+                        let mut peers = shared.peers.lock();
                         let idx = peers.len();
                         // One slot per control peer, nulled on disconnect;
                         // proxies are few and long-lived.
                         peers.push(Some(Arc::new(ControlPeer {
-                            writer: Mutex::new(writer),
-                            acks: Mutex::new(ack_rx),
+                            writer: RankedMutex::new(
+                                PEER_WRITER_RANK,
+                                "origin.peer.writer",
+                                writer,
+                            ),
+                            acks: RankedMutex::new(PEER_ACKS_RANK, "origin.peer.acks", ack_rx),
                         })));
                         CacheId::from_index(idx)
                     });
@@ -436,8 +470,7 @@ impl LiveOrigin {
                             Ok(conn) => shared.serve_control_conn(cache, conn, ack_tx),
                             Err(e) => {
                                 log_conn_error("origin-control", &e);
-                                if let Some(slot) = lock_clean(&shared.peers).get_mut(cache.index())
-                                {
+                                if let Some(slot) = shared.peers.lock().get_mut(cache.index()) {
                                     *slot = None;
                                 }
                             }
@@ -450,7 +483,7 @@ impl LiveOrigin {
         let next_due = mods.first().map_or(u64::MAX, |&(t, _)| t.as_secs());
         Ok(LiveOrigin {
             shared,
-            mods: Mutex::new((mods, 0)),
+            mods: RankedMutex::new(MODS_RANK, "origin.mods", (mods, 0)),
             next_due: AtomicU64::new(next_due),
             data_addr,
             control_addr,
@@ -480,11 +513,16 @@ impl LiveOrigin {
         if self.next_due.load(Ordering::SeqCst) > t.as_secs() {
             return;
         }
-        let mut guard = lock_clean(&self.mods);
+        let mut guard = self.mods.lock();
         let (schedule, cursor) = &mut *guard;
         while *cursor < schedule.len() && schedule[*cursor].0 <= t {
             let (_, file) = schedule[*cursor];
             *cursor += 1;
+            // Holding `mods` (the root rank) across the invalidation
+            // round-trip is the point: it is what serialises publication
+            // in schedule order, and every lock the delivery takes ranks
+            // above it.
+            // wcc-allow: r8 schedule-order publication requires the mods guard across the ACK round-trip
             self.shared.deliver_invalidation(file);
         }
         let due = schedule
@@ -495,7 +533,7 @@ impl LiveOrigin {
 
     /// Current subscription count (for tests and the serve status line).
     pub fn subscription_count(&self) -> usize {
-        lock_clean(&self.shared.server).subscription_count()
+        self.shared.server.lock().subscription_count()
     }
 
     /// Connections currently open on the data reactor (for the soak
@@ -522,7 +560,7 @@ impl LiveOrigin {
     /// Stop serving and return the accumulated [`ServerLoad`].
     pub fn shutdown(mut self) -> ServerLoad {
         self.stop();
-        *lock_clean(&self.shared.server).load()
+        *self.shared.server.lock().load()
     }
 }
 

@@ -15,12 +15,19 @@
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 
 use simcore::SimTime;
 use wcc_obs::{ObsEvent, ProbeHandle};
+use wcc_sync::{RankedCondvar, RankedMutex};
 
-use crate::netio::{lock_clean, HttpConn, POLL_TICK};
+use crate::netio::{HttpConn, POLL_TICK};
+
+/// Rank of the pool mutex in the global lock order: above the proxy
+/// shard state (which may call [`UpstreamPool::checkout`] helpers) and
+/// below only the obs leaf locks, since checkout records probe events
+/// while holding it.
+// wcc-lock-rank: pool.inner 75
+const POOL_RANK: u32 = 75;
 
 /// The error payload behind a waiter-cap overflow, distinct from every
 /// other pool failure so overload is attributable: a saturated pool
@@ -68,8 +75,8 @@ pub struct UpstreamPool {
     shard: u32,
     max_conns: usize,
     max_waiters: usize,
-    inner: Mutex<PoolInner>,
-    available: Condvar,
+    inner: RankedMutex<PoolInner>,
+    available: RankedCondvar,
     dials: AtomicU64,
     reuses: AtomicU64,
     saturations: AtomicU64,
@@ -98,12 +105,16 @@ impl UpstreamPool {
             shard,
             max_conns: max_conns.max(1),
             max_waiters: Self::MAX_WAITERS,
-            inner: Mutex::new(PoolInner {
-                idle: Vec::new(),
-                live: 0,
-                waiters: 0,
-            }),
-            available: Condvar::new(),
+            inner: RankedMutex::new(
+                POOL_RANK,
+                "pool.inner",
+                PoolInner {
+                    idle: Vec::new(),
+                    live: 0,
+                    waiters: 0,
+                },
+            ),
+            available: RankedCondvar::new(),
             dials: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
             saturations: AtomicU64::new(0),
@@ -120,7 +131,10 @@ impl UpstreamPool {
         probe: &ProbeHandle,
         shutdown: &AtomicBool,
     ) -> io::Result<HttpConn> {
-        let mut inner = lock_clean(&self.inner);
+        let mut inner = self.inner.lock();
+        if inner.was_contended() {
+            probe.record(now, ObsEvent::LockContended { rank: POOL_RANK });
+        }
         probe.record(
             now,
             ObsEvent::ShardQueue {
@@ -138,7 +152,7 @@ impl UpstreamPool {
                 if conn.peer_gone() {
                     drop(conn);
                     self.release_slot();
-                    inner = lock_clean(&self.inner);
+                    inner = self.inner.lock();
                     continue;
                 }
                 self.reuses.fetch_add(1, Ordering::Relaxed);
@@ -162,10 +176,7 @@ impl UpstreamPool {
                 ));
             }
             inner.waiters += 1;
-            let (guard, _) = self
-                .available
-                .wait_timeout(inner, POLL_TICK)
-                .unwrap_or_else(|e| e.into_inner());
+            let (guard, _timed_out) = self.available.wait_timeout(inner, POLL_TICK);
             inner = guard;
             inner.waiters -= 1;
             if shutdown.load(Ordering::SeqCst) {
@@ -191,11 +202,12 @@ impl UpstreamPool {
 
     /// Return a healthy connection for reuse.
     pub fn checkin(&self, conn: HttpConn) {
-        let mut inner = lock_clean(&self.inner);
+        let mut inner = self.inner.lock();
         // Bounded by `max_conns`: only checked-out connections come back.
         inner.idle.push(conn);
-        drop(inner);
-        self.available.notify_one();
+        // Notify while the guard is live (r7): a waiter between its
+        // predicate check and its park can never miss this wakeup.
+        self.available.notify_one(&inner);
     }
 
     /// Drop a connection that errored mid-exchange, freeing its slot for
@@ -205,10 +217,9 @@ impl UpstreamPool {
     }
 
     fn release_slot(&self) {
-        let mut inner = lock_clean(&self.inner);
+        let mut inner = self.inner.lock();
         inner.live = inner.live.saturating_sub(1);
-        drop(inner);
-        self.available.notify_one();
+        self.available.notify_one(&inner);
     }
 
     /// Connections dialled over the pool's lifetime.
@@ -352,6 +363,30 @@ mod tests {
         assert!(!is_pool_saturated(&plain));
         drop(held);
         drop(keep_alive);
+    }
+
+    /// The intended global order (DESIGN.md §14): proxy shard state
+    /// (60) → pool.inner (75) → obs.probe (95). Acquiring the pool
+    /// mutex while an obs-rank lock is held is an inversion, and the
+    /// debug rank checker must turn that latent deadlock into a panic
+    /// at the first inverted acquisition.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn checkout_under_higher_rank_lock_panics_in_debug() {
+        let (_l, addr) = listener();
+        let result = thread::spawn(move || {
+            let pool = UpstreamPool::new(addr, 0, 1);
+            let obs_leaf = wcc_sync::RankedMutex::new(95, "obs.probe", ());
+            let _held = obs_leaf.lock();
+            // checkout's first action is taking pool.inner (rank 75):
+            // 75 while holding 95 violates the strict ascent.
+            let _ = pool.checkout(now(), &ProbeHandle::none(), &AtomicBool::new(false));
+        })
+        .join();
+        let err = result.expect_err("inverted acquisition must panic in debug builds");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock rank inversion"), "got: {msg}");
+        assert!(msg.contains("pool.inner") && msg.contains("obs.probe"));
     }
 
     #[test]

@@ -49,7 +49,7 @@ use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 
 use consistency::{AdaptiveTtl, FixedTtl, NeverExpire, Policy};
@@ -58,10 +58,11 @@ use originserver::FilePopulation;
 use proxycache::{shard_capacity, AnyStore, EntryMeta, Store};
 use simcore::{CacheStats, FileId, SimDuration, SimTime, TrafficMeter};
 use wcc_obs::{ObsEvent, ProbeHandle, RequestOutcome};
+use wcc_sync::{RankedCondvar, RankedGuard, RankedMutex};
 
 use crate::clock::{sim_instant, wall_date, LiveClock};
 use crate::control::{write_msg, ControlMsg, LineConn};
-use crate::netio::{lock_clean, log_conn_error, HttpConn, DEFAULT_READ_BUDGET_TICKS, POLL_TICK};
+use crate::netio::{log_conn_error, HttpConn, DEFAULT_READ_BUDGET_TICKS, POLL_TICK};
 use crate::pool::UpstreamPool;
 use crate::reactor::{Dispatch, Reactor, ReactorConfig};
 
@@ -69,6 +70,27 @@ use crate::reactor::{Dispatch, Reactor, ReactorConfig};
 /// a minority of requests once the cache warms, so a few pooled sockets
 /// per shard absorb them without the one-conn-per-client sprawl.
 const UPSTREAM_CONNS_PER_SHARD: usize = 4;
+
+/// Rank of the dynamic path⇄id table: taken before any shard state lock
+/// (`resolve` runs at request entry, with nothing else held).
+// wcc-lock-rank: proxy.dynamic_names 55
+const DYNAMIC_NAMES_RANK: u32 = 55;
+
+/// Rank of a shard's cache-state mutex. Below the upstream pool (75) —
+/// never hold state across a checkout — and below the probe leaf (95).
+// wcc-lock-rank: proxy.state 60
+const STATE_RANK: u32 = 60;
+
+/// Rank of a shard's control-channel writer. Above state: the control
+/// reader applies an invalidation under the state lock, drops it, then
+/// takes the writer to ACK.
+// wcc-lock-rank: proxy.control.writer 65
+const CONTROL_WRITER_RANK: u32 = 65;
+
+/// Rank of a shard's `OK` receiver; taken after the writer in
+/// `control_roundtrip`, never with state held.
+// wcc-lock-rank: proxy.control.ok_rx 70
+const CONTROL_OK_RANK: u32 = 70;
 
 /// The shard owning `file`: a pure function of the id and the shard
 /// count, so every thread (request workers, control readers) routes a
@@ -260,9 +282,9 @@ struct CacheState {
 /// One cache shard: its state lock, the condvar miss-coalescing waits
 /// on, its upstream pool, and (under invalidation) its control channel.
 struct Shard {
-    state: Mutex<CacheState>,
+    state: RankedMutex<CacheState>,
     /// Signalled whenever `in_flight` shrinks.
-    flights: Condvar,
+    flights: RankedCondvar,
     pool: UpstreamPool,
     control: Option<ControlHandle>,
 }
@@ -280,14 +302,14 @@ struct Names {
 /// shared writer; the reader thread forwards `OK`s to whichever
 /// subscriber is waiting.
 struct ControlHandle {
-    writer: Mutex<TcpStream>,
-    ok_rx: Mutex<mpsc::Receiver<()>>,
+    writer: RankedMutex<TcpStream>,
+    ok_rx: RankedMutex<mpsc::Receiver<()>>,
 }
 
 struct ProxyShared {
     shards: Vec<Shard>,
     static_names: Names,
-    dynamic_names: Mutex<Names>,
+    dynamic_names: RankedMutex<Names>,
     classes: Vec<usize>,
     uncacheable_mask: u32,
     uses_invalidation: bool,
@@ -320,10 +342,11 @@ struct FlightGuard<'a> {
 
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
-        let mut st = lock_clean(&self.shard.state);
+        let mut st = self.shard.state.lock();
         st.in_flight.remove(&self.file);
-        drop(st);
-        self.shard.flights.notify_all();
+        // Notify while the guard is live so a follower's predicate check
+        // can never race the removal (wcc-analyze r7).
+        self.shard.flights.notify_all(&st);
     }
 }
 
@@ -353,7 +376,7 @@ impl ProxyShared {
             return id;
         }
         let base = self.static_names.paths.len();
-        let mut names = lock_clean(&self.dynamic_names);
+        let mut names = self.dynamic_names.lock();
         if let Some(&id) = names.by_path.get(path) {
             return id;
         }
@@ -368,7 +391,8 @@ impl ProxyShared {
         if let Some(path) = self.static_names.paths.get(idx) {
             return path.clone();
         }
-        lock_clean(&self.dynamic_names)
+        self.dynamic_names
+            .lock()
             .paths
             .get(idx - self.static_names.paths.len())
             .cloned()
@@ -468,10 +492,10 @@ impl ProxyShared {
         let Some(control) = shard.control.as_ref() else {
             return;
         };
-        if write_msg(&mut lock_clean(&control.writer), msg).is_err() {
+        if write_msg(&mut control.writer.lock(), msg).is_err() {
             return;
         }
-        let ok_rx = lock_clean(&control.ok_rx);
+        let ok_rx = control.ok_rx.lock();
         loop {
             match ok_rx.recv_timeout(POLL_TICK) {
                 Ok(()) => break,
@@ -519,7 +543,7 @@ impl ProxyShared {
                             // reader's own shard; route by file anyway so
                             // a misdirected notice can never corrupt a
                             // foreign shard's accounting.
-                            let mut st = lock_clean(&self.shard(file).state);
+                            let mut st = self.shard(file).state.lock();
                             // One invalidation = one control message
                             // (notice + ack), as in the simulator's
                             // `invalidation_message` costing.
@@ -539,7 +563,7 @@ impl ProxyShared {
                             .get(shard_idx)
                             .and_then(|shard| shard.control.as_ref())
                         {
-                            write_msg(&mut lock_clean(&control.writer), &ControlMsg::Ack)?;
+                            write_msg(&mut control.writer.lock(), &ControlMsg::Ack)?;
                         }
                     }
                     ControlMsg::Ok => {
@@ -569,12 +593,10 @@ impl ProxyShared {
     fn wait_for_flight<'a>(
         &self,
         shard: &'a Shard,
-        st: MutexGuard<'a, CacheState>,
+        st: RankedGuard<'a, CacheState>,
     ) -> io::Result<()> {
-        let (guard, _) = shard
-            .flights
-            .wait_timeout(st, POLL_TICK)
-            .unwrap_or_else(|e| e.into_inner());
+        // wcc-allow: r7 one bounded tick per call; every caller loops and re-checks in_flight under a fresh guard
+        let (guard, _timed_out) = shard.flights.wait_timeout(st, POLL_TICK);
         drop(guard);
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(io::Error::new(
@@ -622,7 +644,7 @@ impl ProxyShared {
             // The simulator never requests nonexistent files; pass the
             // origin's answer through, charging the exchange as one
             // message and dropping any cached copy.
-            let mut st = lock_clean(&shard.state);
+            let mut st = shard.state.lock();
             st.traffic.add_message(sent + header_bytes);
             st.stats.misses += 1;
             st.store.remove(file);
@@ -635,7 +657,7 @@ impl ProxyShared {
         let expires = resp.expires.map(sim_instant);
 
         if self.is_uncacheable(class) {
-            let mut st = lock_clean(&shard.state);
+            let mut st = shard.state.lock();
             st.traffic.add_message(sent + header_bytes);
             st.traffic.add_file_transfer(body.len() as u64);
             st.stats.misses += 1;
@@ -648,13 +670,13 @@ impl ProxyShared {
         // simulator does. Single-flight registration makes the peek
         // stable: no other worker inserts this file while the flight is
         // held.
-        let is_new = lock_clean(&shard.state).store.peek(file).is_none();
+        let is_new = shard.state.lock().store.peek(file).is_none();
         if is_new && self.uses_invalidation {
             self.subscribe_sync(file);
         }
 
         let victims = {
-            let mut st = lock_clean(&shard.state);
+            let mut st = shard.state.lock();
             st.traffic.add_message(sent + header_bytes);
             st.traffic.add_file_transfer(body.len() as u64);
             st.stats.misses += 1;
@@ -697,7 +719,11 @@ impl ProxyShared {
 
         let shard = self.shard(file);
         let action = loop {
-            let mut st = lock_clean(&shard.state);
+            let mut st = shard.state.lock();
+            if st.was_contended() {
+                self.probe
+                    .record(now, ObsEvent::LockContended { rank: STATE_RANK });
+            }
             match st.store.access(file, now).copied() {
                 None => {
                     if st.in_flight.contains(&file) {
@@ -807,7 +833,7 @@ impl ProxyShared {
             Status::NotModified => {
                 let expires = resp.expires.map(sim_instant);
                 let served = {
-                    let mut st = lock_clean(&shard.state);
+                    let mut st = shard.state.lock();
                     st.traffic.add_message(sent + header_bytes);
                     st.stats.validations_not_modified += 1;
                     st.policy.on_validation(class, false);
@@ -853,7 +879,7 @@ impl ProxyShared {
                 let last_modified = sim_instant(require_last_modified(&resp)?);
                 let expires = resp.expires.map(sim_instant);
                 let victims = {
-                    let mut st = lock_clean(&shard.state);
+                    let mut st = shard.state.lock();
                     st.traffic.add_message(sent + header_bytes);
                     st.traffic.add_file_transfer(body.len() as u64);
                     st.stats.validations_modified += 1;
@@ -884,7 +910,7 @@ impl ProxyShared {
                 Ok((resp, body))
             }
             Status::NotFound => {
-                let mut st = lock_clean(&shard.state);
+                let mut st = shard.state.lock();
                 st.traffic.add_message(sent + header_bytes);
                 st.stats.misses += 1;
                 st.store.remove(file);
@@ -976,26 +1002,30 @@ impl LiveProxy {
                 let (ok_tx, ok_rx) = mpsc::channel();
                 control_streams.push(Some((LineConn::new(stream)?, ok_tx)));
                 Some(ControlHandle {
-                    writer: Mutex::new(writer),
-                    ok_rx: Mutex::new(ok_rx),
+                    writer: RankedMutex::new(CONTROL_WRITER_RANK, "proxy.control.writer", writer),
+                    ok_rx: RankedMutex::new(CONTROL_OK_RANK, "proxy.control.ok_rx", ok_rx),
                 })
             } else {
                 control_streams.push(None);
                 None
             };
             shards.push(Shard {
-                state: Mutex::new(CacheState {
-                    store: config.store.build_shard(i, shard_count),
-                    bodies: HashMap::new(),
-                    policy: config.policy.build(),
-                    in_flight: HashSet::new(),
-                    traffic: TrafficMeter::default(),
-                    stats: CacheStats::default(),
-                    stale_age_total: SimDuration::ZERO,
-                    invalidations_delivered: 0,
-                    evictions: 0,
-                }),
-                flights: Condvar::new(),
+                state: RankedMutex::new(
+                    STATE_RANK,
+                    "proxy.state",
+                    CacheState {
+                        store: config.store.build_shard(i, shard_count),
+                        bodies: HashMap::new(),
+                        policy: config.policy.build(),
+                        in_flight: HashSet::new(),
+                        traffic: TrafficMeter::default(),
+                        stats: CacheStats::default(),
+                        stale_age_total: SimDuration::ZERO,
+                        invalidations_delivered: 0,
+                        evictions: 0,
+                    },
+                ),
+                flights: RankedCondvar::new(),
                 pool: UpstreamPool::new(config.origin_data, i as u32, UPSTREAM_CONNS_PER_SHARD),
                 control,
             });
@@ -1004,7 +1034,11 @@ impl LiveProxy {
         let shared = Arc::new(ProxyShared {
             shards,
             static_names,
-            dynamic_names: Mutex::new(Names::default()),
+            dynamic_names: RankedMutex::new(
+                DYNAMIC_NAMES_RANK,
+                "proxy.dynamic_names",
+                Names::default(),
+            ),
             classes: config.classes,
             uncacheable_mask: config.uncacheable_mask,
             uses_invalidation,
@@ -1080,7 +1114,7 @@ impl LiveProxy {
         self.stop();
         let mut snap = ProxySnapshot::default();
         for shard in &self.shared.shards {
-            let st = lock_clean(&shard.state);
+            let st = shard.state.lock();
             snap.cache.merge(&st.stats);
             snap.traffic.merge(&st.traffic);
             snap.stale_age_total = snap.stale_age_total.saturating_add(st.stale_age_total);

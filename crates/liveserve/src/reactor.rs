@@ -33,15 +33,16 @@ use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use httpsim::{Request, Response};
 use wcc_obs::{ConnCloseReason, ObsEvent, ProbeHandle};
+use wcc_sync::{RankedCondvar, RankedMutex};
 
 use crate::clock::LiveClock;
 use crate::conn::{Conn, ConnEvent};
-use crate::netio::{lock_clean, log_conn_error, POLL_TICK};
+use crate::netio::{log_conn_error, POLL_TICK};
 use crate::sys::{
     Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
@@ -55,6 +56,16 @@ const EVENT_BATCH: usize = 1024;
 /// Accepts drained per listener readiness notification, so one thread
 /// can't monopolise its loop on a connect flood.
 const ACCEPT_BATCH: usize = 64;
+
+/// Rank of the dispatch job queue: below every proxy/origin lock a
+/// dispatched handler may take, and never held across dispatch itself.
+// wcc-lock-rank: reactor.jobs.inner 20
+const JOBS_RANK: u32 = 20;
+
+/// Rank of a reactor's completion queue; workers push with no other
+/// lock held, the reactor drains it with a `mem::take` under the guard.
+// wcc-lock-rank: reactor.completions.queue 25
+const COMPLETIONS_RANK: u32 = 25;
 
 /// Produces the response for one parsed request. Implementations must
 /// be callable from many threads at once.
@@ -101,20 +112,21 @@ struct Completion {
 /// allows at most one outstanding request per connection, so the queue
 /// never holds more than `max_conns` jobs.
 struct JobQueue {
-    inner: Mutex<VecDeque<Job>>,
-    cond: Condvar,
+    inner: RankedMutex<VecDeque<Job>>,
+    cond: RankedCondvar,
 }
 
 impl JobQueue {
     fn push(&self, job: Job) {
-        let mut q = lock_clean(&self.inner);
+        let mut q = self.inner.lock();
         q.push_back(job);
-        drop(q);
-        self.cond.notify_one();
+        // Notify while the guard is live so a worker's empty-queue check
+        // can never race the push (wcc-analyze r7).
+        self.cond.notify_one(&q);
     }
 
     fn pop(&self, shutdown: &AtomicBool) -> Option<Job> {
-        let mut q = lock_clean(&self.inner);
+        let mut q = self.inner.lock();
         loop {
             if let Some(job) = q.pop_front() {
                 return Some(job);
@@ -122,17 +134,14 @@ impl JobQueue {
             if shutdown.load(Ordering::SeqCst) {
                 return None;
             }
-            let (guard, _) = self
-                .cond
-                .wait_timeout(q, POLL_TICK)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (guard, _timed_out) = self.cond.wait_timeout(q, POLL_TICK);
             q = guard;
         }
     }
 }
 
 struct CompletionQueue {
-    queue: Mutex<Vec<Completion>>,
+    queue: RankedMutex<Vec<Completion>>,
     wake: WakeFd,
 }
 
@@ -199,7 +208,7 @@ impl Reactor {
         let mut completions = Vec::with_capacity(reactors);
         for _ in 0..reactors {
             completions.push(CompletionQueue {
-                queue: Mutex::new(Vec::new()),
+                queue: RankedMutex::new(COMPLETIONS_RANK, "reactor.completions.queue", Vec::new()),
                 wake: WakeFd::new()?,
             });
         }
@@ -208,8 +217,8 @@ impl Reactor {
             open_conns: AtomicUsize::new(0),
             dropped_accepts: AtomicU64::new(0),
             jobs: JobQueue {
-                inner: Mutex::new(VecDeque::new()),
-                cond: Condvar::new(),
+                inner: RankedMutex::new(JOBS_RANK, "reactor.jobs.inner", VecDeque::new()),
+                cond: RankedCondvar::new(),
             },
             completions,
             dispatch,
@@ -250,7 +259,13 @@ impl Reactor {
     /// Signal shutdown, wake every thread, and join them. Idempotent.
     pub(crate) fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.jobs.cond.notify_all();
+        {
+            // Take the queue lock to notify: a worker between its
+            // shutdown check and its wait would otherwise sleep through
+            // the wakeup for a full tick. Dropped before the joins.
+            let q = self.shared.jobs.inner.lock();
+            self.shared.jobs.cond.notify_all(&q);
+        }
         for cq in &self.shared.completions {
             cq.wake.wake();
         }
@@ -271,7 +286,7 @@ fn worker_loop(shared: Arc<Shared>) {
         let result = shared.dispatch.dispatch(&job.req);
         let cq = &shared.completions[job.reactor];
         {
-            let mut q = lock_clean(&cq.queue);
+            let mut q = cq.queue.lock();
             q.push(Completion {
                 slot: job.slot,
                 gen: job.gen,
@@ -511,7 +526,7 @@ fn apply_completions(
     free: &mut Vec<usize>,
 ) {
     let done = {
-        let mut q = lock_clean(&shared.completions[idx].queue);
+        let mut q = shared.completions[idx].queue.lock();
         std::mem::take(&mut *q)
     };
     for c in done {

@@ -24,7 +24,7 @@
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::process::{Child, Command, Stdio};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
@@ -32,9 +32,10 @@ use httpsim::{Request, Status};
 use originserver::{FilePopulation, FileRecord};
 use simcore::{LatencyStats, SimTime};
 use wcc_obs::ProbeHandle;
+use wcc_sync::{RankedCondvar, RankedMutex};
 
 use crate::clock::LiveClock;
-use crate::netio::{lock_clean, HttpConn, POLL_TICK};
+use crate::netio::{HttpConn, POLL_TICK};
 use crate::origin::{LiveOrigin, OriginConfig};
 use crate::proxy::{LivePolicy, LiveProxy, ProxyConfig, StoreKind};
 use crate::report::JsonObj;
@@ -204,33 +205,38 @@ impl SoakReport {
     }
 }
 
+/// Rank of the idle-holder latch: a leaf taken with nothing else held,
+/// above every serving-path lock (the holders touch no other state).
+// wcc-lock-rank: soak.latch.released 80
+const LATCH_RANK: u32 = 80;
+
 /// A latch the idle holders park on: they hold their sockets open until
 /// the main thread releases them.
 struct Latch {
-    released: Mutex<bool>,
-    cond: Condvar,
+    released: RankedMutex<bool>,
+    cond: RankedCondvar,
 }
 
 impl Latch {
     fn new() -> Latch {
         Latch {
-            released: Mutex::new(false),
-            cond: Condvar::new(),
+            released: RankedMutex::new(LATCH_RANK, "soak.latch.released", false),
+            cond: RankedCondvar::new(),
         }
     }
 
     fn release(&self) {
-        *lock_clean(&self.released) = true;
-        self.cond.notify_all();
+        let mut released = self.released.lock();
+        *released = true;
+        // Notify while the guard is live so a holder's predicate check
+        // can never race the flip (wcc-analyze r7).
+        self.cond.notify_all(&released);
     }
 
     fn wait(&self) {
-        let mut released = lock_clean(&self.released);
+        let mut released = self.released.lock();
         while !*released {
-            let (guard, _) = self
-                .cond
-                .wait_timeout(released, POLL_TICK)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (guard, _timed_out) = self.cond.wait_timeout(released, POLL_TICK);
             released = guard;
         }
     }

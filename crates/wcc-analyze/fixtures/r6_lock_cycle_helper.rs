@@ -1,0 +1,33 @@
+// wcc-fixture-path: crates/liveserve/src/bad_cycle.rs
+//! Known-bad: a lock-order cycle closed *through a helper function* —
+//! `enqueue` holds `jobs` and calls `bump_stats` (which takes `stats`),
+//! while `report` takes the two locks in the opposite order. Neither
+//! function looks wrong in isolation; the one-level call propagation
+//! is what closes the cycle.
+
+use std::sync::Mutex;
+
+struct S {
+    jobs: Mutex<u32>,
+    stats: Mutex<u32>,
+}
+
+impl S {
+    fn enqueue(&self) {
+        let j = self.jobs.lock().unwrap();
+        self.bump_stats(); //~ r6
+        drop(j);
+    }
+
+    fn bump_stats(&self) {
+        let s = self.stats.lock().unwrap();
+        drop(s);
+    }
+
+    fn report(&self) {
+        let s = self.stats.lock().unwrap();
+        let j = self.jobs.lock().unwrap(); //~ r6
+        drop(j);
+        drop(s);
+    }
+}

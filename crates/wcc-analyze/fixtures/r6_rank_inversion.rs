@@ -1,0 +1,37 @@
+// wcc-fixture-path: crates/liveserve/src/bad_rank.rs
+//! Known-bad: acquiring a lower-ranked lock while a higher rank is held
+//! — the static mirror of the `RankedMutex` debug-mode panic.
+
+use wcc_sync::RankedMutex;
+
+// wcc-lock-rank: fixture.low 10
+const LOW_RANK: u32 = 10;
+// wcc-lock-rank: fixture.high 20
+const HIGH_RANK: u32 = 20;
+// wcc-lock-rank: fixture.a 30
+const A_RANK: u32 = 30;
+// wcc-lock-rank: fixture.b 40
+const B_RANK: u32 = 40;
+
+struct S {
+    low: RankedMutex<u32>,
+    high: RankedMutex<u32>,
+    a: RankedMutex<u32>,
+    b: RankedMutex<u32>,
+}
+
+impl S {
+    fn inverted(&self) {
+        let hi = self.high.lock();
+        let lo = self.low.lock(); //~ r6
+        drop(lo);
+        drop(hi);
+    }
+
+    fn correct(&self) {
+        let first = self.a.lock();
+        let second = self.b.lock(); // fine: ranks strictly increase
+        drop(second);
+        drop(first);
+    }
+}

@@ -1,0 +1,29 @@
+// wcc-fixture-path: crates/liveserve/src/bad_notify.rs
+//! Known-bad: notifying after the paired guard is released. A waiter
+//! that checked the predicate before the flip and parks after the
+//! notify sleeps forever — the exact lost-wakeup race the open-loop
+//! pending queue once had.
+
+use std::sync::{Condvar, Mutex};
+
+struct Latch {
+    released: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn release_racy(&self) {
+        {
+            let mut released = self.released.lock().unwrap();
+            *released = true;
+        }
+        self.cond.notify_all(); //~ r7
+    }
+
+    fn release_ok(&self) {
+        let mut released = self.released.lock().unwrap();
+        *released = true;
+        self.cond.notify_all(); // fine: flip and notify under one guard
+        drop(released);
+    }
+}

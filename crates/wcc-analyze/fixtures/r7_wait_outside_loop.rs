@@ -1,0 +1,38 @@
+// wcc-fixture-path: crates/liveserve/src/bad_wait.rs
+//! Known-bad: a condvar wait with no predicate loop around it (condvars
+//! wake spuriously), and a `wait_timeout` whose timed-out flag is
+//! silently discarded.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct Q {
+    inner: Mutex<Vec<u32>>,
+    cond: Condvar,
+}
+
+impl Q {
+    fn pop_no_loop(&self) -> Option<u32> {
+        let mut q = self.inner.lock().unwrap();
+        if q.is_empty() {
+            q = self.cond.wait(q).unwrap(); //~ r7
+        }
+        q.pop()
+    }
+
+    fn pop_discards_timeout(&self) -> Option<u32> {
+        let mut q = self.inner.lock().unwrap();
+        while q.is_empty() {
+            self.cond.wait_timeout(q, Duration::from_millis(25)); //~ r7
+        }
+        q.pop()
+    }
+
+    fn pop_ok(&self) -> Option<u32> {
+        let mut q = self.inner.lock().unwrap();
+        while q.is_empty() {
+            q = self.cond.wait(q).unwrap(); // fine: predicate re-checked
+        }
+        q.pop()
+    }
+}

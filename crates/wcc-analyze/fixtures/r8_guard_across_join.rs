@@ -1,0 +1,21 @@
+// wcc-fixture-path: crates/liveserve/src/bad_join.rs
+//! Known-bad: joining a worker thread while holding the registry lock —
+//! if the worker needs that same lock to finish, this is a deadlock,
+//! and even when it does not, the registry is frozen for the worker's
+//! whole remaining lifetime.
+
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+struct Pool {
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    fn reap(&self) {
+        let mut ws = self.workers.lock().unwrap();
+        while let Some(h) = ws.pop() {
+            let _ = h.join(); //~ r8
+        }
+    }
+}

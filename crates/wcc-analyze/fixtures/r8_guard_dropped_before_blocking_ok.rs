@@ -1,0 +1,35 @@
+// wcc-fixture-path: crates/liveserve/src/good_guard.rs
+//! Known-GOOD: every guard here is dropped, scoped out, or a temporary
+//! before the blocking call. This fixture must produce **zero**
+//! findings — it pins the analyzer's false-positive behavior, so a
+//! future "improvement" that starts flagging correct code fails the
+//! bidirectional fixture diff.
+
+use std::sync::{mpsc, Mutex};
+
+struct S {
+    state: Mutex<u32>,
+    tx: mpsc::SyncSender<u32>,
+}
+
+impl S {
+    fn explicit_drop(&self) {
+        let st = self.state.lock().unwrap();
+        let v = *st;
+        drop(st);
+        self.tx.send(v).ok(); // fine: guard dropped above
+    }
+
+    fn scoped(&self) {
+        let v = {
+            let st = self.state.lock().unwrap();
+            *st
+        };
+        self.tx.send(v).ok(); // fine: guard confined to the block
+    }
+
+    fn temporary(&self) {
+        let v = *self.state.lock().unwrap();
+        self.tx.send(v).ok(); // fine: the guard died at the `;`
+    }
+}

@@ -4,13 +4,15 @@
 use std::path::PathBuf;
 
 const USAGE: &str =
-    "usage: wcc-analyze [--root <dir>] [--json] [--check-fixtures [<dir>]] [--quiet]
+    "usage: wcc-analyze [--root <dir>] [--json] [--check-fixtures [<dir>]] [--explain <rule>] [--quiet]
 
   --root <dir>            workspace root (default: auto-detected from the
                           manifest dir / cwd by walking up to [workspace])
   --json                  machine-readable JSON report on stdout
   --check-fixtures [dir]  diff the fixture corpus against its //~ markers
                           instead of analyzing the workspace
+  --explain <rule>        print one rule's rationale and a minimal example
+                          (r1..r8, allow), then exit
   --quiet                 suppress the per-finding listing (summary only)
 
 exit status: 0 clean, 1 unsuppressed findings / fixture mismatch, 2 usage or IO error";
@@ -43,6 +45,13 @@ pub fn run(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--explain" => match it.next() {
+                Some(id) => return explain(id),
+                None => {
+                    eprintln!("--explain needs a rule id (r1..r8, allow)\n{USAGE}");
+                    return 2;
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return 0;
@@ -103,6 +112,32 @@ pub fn run(args: &[String]) -> i32 {
     }
 }
 
+/// `--explain <rule>`: the manifest entry, human-formatted.
+fn explain(id: &str) -> i32 {
+    let id = id.to_ascii_lowercase();
+    match crate::rules::RULES.iter().find(|r| r.id == id) {
+        Some(r) => {
+            println!("{} — {}", r.id, r.name);
+            println!();
+            println!("{}", r.summary);
+            println!();
+            println!("example (violating):");
+            println!("    {}", r.example);
+            println!();
+            println!(
+                "suppress a justified site with `// wcc-allow: {} <reason>` on the \
+                 finding line or the line above.",
+                if r.id == "allow" { "<rule>" } else { r.id }
+            );
+            0
+        }
+        None => {
+            eprintln!("unknown rule `{id}` — known: r1..r8, allow");
+            2
+        }
+    }
+}
+
 /// The `// wcc-allow` audit table — printed at the end of every text
 /// run so suppressions stay visible instead of rotting.
 fn print_audit(analysis: &crate::Analysis) {
@@ -153,6 +188,12 @@ fn run_fixtures(dir: &std::path::Path) -> i32 {
             for m in &rep.mismatches {
                 eprintln!("fixture mismatch: {m}");
             }
+            let by_rule: Vec<String> = rep
+                .expected_by_rule
+                .iter()
+                .map(|(r, n)| format!("{r}={n}"))
+                .collect();
+            println!("wcc-analyze fixtures by rule: {}", by_rule.join(" "));
             println!(
                 "wcc-analyze fixtures: {} file(s), {} expected finding(s), {} mismatch(es)",
                 rep.files,

@@ -12,16 +12,24 @@
 //! * **r4 no-panic-in-server-path** — connection handling returns
 //!   errors instead of panicking;
 //! * **r5 bounded-channel-or-comment** — queues and server-loop
-//!   collections are bounded or carry a justified suppression.
+//!   collections are bounded or carry a justified suppression;
+//! * **r6 lock-order-cycle** — lock acquisition order is acyclic and
+//!   follows the declared `wcc-lock-rank` table (see DESIGN.md §14);
+//! * **r7 condvar-discipline** — condvar waits loop on their predicate
+//!   and notifies run under the paired guard;
+//! * **r8 guard-across-blocking** — no guard is live across queue
+//!   offers, channel sends, pool checkouts, or thread joins.
 //!
 //! Entirely self-contained: a hand-rolled lexer ([`lexer`]), a scope
-//! pass ([`scan`]), and the rules ([`rules`]). No registry
+//! pass ([`scan`]), the per-file rules ([`rules`]), and the
+//! workspace-level concurrency pass ([`concurrency`]). No registry
 //! dependencies, so the linter can gate CI without a network.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod concurrency;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
@@ -76,12 +84,21 @@ pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
         files_scanned: files.len(),
         ..Analysis::default()
     };
-    for (rel, src) in files {
-        let ctx = scan::FileCtx::new(rel, src);
-        out.findings.extend(rules::run_all(&ctx));
+    // All contexts up front: the concurrency pass is workspace-level
+    // (cross-file call propagation), and suppression usage flags are
+    // only final once every rule has run.
+    let ctxs: Vec<scan::FileCtx> = files
+        .iter()
+        .map(|(rel, src)| scan::FileCtx::new(rel, src))
+        .collect();
+    for ctx in &ctxs {
+        out.findings.extend(rules::run_all(ctx));
+    }
+    out.findings.extend(concurrency::run_concurrency(&ctxs));
+    for ctx in &ctxs {
         for s in &ctx.suppressions {
             out.suppressions.push(SuppressionRecord {
-                file: rel.clone(),
+                file: ctx.rel_path.clone(),
                 line: s.line,
                 rules: s.rules.join(","),
                 reason: s.reason.clone(),
@@ -176,6 +193,10 @@ pub struct FixtureReport {
     pub files: usize,
     /// Expected findings declared via `//~ <rule>` markers.
     pub expected: usize,
+    /// Expected findings per rule id, sorted by id — CI asserts these
+    /// counts individually so one rule silently going dark cannot hide
+    /// behind another growing.
+    pub expected_by_rule: Vec<(String, usize)>,
     /// Distinct rule ids the markers exercise, sorted.
     pub rules_covered: Vec<String>,
     /// Mismatches: expectations not produced, or findings not expected.
@@ -239,8 +260,16 @@ pub fn check_fixtures(dir: &Path) -> io::Result<FixtureReport> {
             }
         }
         report.expected += expected.len();
+        for (_, id) in &expected {
+            match report.expected_by_rule.iter_mut().find(|(r, _)| r == id) {
+                Some((_, n)) => *n += 1,
+                None => report.expected_by_rule.push((id.clone(), 1)),
+            }
+        }
 
-        let mut actual: Vec<(u32, String)> = rules::run_all(&ctx)
+        let mut findings = rules::run_all(&ctx);
+        findings.extend(concurrency::run_concurrency(std::slice::from_ref(&ctx)));
+        let mut actual: Vec<(u32, String)> = findings
             .into_iter()
             .filter(|f| f.suppressed.is_none())
             .map(|f| (f.line, f.rule.to_string()))
@@ -267,6 +296,7 @@ pub fn check_fixtures(dir: &Path) -> io::Result<FixtureReport> {
     }
     report.rules_covered.sort();
     report.rules_covered.dedup();
+    report.expected_by_rule.sort();
     Ok(report)
 }
 
@@ -296,15 +326,29 @@ fn quote(s: &str) -> String {
 pub fn to_json(a: &Analysis) -> String {
     let mut s = String::from("{");
     s.push_str(&format!("\"files_scanned\":{},", a.files_scanned));
-    s.push_str(&format!(
-        "\"rules\":[{}],",
-        rules::RULE_IDS
-            .iter()
-            .map(|r| quote(r))
-            .collect::<Vec<_>>()
-            .join(",")
-    ));
+    s.push_str("\"rules\":[");
+    for (i, r) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"id\":{},\"name\":{},\"summary\":{}}}",
+            quote(r.id),
+            quote(r.name),
+            quote(r.summary)
+        ));
+    }
+    s.push_str("],");
     s.push_str(&format!("\"unsuppressed\":{},", a.unsuppressed_count()));
+    s.push_str("\"by_rule\":{");
+    for (i, r) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let n = a.unsuppressed().filter(|f| f.rule == r.id).count();
+        s.push_str(&format!("{}:{n}", quote(r.id)));
+    }
+    s.push_str("},");
     s.push_str("\"findings\":[");
     for (i, f) in a.findings.iter().enumerate() {
         if i > 0 {
@@ -391,6 +435,9 @@ mod tests {
         assert_eq!(j1, j2);
         assert!(j1.contains("\"unsuppressed\":1"));
         assert!(j1.contains("\"rule\":\"r1\""));
+        // The rules manifest and per-rule counts ride along.
+        assert!(j1.contains("\"id\":\"r6\",\"name\":\"lock-order-cycle\""));
+        assert!(j1.contains("\"by_rule\":{\"r1\":1,\"r2\":0"));
         assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 }

@@ -13,6 +13,9 @@
 //! | r3 | no-lock-across-io         | `liveserve`, `wcc-obs`, `wcc-load` |
 //! | r4 | no-panic-in-server-path   | `liveserve::{origin,proxy,netio,control,pool,...}`, `wcc-load::{driver,replay}` |
 //! | r5 | bounded-channel-or-comment| `liveserve`, `wcc-load` |
+//! | r6 | lock-order-cycle          | `liveserve`, `wcc-obs`, `wcc-load` (workspace-wide graph; see [`crate::concurrency`]) |
+//! | r7 | condvar-discipline        | `liveserve`, `wcc-obs`, `wcc-load` |
+//! | r8 | guard-across-blocking     | `liveserve`, `wcc-obs`, `wcc-load` |
 //!
 //! Suppression: `// wcc-allow: <rule>[,<rule>] <reason>` on the finding
 //! line or the line above. The reason is mandatory; a reasonless or
@@ -23,7 +26,7 @@ use crate::scan::{FileCtx, FnSpan};
 /// One reported issue, before/after suppression resolution.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule id (`r1`..`r5`, or `allow` for malformed directives).
+    /// Rule id (`r1`..`r8`, or `allow` for malformed directives).
     pub rule: &'static str,
     /// Human rule name.
     pub name: &'static str,
@@ -38,7 +41,88 @@ pub struct Finding {
 }
 
 /// All rule ids the suppression syntax accepts.
-pub const RULE_IDS: [&str; 5] = ["r1", "r2", "r3", "r4", "r5"];
+pub const RULE_IDS: [&str; 8] = ["r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8"];
+
+/// Static metadata for one rule: drives the JSON rules manifest and
+/// the `--explain` subcommand.
+pub struct RuleInfo {
+    /// Rule id (`r1`..`r8`, `allow`).
+    pub id: &'static str,
+    /// Human rule name.
+    pub name: &'static str,
+    /// One-line rationale.
+    pub summary: &'static str,
+    /// A minimal violating (or, for `allow`, malformed) example.
+    pub example: &'static str,
+}
+
+/// The full rule manifest, in id order. `allow` is last: it reports
+/// malformed suppression directives rather than code defects.
+pub const RULES: [RuleInfo; 9] = [
+    RuleInfo {
+        id: "r1",
+        name: "no-wall-clock",
+        summary: "simulation crates must take time from the virtual clock — a single \
+                  Instant::now() breaks the golden-hash determinism tests",
+        example: "fn step(&mut self) { let t = Instant::now(); /* nondeterministic */ }",
+    },
+    RuleInfo {
+        id: "r2",
+        name: "no-unordered-iter",
+        summary: "report-writing files must not iterate HashMap/HashSet — unspecified \
+                  order corrupts golden-hash comparisons run-to-run",
+        example: "for (k, v) in self.counts.iter() { println!(\"{k} {v}\"); }",
+    },
+    RuleInfo {
+        id: "r3",
+        name: "no-lock-across-io",
+        summary: "state mutexes are never held across socket IO, or one slow peer \
+                  stalls every worker contending for the lock",
+        example: "let st = self.state.lock(); self.conn.write_all(&buf)?;",
+    },
+    RuleInfo {
+        id: "r4",
+        name: "no-panic-in-server-path",
+        summary: "connection handling returns errors that close one connection; a \
+                  panic kills a whole worker thread",
+        example: "fn handle(&self) { let req = read_request(&mut conn).unwrap(); }",
+    },
+    RuleInfo {
+        id: "r5",
+        name: "bounded-channel-or-comment",
+        summary: "queues and server-loop collections are bounded, or carry a \
+                  wcc-allow stating the protocol bound",
+        example: "let (tx, rx) = mpsc::channel(); // unbounded",
+    },
+    RuleInfo {
+        id: "r6",
+        name: "lock-order-cycle",
+        summary: "lock acquisition order must be acyclic and must follow the declared \
+                  wcc-lock-rank table — ranks strictly increase along every chain",
+        example: "let hi = self.high.lock(); let lo = self.low.lock(); // rank inversion",
+    },
+    RuleInfo {
+        id: "r7",
+        name: "condvar-discipline",
+        summary: "condvar waits sit in a predicate loop, wait_timeout results are \
+                  checked, and notify runs under the paired guard (no lost wakeups)",
+        example: "{ let mut g = self.inner.lock(); *g = true; } self.cond.notify_all();",
+    },
+    RuleInfo {
+        id: "r8",
+        name: "guard-across-blocking",
+        summary: "no mutex guard is live across a queue offer, channel send, pool \
+                  checkout, or thread join — blocking under a lock stalls the stack",
+        example: "let st = self.state.lock(); self.tx.send(job)?;",
+    },
+    RuleInfo {
+        id: "allow",
+        name: "suppression-hygiene",
+        summary: "every wcc-allow names a known rule and states a reason; anything \
+                  else is itself a finding",
+        example: "// wcc-allow: r4   <- missing the mandatory reason",
+    },
+];
 
 /// Run every rule over one analyzed file.
 pub fn run_all(ctx: &FileCtx) -> Vec<Finding> {
@@ -83,7 +167,7 @@ pub fn run_all(ctx: &FileCtx) -> Vec<Finding> {
                     name: "suppression-hygiene",
                     file: ctx.rel_path.clone(),
                     line: s.line,
-                    message: format!("wcc-allow names unknown rule `{r}` (known: r1..r5)"),
+                    message: format!("wcc-allow names unknown rule `{r}` (known: r1..r8)"),
                     suppressed: None,
                 });
             }
@@ -296,7 +380,7 @@ fn r2_no_unordered_iter(ctx: &FileCtx, out: &mut Vec<(&'static str, &'static str
 
 // --- R3 ------------------------------------------------------------------
 
-const IO_CALLS: [&str; 17] = [
+pub(crate) const IO_CALLS: [&str; 17] = [
     "read",
     "read_exact",
     "read_to_end",
@@ -320,7 +404,7 @@ const IO_CALLS: [&str; 17] = [
 /// proxy's `CacheState`) are never held across socket IO, or one slow
 /// peer stalls every worker. Detected by scope analysis: a **named**
 /// binding whose initializer ends in `.lock()` (optionally
-/// `.unwrap()`-family adjusted, or `lock_clean(..)`) is live until its
+/// `.unwrap()`-family adjusted) is live until its
 /// block closes or `drop(name)`; any IO call in that live range is a
 /// finding. Stream-writer mutexes passed as *temporaries* into
 /// `write_msg(&mut m.lock()..., ..)` are intentionally exempt — those
@@ -420,17 +504,16 @@ fn r3_scan_fn(
 
 /// Does the initializer `toks[start..end]` leave a lock guard in the
 /// binding? True when its top-level token sequence ends with a
-/// `lock()` / `lock_clean(..)` call followed only by
+/// `lock()` call followed only by
 /// `.unwrap()` / `.expect(..)` / `.unwrap_or_else(..)` adjustments.
 fn rhs_is_guard(ctx: &FileCtx, start: usize, end: usize, bind_depth: u32) -> bool {
     let toks = &ctx.tokens;
-    // Locate the last lock/lock_clean call at the statement's own brace
+    // Locate the last lock() call at the statement's own brace
     // depth (a lock inside a nested `{ .. }` block does not escape).
     let mut last_lock_close: Option<usize> = None;
     let mut i = start;
     while i < end {
-        if ctx.depth[i] == bind_depth && (is_call(ctx, i, "lock") || is_call(ctx, i, "lock_clean"))
-        {
+        if ctx.depth[i] == bind_depth && is_call(ctx, i, "lock") {
             // Find the matching `)` of the call.
             let mut p = 0i32;
             let mut j = i + 1;
@@ -497,8 +580,8 @@ fn rhs_is_guard(ctx: &FileCtx, start: usize, end: usize, bind_depth: u32) -> boo
 /// A panic in a connection handler kills its worker thread; enough of
 /// them exhaust the stack's ability to serve. Server-path code returns
 /// errors that close only the offending connection (logged), recovers
-/// mutex poisoning via `netio::lock_clean`, and leaves `unwrap` to
-/// tests.
+/// mutex poisoning inside `wcc-sync`'s `RankedMutex::lock`, and leaves
+/// `unwrap` to tests.
 fn r4_no_panic_in_server_path(
     ctx: &FileCtx,
     out: &mut Vec<(&'static str, &'static str, u32, String)>,
@@ -535,8 +618,8 @@ fn r4_no_panic_in_server_path(
                     toks[i].line,
                     format!(
                         ".{m}() in request/connection handling — return an \
-                         io::Error (close only this connection) or recover poisoning \
-                         with lock_clean()"
+                         io::Error (close only this connection) or take the lock \
+                         through wcc-sync's RankedMutex, which recovers poisoning"
                     ),
                 ));
             }

@@ -30,7 +30,6 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -39,8 +38,15 @@ use liveserve::report::{latency_json, rates_json, JsonObj};
 use liveserve::{HttpConn, LiveRunConfig, LiveStack, StackSpec};
 use simcore::{CacheStats, FileId, LatencyStats, ServerLoad, SimDuration, SimTime, TrafficMeter};
 use wcc_obs::{ObsEvent, ProbeHandle, ShedReason};
+use wcc_sync::{RankedCondvar, RankedMutex};
 
 use crate::schedule::{Arrival, ArrivalSchedule, ScheduleConfig};
+
+/// Rank of the pending-queue mutex: the open-loop pacer and workers
+/// hold it before touching anything in the serving stack, so it sits at
+/// the very bottom of the global lock order.
+// wcc-lock-rank: load.pending.queue 10
+const PENDING_RANK: u32 = 10;
 
 /// One scheduled request: when to fire on the wall clock, where the
 /// virtual clock must be, and what to ask for.
@@ -274,25 +280,22 @@ struct Queued {
 
 /// The bounded pending queue between the pacer and the workers.
 struct PendingQueue {
-    queue: Mutex<VecDeque<Queued>>,
-    ready: Condvar,
+    queue: RankedMutex<VecDeque<Queued>>,
+    ready: RankedCondvar,
     done: AtomicBool,
     cap: usize,
-}
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
 }
 
 impl PendingQueue {
     fn new(cap: usize) -> Self {
         let cap = cap.max(1);
         PendingQueue {
-            queue: Mutex::new(VecDeque::with_capacity(cap)),
-            ready: Condvar::new(),
+            queue: RankedMutex::new(
+                PENDING_RANK,
+                "load.pending.queue",
+                VecDeque::with_capacity(cap),
+            ),
+            ready: RankedCondvar::new(),
             done: AtomicBool::new(false),
             cap,
         }
@@ -300,21 +303,22 @@ impl PendingQueue {
 
     /// Enqueue unless full; returns the new depth, or `None` if shed.
     fn try_push(&self, item: Queued) -> Option<u32> {
-        let mut q = lock(&self.queue);
+        let mut q = self.queue.lock();
         if q.len() >= self.cap {
             return None;
         }
         // Bounded by `cap`, checked on the line above.
         q.push_back(item);
         let depth = q.len() as u32;
-        drop(q);
-        self.ready.notify_one();
+        // Notify under the guard (r7): the wakeup and the push are one
+        // critical section, so a worker can never miss it.
+        self.ready.notify_one(&q);
         Some(depth)
     }
 
     /// Blocking pop; `None` once the pacer is done and the queue drained.
     fn pop(&self) -> Option<Queued> {
-        let mut q = lock(&self.queue);
+        let mut q = self.queue.lock();
         loop {
             if let Some(item) = q.pop_front() {
                 return Some(item);
@@ -322,21 +326,18 @@ impl PendingQueue {
             if self.done.load(Ordering::Acquire) {
                 return None;
             }
-            q = match self.ready.wait(q) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            q = self.ready.wait(q);
         }
     }
 
     fn finish(&self) {
         // Store the flag while holding the queue mutex: a worker that
         // observed `done == false` under the lock is then guaranteed to
-        // reach `Condvar::wait` before the notification fires, so the
+        // reach the condvar wait before the notification fires, so the
         // wakeup cannot be lost between its check and its wait.
-        let _q = lock(&self.queue);
+        let q = self.queue.lock();
         self.done.store(true, Ordering::Release);
-        self.ready.notify_all();
+        self.ready.notify_all(&q);
     }
 }
 
@@ -536,4 +537,53 @@ pub fn run_open_loop(
         report.sojourn.merge(&t.sojourn);
     }
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queued(due_us: u64) -> Queued {
+        Queued {
+            shot: Shot {
+                due_us,
+                at: SimTime::ZERO,
+                file: FileId(0),
+            },
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn pending_queue_sheds_at_cap_and_drains_after_finish() {
+        let q = PendingQueue::new(2);
+        assert_eq!(q.try_push(queued(1)), Some(1));
+        assert_eq!(q.try_push(queued(2)), Some(2));
+        assert_eq!(q.try_push(queued(3)), None, "third push must shed");
+        q.finish();
+        assert_eq!(q.pop().expect("first item").shot.due_us, 1);
+        assert_eq!(q.pop().expect("second item").shot.due_us, 2);
+        assert!(q.pop().is_none(), "drained queue reports done");
+    }
+
+    /// The intended global order (DESIGN.md §14): the pending queue
+    /// (rank 10) is the *first* lock the open-loop path takes — every
+    /// serving-stack lock (reactor queues 20/25, proxy state 60, pool
+    /// 75, obs 95) ranks above it. Calling `finish` while any of those
+    /// is held is an inversion the debug rank checker must reject.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn finish_under_stack_lock_panics_in_debug() {
+        let result = std::thread::spawn(|| {
+            let q = PendingQueue::new(4);
+            let stack_lock = wcc_sync::RankedMutex::new(20, "reactor.jobs.inner", ());
+            let _held = stack_lock.lock();
+            q.finish(); // takes load.pending.queue (10) while holding 20
+        })
+        .join();
+        let err = result.expect_err("inverted acquisition must panic in debug builds");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock rank inversion"), "got: {msg}");
+        assert!(msg.contains("load.pending.queue") && msg.contains("reactor.jobs.inner"));
+    }
 }

@@ -390,6 +390,11 @@ impl Probe for MetricsProbe {
             ObsEvent::OpenLoopQueueDelay { micros } => {
                 self.registry.observe("openloop_queue_delay_us", micros);
             }
+            ObsEvent::LockContended { rank } => {
+                self.registry.add("lock.contended", 1);
+                self.registry
+                    .gauge_max("lock_contended_rank", i64::from(rank));
+            }
         }
     }
 }

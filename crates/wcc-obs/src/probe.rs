@@ -1,9 +1,10 @@
 //! The [`Probe`] trait, its event taxonomy, and the thread-safe
 //! [`ProbeHandle`] the live stack records through.
 
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 
 use simcore::{FileId, SimDuration, SimTime};
+use wcc_sync::RankedMutex;
 
 use crate::trace::TraceProbe;
 
@@ -160,6 +161,13 @@ pub enum ObsEvent {
         /// Queue delay in microseconds.
         micros: u64,
     },
+    /// A ranked lock acquisition found the lock already held and had to
+    /// wait (see `wcc-sync`); `rank` identifies the lock in the global
+    /// rank table (DESIGN.md §14).
+    LockContended {
+        /// Rank of the contended lock.
+        rank: u32,
+    },
 }
 
 /// Why the open-loop generator dropped a scheduled request (see
@@ -232,13 +240,18 @@ impl Probe for NoopProbe {
     fn record(&mut self, _at: SimTime, _event: ObsEvent) {}
 }
 
+/// Rank of the probe mutex: the leaf of the whole lock order, so
+/// `record` stays callable from under any other lock.
+// wcc-lock-rank: obs.probe 95
+const PROBE_RANK: u32 = 95;
+
 #[derive(Clone)]
 enum Inner {
     /// A caller-supplied probe shared across threads.
-    Custom(Arc<Mutex<Box<dyn Probe + Send>>>),
+    Custom(Arc<RankedMutex<Box<dyn Probe + Send>>>),
     /// A crate-owned bounded trace buffer that can be drained after the
     /// run (lets non-`Send` probes observe live runs via replay).
-    Buffer(Arc<Mutex<TraceProbe>>),
+    Buffer(Arc<RankedMutex<TraceProbe>>),
 }
 
 /// A cloneable, thread-safe handle the live stack's origin, proxy, and
@@ -270,7 +283,11 @@ impl ProbeHandle {
     /// Wrap a caller-supplied thread-safe probe.
     pub fn new(probe: Box<dyn Probe + Send>) -> Self {
         ProbeHandle {
-            inner: Some(Inner::Custom(Arc::new(Mutex::new(probe)))),
+            inner: Some(Inner::Custom(Arc::new(RankedMutex::new(
+                PROBE_RANK,
+                "obs.probe",
+                probe,
+            )))),
         }
     }
 
@@ -278,9 +295,11 @@ impl ProbeHandle {
     /// captured events afterwards with [`ProbeHandle::drain_into`].
     pub fn buffered(capacity: usize) -> Self {
         ProbeHandle {
-            inner: Some(Inner::Buffer(Arc::new(Mutex::new(TraceProbe::new(
-                capacity,
-            ))))),
+            inner: Some(Inner::Buffer(Arc::new(RankedMutex::new(
+                PROBE_RANK,
+                "obs.probe",
+                TraceProbe::new(capacity),
+            )))),
         }
     }
 
@@ -289,19 +308,14 @@ impl ProbeHandle {
         self.inner.is_some()
     }
 
-    /// Record one event (no-op when inactive). Poisoning is recovered:
-    /// a panicked recorder thread never takes observability down.
+    /// Record one event (no-op when inactive). Poisoning is recovered
+    /// inside [`RankedMutex::lock`]: a panicked recorder thread never
+    /// takes observability down.
     pub fn record(&self, at: SimTime, event: ObsEvent) {
         match &self.inner {
             None => {}
-            Some(Inner::Custom(p)) => p
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .record(at, event),
-            Some(Inner::Buffer(b)) => b
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .record(at, event),
+            Some(Inner::Custom(probe)) => probe.lock().record(at, event),
+            Some(Inner::Buffer(probe)) => probe.lock().record(at, event),
         }
     }
 
@@ -309,9 +323,7 @@ impl ProbeHandle {
     /// buffered one. Returns `None` for inactive or custom handles.
     pub fn with_buffer<R>(&self, f: impl FnOnce(&mut TraceProbe) -> R) -> Option<R> {
         match &self.inner {
-            Some(Inner::Buffer(b)) => {
-                Some(f(&mut b.lock().unwrap_or_else(PoisonError::into_inner)))
-            }
+            Some(Inner::Buffer(probe)) => Some(f(&mut probe.lock())),
             _ => None,
         }
     }
@@ -320,8 +332,8 @@ impl ProbeHandle {
     /// buffer cleared). Only buffered handles hold events; for inactive
     /// or custom handles this is a no-op.
     pub fn drain_into(&self, sink: &mut dyn Probe) {
-        if let Some(Inner::Buffer(b)) = &self.inner {
-            let mut buf = b.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(Inner::Buffer(probe)) = &self.inner {
+            let mut buf = probe.lock();
             buf.replay(sink);
             buf.clear();
         }

@@ -10,15 +10,29 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::OnceLock;
 use std::time::Instant;
 
+use wcc_sync::{RankedGuard, RankedMutex};
+
 /// The process-wide profiler. Cheap to consult from any thread.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Profiler {
     enabled: AtomicBool,
-    phase: Mutex<String>,
-    samples: Mutex<Vec<Sample>>,
+    // wcc-lock-rank: obs.profile.phase 90
+    phase: RankedMutex<String>,
+    // wcc-lock-rank: obs.profile.samples 92
+    samples: RankedMutex<Vec<Sample>>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler {
+            enabled: AtomicBool::new(false),
+            phase: RankedMutex::new(90, "obs.profile.phase", String::new()),
+            samples: RankedMutex::new(92, "obs.profile.samples", Vec::new()),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -97,12 +111,12 @@ impl Profiler {
         ProfileReport { samples }
     }
 
-    fn lock_phase(&self) -> std::sync::MutexGuard<'_, String> {
-        self.phase.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_phase(&self) -> RankedGuard<'_, String> {
+        self.phase.lock()
     }
 
-    fn lock_samples(&self) -> std::sync::MutexGuard<'_, Vec<Sample>> {
-        self.samples.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_samples(&self) -> RankedGuard<'_, Vec<Sample>> {
+        self.samples.lock()
     }
 }
 

@@ -214,6 +214,9 @@ pub fn event_json(seq: u64, at: SimTime, event: &ObsEvent) -> String {
         ObsEvent::OpenLoopQueueDelay { micros } => {
             write!(s, ",\"kind\":\"openloop_queue_delay\",\"us\":{micros}").expect("infallible");
         }
+        ObsEvent::LockContended { rank } => {
+            write!(s, ",\"kind\":\"lock_contended\",\"rank\":{rank}").expect("infallible");
+        }
     }
     s.push('}');
     s

@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the substrates: event queue, cache stores, policy
 //! decisions, HTTP serialisation, RNG, and samplers.
 
-use consistency::{AdaptiveTtl, FixedTtl, Policy};
+use consistency::{AdaptiveTtl, ExpiryPolicy, FixedTtl, Policy, RenewableTtl, RequestCtx};
 use criterion::{criterion_group, criterion_main, Criterion};
 use httpsim::{HttpDate, Request, Response};
 use proxycache::{EntryMeta, LruStore, Store, UnboundedStore};
@@ -157,6 +157,14 @@ fn bench_policies(c: &mut Criterion) {
     });
     c.bench_function("consistency/ttl_expiry", |b| {
         b.iter(|| black_box(ttl.expiry(&entry, 0)))
+    });
+    // The decision-API hot path: a delay-aware decide() with a populated
+    // request context, the per-request cost every simulator step pays.
+    let renewable = RenewableTtl::hours(24);
+    let ctx = RequestCtx::new(SimTime::from_secs(1_000_500), 0)
+        .with_delay(simcore::SimDuration::from_secs(7));
+    c.bench_function("consistency/renewable_decide", |b| {
+        b.iter(|| black_box(renewable.decide(&entry, &ctx)))
     });
 }
 

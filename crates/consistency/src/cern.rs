@@ -7,10 +7,12 @@
 //! sits *between* the contenders: with an `Expires` header it is TTL, with
 //! only `Last-Modified` it is Alex, and with neither it is a fixed default.
 
+use std::borrow::Cow;
+
 use proxycache::EntryMeta;
 use simcore::{SimDuration, SimTime};
 
-use crate::policy::Policy;
+use crate::policy::{decide_by_expiry, Decision, ExpiryPolicy, Policy, RequestCtx};
 
 /// The CERN httpd three-tier expiry rule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,11 +54,7 @@ impl CernPolicy {
     }
 }
 
-impl Policy for CernPolicy {
-    fn name(&self) -> String {
-        format!("cern(lm={:.2})", self.lm_fraction)
-    }
-
+impl ExpiryPolicy for CernPolicy {
     fn expiry(&self, entry: &EntryMeta, _class: usize) -> SimTime {
         // Tier 1: a server-assigned Expires header wins outright.
         if let Some(expires) = entry.expires {
@@ -71,6 +69,16 @@ impl Policy for CernPolicy {
         }
         // Tier 3: the configurable default.
         entry.last_validated.saturating_add(self.default_ttl)
+    }
+}
+
+impl Policy for CernPolicy {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("cern(lm={:.2})", self.lm_fraction))
+    }
+
+    fn decide(&self, entry: &EntryMeta, ctx: &RequestCtx) -> Decision {
+        decide_by_expiry(entry, self.expiry(entry, ctx.class), ctx.now)
     }
 }
 

@@ -1,10 +1,15 @@
 //! `consistency` — the Web cache-consistency policies of Gwertzman &
 //! Seltzer (USENIX '96).
 //!
-//! Every time-based policy answers one question: *until when may a
+//! Every consistency policy answers one question per request: *may this
 //! validated cache entry be served without contacting the origin?* The
-//! [`Policy`] trait captures that; implementations cover the paper's
-//! contenders and baselines:
+//! [`Policy`] trait captures that as a [`Decision`] computed from the
+//! entry's metadata and a [`RequestCtx`] (instant, content class,
+//! observed transfer delay). Time-based policies express themselves
+//! through the narrower [`ExpiryPolicy`] seam — a single expiry instant
+//! per validation — and adapt onto `Policy` via [`decide_by_expiry`].
+//! Implementations cover the paper's contenders, its baselines, and two
+//! later literature policies:
 //!
 //! * [`FixedTtl`] — fixed time-to-live (the HTTP `Expires` strategy);
 //! * [`AdaptiveTtl`] — the Alex protocol (validity = threshold × age);
@@ -14,7 +19,13 @@
 //! * [`SelfTuningPolicy`] — the paper's §5 future work: per-class adaptive
 //!   thresholds with multiplicative feedback;
 //! * [`ClassTtl`] — static per-content-class TTLs (the Table 2-informed
-//!   counterpart of the self-tuning policy).
+//!   counterpart of the self-tuning policy);
+//! * [`RenewableTtl`] — delay-aware TTL anchored at delivery rather than
+//!   validation (arXiv 2201.11577);
+//! * [`UpdateRisk`] — staleness-risk-bounded freshness (arXiv 2412.20221).
+//!
+//! [`LinkModel`] supplies the modeled transfer delays that the simulator
+//! and the live proxy thread into [`RequestCtx::delay`].
 //!
 //! The invalidation protocol's *server-side* machinery (subscriber
 //! registry, callbacks) lives in `originserver`; the simulators in
@@ -25,10 +36,17 @@
 
 mod cern;
 mod policy;
+mod renewable;
+mod risk;
 mod selftuning;
 mod typed;
 
 pub use cern::CernPolicy;
-pub use policy::{AdaptiveTtl, FixedTtl, NeverExpire, Policy, PollEveryTime};
+pub use policy::{
+    decide_by_expiry, AdaptiveTtl, Decision, ExpiryPolicy, FixedTtl, LinkModel, NeverExpire,
+    Policy, PollEveryTime, RequestCtx,
+};
+pub use renewable::RenewableTtl;
+pub use risk::UpdateRisk;
 pub use selftuning::SelfTuningPolicy;
 pub use typed::ClassTtl;

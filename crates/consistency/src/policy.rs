@@ -1,8 +1,17 @@
-//! The consistency policies: when does a cached copy stop being usable?
+//! The consistency policies: what should the cache do with a request?
 //!
-//! Every time-based policy reduces to computing an *expiry instant* for a
-//! validated entry; the cache serves the entry until that instant and
-//! revalidates (or refetches) afterwards. The paper's three contenders:
+//! A policy answers per request with a [`Decision`]: serve the cached copy
+//! as-is, or contact the origin first. The decision is computed from the
+//! entry's validation metadata ([`proxycache::EntryMeta`]) plus a
+//! [`RequestCtx`] carrying the request instant, the content class, and the
+//! observed fetch/validation delay for the object — the input that
+//! delay-aware policies (renewable TTL, update-risk freshness) need and
+//! that the original expiry-instant API could not express.
+//!
+//! The paper's three contenders are all *expiry-based*: each reduces to
+//! computing one expiry instant per validation and serving until that
+//! instant. They implement the narrower [`ExpiryPolicy`] seam and adapt to
+//! [`Policy`] through the exact comparison in [`decide_by_expiry`]:
 //!
 //! * **TTL** ([`FixedTtl`]) — expiry is a fixed interval after the last
 //!   validation;
@@ -13,33 +22,123 @@
 //! * **Invalidation** ([`NeverExpire`]) — entries never time out; the
 //!   server's callback marks them invalid instead.
 //!
-//! [`Policy::on_validation`] is a feedback hook used by the self-tuning
-//! extension (`selftuning` module); the paper's fixed policies ignore it.
+//! [`Policy::on_validation`] and [`Policy::on_fetch`] are feedback hooks:
+//! the self-tuning extension (`selftuning` module) adapts thresholds from
+//! validation outcomes, and the delay-aware policies (`renewable`, `risk`
+//! modules) observe round-trip delays. The paper's fixed policies ignore
+//! both.
+
+use std::borrow::Cow;
 
 use proxycache::EntryMeta;
 use simcore::{SimDuration, SimTime};
 
-/// A cache-side consistency policy.
+/// What the cache should do with a request for a resident entry.
 ///
-/// `class` is an opaque content-class index (file type) that adaptive
-/// policies may specialise on; fixed policies ignore it.
-pub trait Policy {
-    /// Short human-readable name for reports.
-    fn name(&self) -> String;
+/// The taxonomy is deliberately two-valued: whether a non-servable entry
+/// is then *refetched eagerly* or *revalidated conditionally* is a
+/// transport decision (the simulator's `RetrievalMode`, the live proxy's
+/// protocol wiring), not a freshness decision — the invalidation protocol,
+/// for instance, answers `Validate` for a callback-invalidated entry and
+/// lets the transport turn that into a conditional GET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Serve the cached copy without contacting the origin.
+    Serve,
+    /// Contact the origin before serving (conditional GET or refetch,
+    /// per the caller's retrieval mode).
+    Validate,
+}
 
-    /// The instant at which a currently-valid `entry` times out. Entries
-    /// whose expiry is `<= now` must be revalidated before use.
-    fn expiry(&self, entry: &EntryMeta, class: usize) -> SimTime;
+impl Decision {
+    /// Whether this decision serves the cached copy locally.
+    pub fn serves_locally(self) -> bool {
+        matches!(self, Decision::Serve)
+    }
+}
+
+/// Per-request context handed to [`Policy::decide`].
+///
+/// `delay` is the observed (or modeled) fetch/validation round-trip for
+/// the object — the simulator threads it from its [`LinkModel`] costing,
+/// the live proxy from modeled or measured upstream round-trips. Callers
+/// with no delay source pass [`SimDuration::ZERO`]; expiry-based policies
+/// ignore the field entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestCtx {
+    /// The request instant.
+    pub now: SimTime,
+    /// Opaque content-class index (file type) that adaptive policies may
+    /// specialise on; fixed policies ignore it.
+    pub class: usize,
+    /// Observed fetch/validation delay for this object.
+    pub delay: SimDuration,
+}
+
+impl RequestCtx {
+    /// A context with no delay observation.
+    pub fn new(now: SimTime, class: usize) -> Self {
+        RequestCtx {
+            now,
+            class,
+            delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Attach an observed delay.
+    pub fn with_delay(mut self, delay: SimDuration) -> Self {
+        self.delay = delay;
+        self
+    }
+}
+
+/// A cache-side consistency policy: the full decision API.
+pub trait Policy {
+    /// Short human-readable name for reports. Fixed-name policies return
+    /// a borrowed literal; parameterised ones an owned rendering.
+    fn name(&self) -> Cow<'static, str>;
+
+    /// Decide what to do with a request for `entry` under `ctx`.
+    fn decide(&self, entry: &EntryMeta, ctx: &RequestCtx) -> Decision;
 
     /// Feedback after a validation round-trip: `was_modified` reports
     /// whether the origin copy had actually changed. Fixed policies ignore
     /// this; self-tuning policies adapt.
     fn on_validation(&mut self, _class: usize, _was_modified: bool) {}
 
+    /// Feedback after any origin exchange completes: the observed (or
+    /// modeled) round-trip `delay` for the transfer. Delay-aware policies
+    /// record it; everything else ignores it.
+    fn on_fetch(&mut self, _class: usize, _delay: SimDuration) {}
+}
+
+/// The legacy seam: policies defined by one expiry instant per validation.
+///
+/// Every such policy adapts to [`Policy`] through [`decide_by_expiry`],
+/// which reproduces the pre-redesign freshness comparison bit-for-bit
+/// (the golden-hash tests in `tests/determinism.rs` pin this).
+pub trait ExpiryPolicy {
+    /// The instant at which a currently-valid `entry` times out. Entries
+    /// whose expiry is `<= now` must be revalidated before use.
+    fn expiry(&self, entry: &EntryMeta, class: usize) -> SimTime;
+
     /// Convenience: whether `entry` is still within its validity horizon
     /// at `now`.
     fn is_fresh(&self, entry: &EntryMeta, class: usize, now: SimTime) -> bool {
         self.expiry(entry, class) > now
+    }
+}
+
+/// The exact adapter from an expiry instant to a [`Decision`]: serve iff
+/// the entry is valid (not callback-invalidated) and its expiry lies
+/// strictly after `now` — literally the comparison the simulator and the
+/// live proxy performed before the redesign
+/// (`entry.is_valid() && policy.is_fresh(entry, class, now)`).
+pub fn decide_by_expiry(entry: &EntryMeta, expiry: SimTime, now: SimTime) -> Decision {
+    if entry.is_valid() && expiry > now {
+        Decision::Serve
+    } else {
+        Decision::Validate
     }
 }
 
@@ -67,20 +166,26 @@ impl FixedTtl {
     }
 }
 
-impl Policy for FixedTtl {
-    fn name(&self) -> String {
-        format!("ttl({})", self.ttl)
-    }
-
+impl ExpiryPolicy for FixedTtl {
     fn expiry(&self, entry: &EntryMeta, _class: usize) -> SimTime {
         entry.last_validated.saturating_add(self.ttl)
+    }
+}
+
+impl Policy for FixedTtl {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("ttl({})", self.ttl))
+    }
+
+    fn decide(&self, entry: &EntryMeta, ctx: &RequestCtx) -> Decision {
+        decide_by_expiry(entry, self.expiry(entry, ctx.class), ctx.now)
     }
 }
 
 /// The Alex protocol: adaptive TTL proportional to object age.
 ///
 /// ```
-/// use consistency::{AdaptiveTtl, Policy};
+/// use consistency::{AdaptiveTtl, ExpiryPolicy};
 /// use proxycache::EntryMeta;
 /// use simcore::{SimDuration, SimTime};
 ///
@@ -132,16 +237,22 @@ impl AdaptiveTtl {
     }
 }
 
-impl Policy for AdaptiveTtl {
-    fn name(&self) -> String {
-        format!("alex({:.0}%)", self.threshold * 100.0)
-    }
-
+impl ExpiryPolicy for AdaptiveTtl {
     fn expiry(&self, entry: &EntryMeta, _class: usize) -> SimTime {
         let age = entry.last_validated.saturating_since(entry.last_modified);
         entry
             .last_validated
             .saturating_add(age.mul_f64(self.threshold))
+    }
+}
+
+impl Policy for AdaptiveTtl {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("alex({:.0}%)", self.threshold * 100.0))
+    }
+
+    fn decide(&self, entry: &EntryMeta, ctx: &RequestCtx) -> Decision {
+        decide_by_expiry(entry, self.expiry(entry, ctx.class), ctx.now)
     }
 }
 
@@ -152,14 +263,20 @@ impl Policy for AdaptiveTtl {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PollEveryTime;
 
-impl Policy for PollEveryTime {
-    fn name(&self) -> String {
-        "poll-every-time".to_string()
-    }
-
+impl ExpiryPolicy for PollEveryTime {
     fn expiry(&self, entry: &EntryMeta, _class: usize) -> SimTime {
         // Expires the instant it is validated: every access revalidates.
         entry.last_validated
+    }
+}
+
+impl Policy for PollEveryTime {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("poll-every-time")
+    }
+
+    fn decide(&self, entry: &EntryMeta, ctx: &RequestCtx) -> Decision {
+        decide_by_expiry(entry, self.expiry(entry, ctx.class), ctx.now)
     }
 }
 
@@ -168,13 +285,65 @@ impl Policy for PollEveryTime {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NeverExpire;
 
-impl Policy for NeverExpire {
-    fn name(&self) -> String {
-        "never-expire".to_string()
-    }
-
+impl ExpiryPolicy for NeverExpire {
     fn expiry(&self, _entry: &EntryMeta, _class: usize) -> SimTime {
         SimTime::MAX
+    }
+}
+
+impl Policy for NeverExpire {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("never-expire")
+    }
+
+    fn decide(&self, entry: &EntryMeta, ctx: &RequestCtx) -> Decision {
+        decide_by_expiry(entry, self.expiry(entry, ctx.class), ctx.now)
+    }
+}
+
+/// A deterministic access-link model: the fetch/validation delay for an
+/// exchange as a pure function of the bytes transferred.
+///
+/// This is how the simulator (and the live proxy's modeled-delay mode)
+/// derives the `delay` it threads into [`RequestCtx`] and
+/// [`Policy::on_fetch`]: a fixed round-trip latency plus a
+/// size-proportional transfer time, in whole virtual seconds so the value
+/// is identical however it is computed. A `304 Not Modified` exchange
+/// transfers no body and costs the round trip alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkModel {
+    rtt: SimDuration,
+    bytes_per_sec: u64,
+}
+
+impl LinkModel {
+    /// A link with the given round-trip latency and throughput.
+    ///
+    /// # Panics
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(rtt: SimDuration, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "link throughput must be positive");
+        LinkModel { rtt, bytes_per_sec }
+    }
+
+    /// The paper-era default: a one-second round trip over a ~128 kbit/s
+    /// access link (16 KiB/s) — the mid-90s ISDN/modem regime the paper's
+    /// bandwidth concerns are about.
+    pub fn paper_era() -> Self {
+        LinkModel::new(SimDuration::from_secs(1), 16 * 1024)
+    }
+
+    /// The modeled delay for transferring `bytes` of body: round trip plus
+    /// transfer time, rounded up to whole seconds.
+    pub fn delay_for(&self, bytes: u64) -> SimDuration {
+        self.rtt
+            .saturating_add(SimDuration::from_secs(bytes.div_ceil(self.bytes_per_sec)))
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::paper_era()
     }
 }
 
@@ -190,6 +359,10 @@ mod tests {
         let mut e = EntryMeta::fresh(100, t(last_modified), t(last_modified));
         e.revalidate(t(last_validated));
         e
+    }
+
+    fn ctx(now: u64) -> RequestCtx {
+        RequestCtx::new(t(now), 0)
     }
 
     #[test]
@@ -216,6 +389,28 @@ mod tests {
         let p = FixedTtl::hours(0);
         let e = entry(0, 1000);
         assert!(!p.is_fresh(&e, 0, t(1000)));
+    }
+
+    #[test]
+    fn decide_mirrors_the_expiry_comparison() {
+        let p = FixedTtl::hours(2);
+        let e = entry(0, 1000);
+        assert_eq!(p.decide(&e, &ctx(1000)), Decision::Serve);
+        assert_eq!(p.decide(&e, &ctx(8199)), Decision::Serve);
+        assert_eq!(p.decide(&e, &ctx(8200)), Decision::Validate);
+        assert!(Decision::Serve.serves_locally());
+        assert!(!Decision::Validate.serves_locally());
+    }
+
+    #[test]
+    fn invalidated_entries_never_serve_whatever_the_expiry() {
+        let mut e = entry(0, 1000);
+        e.mark_invalid();
+        assert_eq!(NeverExpire.decide(&e, &ctx(1001)), Decision::Validate);
+        assert_eq!(
+            FixedTtl::hours(9999).decide(&e, &ctx(1001)),
+            Decision::Validate
+        );
     }
 
     #[test]
@@ -282,6 +477,9 @@ mod tests {
         assert_eq!(AdaptiveTtl::percent(25).name(), "alex(25%)");
         assert!(FixedTtl::hours(100).name().starts_with("ttl("));
         assert_eq!(PollEveryTime.name(), "poll-every-time");
+        // Fixed-name policies borrow; no allocation on the report path.
+        assert!(matches!(PollEveryTime.name(), Cow::Borrowed(_)));
+        assert!(matches!(NeverExpire.name(), Cow::Borrowed(_)));
     }
 
     #[test]
@@ -299,9 +497,32 @@ mod tests {
             Box::new(NeverExpire),
         ];
         let e = entry(0, 100);
+        let c = ctx(50);
         for p in &policies {
-            let _ = p.expiry(&e, 0);
+            let _ = p.decide(&e, &c);
+            let _ = p.name();
         }
+    }
+
+    #[test]
+    fn link_model_charges_rtt_plus_transfer() {
+        let link = LinkModel::new(SimDuration::from_secs(2), 1000);
+        assert_eq!(link.delay_for(0), SimDuration::from_secs(2));
+        assert_eq!(link.delay_for(1), SimDuration::from_secs(3));
+        assert_eq!(link.delay_for(1000), SimDuration::from_secs(3));
+        assert_eq!(link.delay_for(1001), SimDuration::from_secs(4));
+        // The paper-era default: one-second RTT, 16 KiB/s.
+        assert_eq!(LinkModel::default(), LinkModel::paper_era());
+        assert_eq!(
+            LinkModel::paper_era().delay_for(32 * 1024),
+            SimDuration::from_secs(3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput must be positive")]
+    fn zero_throughput_link_panics() {
+        LinkModel::new(SimDuration::ZERO, 0);
     }
 }
 
@@ -353,6 +574,50 @@ mod proptests {
             prop_assert!(FixedTtl::hours(hours).expiry(&e, 0) >= v);
             prop_assert!(PollEveryTime.expiry(&e, 0) >= v);
             prop_assert!(NeverExpire.expiry(&e, 0) >= v);
+        }
+
+        /// The adapter equivalence the golden hashes rest on: for every
+        /// expiry-based policy, random entry, and random instant, the
+        /// [`Policy::decide`] answer equals the legacy comparison
+        /// `entry.is_valid() && expiry(entry, class) > now` exactly.
+        #[test]
+        fn adapter_decision_equals_legacy_expiry_comparison(
+            lm in 0u64..1_000_000,
+            dv in 0u64..1_000_000,
+            now in 0u64..4_000_000,
+            delay in 0u64..10_000,
+            pct in 0u32..150,
+            hours in 0u64..600,
+            invalidated in any::<bool>(),
+        ) {
+            let mut e = EntryMeta::fresh(1, SimTime::from_secs(lm), SimTime::from_secs(lm));
+            e.revalidate(SimTime::from_secs(lm + dv));
+            if invalidated {
+                e.mark_invalid();
+            }
+            let ctx = RequestCtx::new(SimTime::from_secs(now), 0)
+                .with_delay(SimDuration::from_secs(delay));
+
+            fn legacy<P: ExpiryPolicy>(p: &P, e: &EntryMeta, now: SimTime) -> Decision {
+                if e.is_valid() && p.is_fresh(e, 0, now) {
+                    Decision::Serve
+                } else {
+                    Decision::Validate
+                }
+            }
+
+            let alex = AdaptiveTtl::percent(pct);
+            let ttl = FixedTtl::hours(hours);
+            prop_assert_eq!(alex.decide(&e, &ctx), legacy(&alex, &e, ctx.now));
+            prop_assert_eq!(ttl.decide(&e, &ctx), legacy(&ttl, &e, ctx.now));
+            prop_assert_eq!(
+                PollEveryTime.decide(&e, &ctx),
+                legacy(&PollEveryTime, &e, ctx.now)
+            );
+            prop_assert_eq!(
+                NeverExpire.decide(&e, &ctx),
+                legacy(&NeverExpire, &e, ctx.now)
+            );
         }
     }
 }

@@ -16,12 +16,13 @@
 //! while converging geometrically when behaviour is stable. The ablation
 //! bench compares this against the best fixed Alex threshold.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use proxycache::EntryMeta;
 use simcore::SimTime;
 
-use crate::policy::{AdaptiveTtl, Policy};
+use crate::policy::{decide_by_expiry, AdaptiveTtl, Decision, ExpiryPolicy, Policy, RequestCtx};
 
 /// Per-class adaptive Alex thresholds with MIMD feedback.
 #[derive(Debug, Clone)]
@@ -82,13 +83,19 @@ impl SelfTuningPolicy {
     }
 }
 
-impl Policy for SelfTuningPolicy {
-    fn name(&self) -> String {
-        format!("self-tuning(init={:.0}%)", self.initial * 100.0)
-    }
-
+impl ExpiryPolicy for SelfTuningPolicy {
     fn expiry(&self, entry: &EntryMeta, class: usize) -> SimTime {
         AdaptiveTtl::new(self.threshold(class)).expiry(entry, class)
+    }
+}
+
+impl Policy for SelfTuningPolicy {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("self-tuning(init={:.0}%)", self.initial * 100.0))
+    }
+
+    fn decide(&self, entry: &EntryMeta, ctx: &RequestCtx) -> Decision {
+        decide_by_expiry(entry, self.expiry(entry, ctx.class), ctx.now)
     }
 
     fn on_validation(&mut self, class: usize, was_modified: bool) {

@@ -6,10 +6,12 @@
 //! its own TTL (with a default for unlisted classes); the self-tuning
 //! policy in [`crate::SelfTuningPolicy`] is the adaptive counterpart.
 
+use std::borrow::Cow;
+
 use proxycache::EntryMeta;
 use simcore::{SimDuration, SimTime};
 
-use crate::policy::Policy;
+use crate::policy::{decide_by_expiry, Decision, ExpiryPolicy, Policy, RequestCtx};
 
 /// Fixed TTL per content class.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,13 +62,19 @@ impl ClassTtl {
     }
 }
 
-impl Policy for ClassTtl {
-    fn name(&self) -> String {
-        format!("class-ttl(default {})", self.default)
-    }
-
+impl ExpiryPolicy for ClassTtl {
     fn expiry(&self, entry: &EntryMeta, class: usize) -> SimTime {
         entry.last_validated.saturating_add(self.ttl_for(class))
+    }
+}
+
+impl Policy for ClassTtl {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("class-ttl(default {})", self.default))
+    }
+
+    fn decide(&self, entry: &EntryMeta, ctx: &RequestCtx) -> Decision {
+        decide_by_expiry(entry, self.expiry(entry, ctx.class), ctx.now)
     }
 }
 

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! wcc figure <1..8> [--quick] [--jobs N] [--obs PATH]   regenerate one figure
+//! wcc figures --policies new [--quick | --smoke] [--jobs N]   literature-policy figures
 //! wcc table <1|2>   [--quick] [--jobs N]     regenerate one table
 //! wcc ablations               [--jobs N]     run the extension ablations
 //! wcc all           [--quick] [--jobs N]     everything, in paper order
@@ -82,6 +83,7 @@ use webtrace::campus::{generate_campus_trace, CampusProfile};
 fn usage() -> ! {
     eprintln!(
         "usage: wcc <figure 1-8 | table 1-2 | ablations | all> [--quick] [--jobs N] [--obs PATH]\n\
+         \x20      wcc figures --policies new [--quick | --smoke] [--jobs N]\n\
          \x20      wcc trace   <fig2-fig8 | --smoke> [--quick] [--jobs N] [--obs PATH] [--limit N]\n\
          \x20      wcc metrics [--quick] [--jobs N]\n\
          \x20      wcc serve   [--smoke | --listen ADDR --control ADDR] [--files N --requests N --seed S]\n\
@@ -163,6 +165,69 @@ fn figure(n: u32, quick: bool, runner: &SweepRunner, obs: Option<&ObsArgs>) {
     if let (Some(obs), Some(target)) = (obs, TraceTarget::parse(&n.to_string())) {
         let doc = trace::capture(target, &scale(quick), runner, obs.limit);
         write_capture(&doc, Some(&obs.path));
+    }
+}
+
+/// `wcc figures --policies new`: the literature-policy extension
+/// figures — RenewableTTL and UpdateRisk swept against the invalidation
+/// reference, plus the eviction-policy comparison — followed by one
+/// open-loop liveserve report per new policy on the real TCP stack.
+/// `--smoke` is the CI entry: two-point sweeps on a small workload and
+/// short open-loop runs, self-checked.
+fn cmd_figures(quick: bool, smoke: bool, runner: &SweepRunner) {
+    use wcc_load::ScheduleConfig;
+    use webcache::experiments::policies::{render_policy_figures, run_policies_with};
+
+    let s = if smoke {
+        let mut s = Scale::quick();
+        // Enough files that the bounded eviction panel actually evicts
+        // (the store capacity is a fraction of the population footprint).
+        s.worrell = WorrellConfig::scaled(100, 3_000);
+        s.alex_thresholds = vec![5, 50];
+        s.ttl_hours = vec![24, 168];
+        s
+    } else {
+        scale(quick)
+    };
+    let report = run_policies_with(&s, runner);
+    println!(
+        "{}",
+        render_policy_figures("Literature policies (decision-API extensions)", &report)
+    );
+
+    // One open-loop run per new policy: offered load against the live
+    // stack at 1 shard (the delay-aware policies learn per-shard state,
+    // and one shard is the configuration the differential test pins).
+    let wl = generate_synthetic(&s.worrell, s.seed);
+    let window = (wl.end - wl.start).as_secs() as f64;
+    let (rate, arrivals) = if smoke {
+        (500.0, 1_000u64)
+    } else {
+        (1_000.0, 5_000)
+    };
+    let mut ok = true;
+    for spec in [ProtocolSpec::RenewableTtl(24), ProtocolSpec::UpdateRisk(5)] {
+        let schedule = ScheduleConfig {
+            clients: 16,
+            rate_rps: rate,
+            mode: wcc_load::ArrivalMode::Poisson,
+            seed: s.seed,
+            total: arrivals,
+        };
+        // Compress the workload window into the run's expected wall
+        // duration so the scripted modifications play out while it lasts.
+        let compression = window * rate / arrivals as f64;
+        let live = webcache::Experiment::new(&wl)
+            .protocol(spec)
+            .shards(1)
+            .run_open_loop(&schedule, 4, compression)
+            .expect("open-loop policy run");
+        ok &= live.conserves() && live.completed > 0;
+        println!("{}", live.to_json());
+    }
+    if smoke && !ok {
+        eprintln!("figures --smoke: open-loop acceptance checks failed (conservation/completion)");
+        std::process::exit(1);
     }
 }
 
@@ -1086,6 +1151,7 @@ fn parse_args(args: &[String]) -> (bool, SweepRunner, Option<ObsArgs>, usize, Ve
         match arg.as_str() {
             "--quick" => quick = true,
             "--smoke" => positional.push("--smoke"),
+            "--policies" => positional.push("--policies"),
             "--jobs" => {
                 let value = it.next().unwrap_or_else(|| usage());
                 jobs = value.parse().unwrap_or_else(|_| usage());
@@ -1150,6 +1216,12 @@ fn main() {
             &runner,
             obs.as_ref(),
         ),
+        ["figures", rest @ ..] => {
+            if !rest.windows(2).any(|w| w == ["--policies", "new"]) {
+                usage()
+            }
+            cmd_figures(quick, rest.contains(&"--smoke"), &runner)
+        }
         ["table", n] => table(n.parse().unwrap_or_else(|_| usage()), quick, &runner),
         ["ablations"] => run_ablations(&runner),
         ["trace", "--smoke"] | ["trace", "--smoke", ..] => {

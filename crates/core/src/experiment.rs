@@ -51,6 +51,10 @@ pub enum Store {
     Lru(u64),
     /// Byte-bounded FIFO store with the given capacity.
     Fifo(u64),
+    /// Byte-bounded GreedyDual-Size store with the given capacity.
+    Gds(u64),
+    /// Byte-bounded score-gated LFU store with the given capacity.
+    Lfu(u64),
 }
 
 /// What an [`Experiment::run`] produced: the paper's metrics plus the
@@ -228,6 +232,20 @@ impl<'a> Experiment<'a> {
                 proxycache::FifoStore::new(capacity),
                 probe,
             ),
+            Store::Gds(capacity) => run_with_store_probe(
+                self.workload,
+                self.spec,
+                &self.config,
+                proxycache::GdsStore::new(capacity),
+                probe,
+            ),
+            Store::Lfu(capacity) => run_with_store_probe(
+                self.workload,
+                self.spec,
+                &self.config,
+                proxycache::LfuStore::new(capacity),
+                probe,
+            ),
         };
         RunOutcome { result, evictions }
     }
@@ -253,10 +271,16 @@ impl<'a> Experiment<'a> {
         config.shards = self.shards;
         config.reactor_threads = self.reactor_threads;
         config.uncacheable_mask = self.config.uncacheable_mask;
+        // Price delays with the simulator's link model so a live run and
+        // a sim run hand the policies identical numbers (the differential
+        // test's counter-exactness depends on this).
+        config.delay = liveserve::DelaySource::Modeled(self.config.link);
         config.store = match self.store {
             Store::Unbounded => StoreKind::Unbounded,
             Store::Lru(capacity) => StoreKind::Lru(capacity),
             Store::Fifo(capacity) => StoreKind::Fifo(capacity),
+            Store::Gds(capacity) => StoreKind::Gds(capacity),
+            Store::Lfu(capacity) => StoreKind::Lfu(capacity),
         };
         let handle = match self.probe {
             Some(_) => ProbeHandle::buffered(LIVE_TRACE_CAPACITY),
@@ -298,10 +322,13 @@ impl<'a> Experiment<'a> {
         config.shards = self.shards;
         config.reactor_threads = self.reactor_threads;
         config.uncacheable_mask = self.config.uncacheable_mask;
+        config.delay = liveserve::DelaySource::Modeled(self.config.link);
         config.store = match self.store {
             Store::Unbounded => StoreKind::Unbounded,
             Store::Lru(capacity) => StoreKind::Lru(capacity),
             Store::Fifo(capacity) => StoreKind::Fifo(capacity),
+            Store::Gds(capacity) => StoreKind::Gds(capacity),
+            Store::Lfu(capacity) => StoreKind::Lfu(capacity),
         };
         let mut open = OpenLoopConfig::new(config, schedule.rate_rps);
         open.workers = workers;

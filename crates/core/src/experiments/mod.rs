@@ -21,6 +21,7 @@
 //! | proxy placement vs % remote | (Table 1 extension) | [`deployment`] |
 //! | Figure 1 bias at trace scale | (§3 extension) | [`hierarchy_trace`] |
 //! | structured-event capture / metrics | (observability) | [`trace`] |
+//! | literature policies + eviction comparison | (decision-API extensions) | [`policies`] |
 
 pub mod ablations;
 pub mod base;
@@ -29,6 +30,7 @@ pub mod failure;
 pub mod hierarchy_bias;
 pub mod hierarchy_trace;
 pub mod optimized;
+pub mod policies;
 pub mod report;
 pub mod tables;
 pub mod trace;

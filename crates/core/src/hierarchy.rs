@@ -133,7 +133,11 @@ impl HierarchySim {
     fn obtain(&mut self, cache: CacheId, file: FileId, now: SimTime) -> (SimTime, u64) {
         let resident = self.stores[cache.index()].access(file, now).copied();
         if let Some(e) = resident {
-            if e.is_valid() && self.policy.is_fresh(&e, 0, now) {
+            if self
+                .policy
+                .decide(&e, &consistency::RequestCtx::new(now, 0))
+                .serves_locally()
+            {
                 return (e.last_modified, e.size);
             }
             // Expired or invalidated: consult upstream with a conditional

@@ -38,13 +38,16 @@ pub fn to_live_workload(workload: &Workload) -> LiveWorkload {
 }
 
 /// The live policy for a protocol spec, where one exists. The live
-/// stack implements the paper's three core mechanisms; the simulator's
-/// extended specs (CERN, self-tuning, class tables) return `None`.
+/// stack implements the paper's three core mechanisms plus the
+/// delay-aware literature policies; the simulator's remaining extended
+/// specs (CERN, self-tuning, class tables) return `None`.
 pub fn live_policy(spec: ProtocolSpec) -> Option<LivePolicy> {
     match spec {
         ProtocolSpec::Ttl(h) => Some(LivePolicy::Ttl(h)),
         ProtocolSpec::Alex(p) => Some(LivePolicy::Alex(p)),
         ProtocolSpec::Invalidation => Some(LivePolicy::Invalidation),
+        ProtocolSpec::RenewableTtl(h) => Some(LivePolicy::RenewableTtl(h)),
+        ProtocolSpec::UpdateRisk(p) => Some(LivePolicy::UpdateRisk(p)),
         _ => None,
     }
 }
@@ -113,6 +116,14 @@ mod tests {
         assert_eq!(
             live_policy(ProtocolSpec::Invalidation),
             Some(LivePolicy::Invalidation)
+        );
+        assert_eq!(
+            live_policy(ProtocolSpec::RenewableTtl(24)),
+            Some(LivePolicy::RenewableTtl(24))
+        );
+        assert_eq!(
+            live_policy(ProtocolSpec::UpdateRisk(5)),
+            Some(LivePolicy::UpdateRisk(5))
         );
         assert_eq!(live_policy(ProtocolSpec::PollEveryTime), None);
         assert_eq!(live_policy(ProtocolSpec::SelfTuning), None);

@@ -6,8 +6,8 @@
 //! callback machinery) from it.
 
 use consistency::{
-    AdaptiveTtl, CernPolicy, ClassTtl, FixedTtl, NeverExpire, Policy, PollEveryTime,
-    SelfTuningPolicy,
+    AdaptiveTtl, CernPolicy, ClassTtl, FixedTtl, NeverExpire, Policy, PollEveryTime, RenewableTtl,
+    SelfTuningPolicy, UpdateRisk,
 };
 use simcore::SimDuration;
 
@@ -33,6 +33,12 @@ pub enum ProtocolSpec {
     SelfTuning,
     /// Static per-content-class TTLs informed by Table 2's lifetimes.
     ClassTtlTable2,
+    /// Delay-aware renewable TTL (arXiv 2201.11577): freshness horizon in
+    /// hours, anchored past the observed fetch delay.
+    RenewableTtl(u64),
+    /// Update-risk freshness bound (arXiv 2412.20221): the tolerated
+    /// probability (percent) that a served copy is already stale.
+    UpdateRisk(u32),
 }
 
 impl ProtocolSpec {
@@ -52,6 +58,8 @@ impl ProtocolSpec {
             ProtocolSpec::PollEveryTime => Box::new(PollEveryTime),
             ProtocolSpec::SelfTuning => Box::new(SelfTuningPolicy::recommended()),
             ProtocolSpec::ClassTtlTable2 => Box::new(ClassTtl::table2_informed()),
+            ProtocolSpec::RenewableTtl(hours) => Box::new(RenewableTtl::hours(hours)),
+            ProtocolSpec::UpdateRisk(pct) => Box::new(UpdateRisk::percent(pct)),
         }
     }
 
@@ -74,6 +82,8 @@ impl ProtocolSpec {
             ProtocolSpec::PollEveryTime => "Poll-every-time".to_string(),
             ProtocolSpec::SelfTuning => "Self-tuning".to_string(),
             ProtocolSpec::ClassTtlTable2 => "Class-TTL (Table 2)".to_string(),
+            ProtocolSpec::RenewableTtl(h) => format!("RenewableTTL {h}h"),
+            ProtocolSpec::UpdateRisk(p) => format!("UpdateRisk {p}%"),
         }
     }
 }
@@ -81,20 +91,85 @@ impl ProtocolSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use consistency::{Decision, RequestCtx};
     use proxycache::EntryMeta;
     use simcore::SimTime;
 
+    /// The decision a freshly built policy makes for `entry` at `now`.
+    fn decide_at(spec: ProtocolSpec, entry: &EntryMeta, now: u64) -> Decision {
+        spec.build_policy()
+            .decide(entry, &RequestCtx::new(SimTime::from_secs(now), 0))
+    }
+
     #[test]
     fn build_policy_matches_spec() {
+        // Fetched and validated at t=1000, origin copy dated t=0. Each
+        // spec's policy must flip from Serve to Validate exactly at its
+        // documented horizon.
         let entry = EntryMeta::fresh(1, SimTime::ZERO, SimTime::from_secs(1000));
-        let ttl = ProtocolSpec::Ttl(2).build_policy();
-        assert_eq!(ttl.expiry(&entry, 0), SimTime::from_secs(1000 + 7200));
-        let alex = ProtocolSpec::Alex(50).build_policy();
-        assert_eq!(alex.expiry(&entry, 0), SimTime::from_secs(1500));
-        let inval = ProtocolSpec::Invalidation.build_policy();
-        assert_eq!(inval.expiry(&entry, 0), SimTime::MAX);
-        let poll = ProtocolSpec::PollEveryTime.build_policy();
-        assert_eq!(poll.expiry(&entry, 0), SimTime::from_secs(1000));
+        // TTL 2h: expires at validation + 7200.
+        assert_eq!(
+            decide_at(ProtocolSpec::Ttl(2), &entry, 8199),
+            Decision::Serve
+        );
+        assert_eq!(
+            decide_at(ProtocolSpec::Ttl(2), &entry, 8200),
+            Decision::Validate
+        );
+        // Alex 50%: expires at validation + 50% of the copy's age (500s).
+        assert_eq!(
+            decide_at(ProtocolSpec::Alex(50), &entry, 1499),
+            Decision::Serve
+        );
+        assert_eq!(
+            decide_at(ProtocolSpec::Alex(50), &entry, 1500),
+            Decision::Validate
+        );
+        // Invalidation trusts a valid entry forever.
+        assert_eq!(
+            decide_at(ProtocolSpec::Invalidation, &entry, u64::MAX / 2),
+            Decision::Serve
+        );
+        // Poll-every-time never serves without validating.
+        assert_eq!(
+            decide_at(ProtocolSpec::PollEveryTime, &entry, 1000),
+            Decision::Validate
+        );
+        // RenewableTTL 1h with no observed delay yet: validation + 3600.
+        assert_eq!(
+            decide_at(ProtocolSpec::RenewableTtl(1), &entry, 4599),
+            Decision::Serve
+        );
+        assert_eq!(
+            decide_at(ProtocolSpec::RenewableTtl(1), &entry, 4600),
+            Decision::Validate
+        );
+        // UpdateRisk 0%: any exposure at all exceeds a zero risk budget.
+        assert_eq!(
+            decide_at(ProtocolSpec::UpdateRisk(0), &entry, 2000),
+            Decision::Validate
+        );
+    }
+
+    #[test]
+    fn invalidated_entries_are_never_served() {
+        // `decide` folds entry validity: a marked-invalid entry loses even
+        // under the most permissive policy.
+        let mut entry = EntryMeta::fresh(1, SimTime::ZERO, SimTime::from_secs(1000));
+        entry.mark_invalid();
+        for spec in [
+            ProtocolSpec::Ttl(500),
+            ProtocolSpec::Invalidation,
+            ProtocolSpec::RenewableTtl(500),
+            ProtocolSpec::UpdateRisk(99),
+        ] {
+            assert_eq!(
+                decide_at(spec, &entry, 1001),
+                Decision::Validate,
+                "{}",
+                spec.label()
+            );
+        }
     }
 
     #[test]
@@ -106,6 +181,8 @@ mod tests {
             ProtocolSpec::PollEveryTime,
             ProtocolSpec::SelfTuning,
             ProtocolSpec::ClassTtlTable2,
+            ProtocolSpec::RenewableTtl(24),
+            ProtocolSpec::UpdateRisk(5),
             ProtocolSpec::Cern {
                 lm_percent: 10,
                 default_ttl_hours: 24,
@@ -123,6 +200,8 @@ mod tests {
             ProtocolSpec::Invalidation,
             ProtocolSpec::PollEveryTime,
             ProtocolSpec::SelfTuning,
+            ProtocolSpec::RenewableTtl(24),
+            ProtocolSpec::UpdateRisk(5),
         ]
         .iter()
         .map(ProtocolSpec::label)
@@ -132,5 +211,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len());
         assert!(labels[0].contains("100h"));
+        assert!(labels[5].contains("24h"));
+        assert!(labels[6].contains("5%"));
     }
 }

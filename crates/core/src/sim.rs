@@ -21,7 +21,7 @@
 
 use std::sync::Arc;
 
-use consistency::Policy;
+use consistency::{LinkModel, Policy, RequestCtx};
 use httpsim::{HttpDate, MessageCosting, EPOCH_1996};
 use originserver::{CondResult, OriginServer};
 use proxycache::{EntryMeta, Store};
@@ -58,6 +58,12 @@ pub struct SimConfig {
     /// 10 % of Microsoft requests were dynamic pages; mid-90s proxies
     /// forwarded them uncached.
     pub uncacheable_mask: u32,
+    /// The access-link model that prices fetch/validation delay, threaded
+    /// into every [`RequestCtx`] and [`Policy::on_fetch`] call. The
+    /// paper's protocols ignore it (their decisions are delay-blind), so
+    /// changing it cannot perturb their results; the delay-aware policies
+    /// (RenewableTTL, UpdateRisk) read it.
+    pub link: LinkModel,
 }
 
 impl SimConfig {
@@ -68,6 +74,7 @@ impl SimConfig {
             costing: MessageCosting::PaperConstant,
             preload: true,
             uncacheable_mask: 0,
+            link: LinkModel::default(),
         }
     }
 
@@ -78,6 +85,7 @@ impl SimConfig {
             costing: MessageCosting::PaperConstant,
             preload: true,
             uncacheable_mask: 0,
+            link: LinkModel::default(),
         }
     }
 
@@ -111,6 +119,13 @@ impl SimConfig {
     #[must_use]
     pub fn uncacheable(mut self, mask: u32) -> Self {
         self.uncacheable_mask = mask;
+        self
+    }
+
+    /// Chainable: set the access-link model that prices policy delays.
+    #[must_use]
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.link = link;
         self
     }
 }
@@ -222,6 +237,7 @@ struct World<'w, S: Store> {
     retrieval: RetrievalMode,
     costing: MessageCosting,
     uncacheable_mask: u32,
+    link: LinkModel,
     uses_invalidation: bool,
     traffic: TrafficMeter,
     stats: CacheStats,
@@ -313,6 +329,7 @@ impl<S: Store> World<'_, S> {
         );
         self.traffic.add_message(overhead);
         self.traffic.add_file_transfer(v.size);
+        self.policy.on_fetch(class, self.link.delay_for(v.size));
         self.stats.misses += 1;
         if self.is_uncacheable(class) {
             // Dynamic content is forwarded, never stored.
@@ -368,7 +385,14 @@ impl<S: Store> World<'_, S> {
             return;
         };
 
-        let fresh = entry.is_valid() && self.policy.is_fresh(&entry, class, now);
+        // The decision seam: one call carrying everything the policy may
+        // weigh — the instant, the content class, and what refreshing this
+        // entry would cost over the modeled link. Legacy policies fold
+        // `entry.is_valid()` into their expiry check (`decide_by_expiry`),
+        // so this is bit-identical with the old
+        // `is_valid() && is_fresh(...)` conjunction.
+        let ctx = RequestCtx::new(now, class).with_delay(self.link.delay_for(entry.size));
+        let fresh = self.policy.decide(&entry, &ctx).serves_locally();
         self.probe
             .record(now, ObsEvent::PolicyDecision { file, fresh });
         if fresh {
@@ -466,6 +490,10 @@ impl<S: Store> World<'_, S> {
                 self.stats.validations_not_modified += 1;
                 self.stats.fresh_hits += 1;
                 self.policy.on_validation(class, false);
+                // A 304 moves no body: the exchange costs the bare round
+                // trip, which delay-aware policies fold into their
+                // per-class delay estimate.
+                self.policy.on_fetch(class, self.link.delay_for(0));
                 self.probe.record(
                     now,
                     ObsEvent::Validation {
@@ -495,6 +523,7 @@ impl<S: Store> World<'_, S> {
                 );
                 self.traffic.add_message(overhead);
                 self.traffic.add_file_transfer(v.size);
+                self.policy.on_fetch(class, self.link.delay_for(v.size));
                 self.stats.validations_modified += 1;
                 self.stats.misses += 1;
                 self.policy.on_validation(class, true);
@@ -617,6 +646,7 @@ pub(crate) fn run_with_store_probe<'w, S: Store>(
         retrieval: config.retrieval,
         costing: config.costing,
         uncacheable_mask: config.uncacheable_mask,
+        link: config.link,
         uses_invalidation: spec.uses_invalidation(),
         traffic: TrafficMeter::default(),
         stats: CacheStats::default(),

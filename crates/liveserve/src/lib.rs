@@ -60,7 +60,9 @@ pub use loadgen::{
 pub use netio::HttpConn;
 pub use origin::{LiveOrigin, OriginConfig};
 pub use pool::{is_pool_saturated, PoolSaturated, UpstreamPool};
-pub use proxy::{shard_for, LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind};
+pub use proxy::{
+    shard_for, DelaySource, LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind,
+};
 pub use soak::{run_soak, soak_worker, SoakConfig, SoakReport};
 // Re-exported so callers can hand a probe to the configs above without
 // naming `wcc-obs` themselves.

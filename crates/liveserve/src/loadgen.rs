@@ -33,7 +33,7 @@ use wcc_obs::{ObsEvent, ProbeHandle};
 use crate::clock::LiveClock;
 use crate::netio::HttpConn;
 use crate::origin::{LiveOrigin, OriginConfig};
-use crate::proxy::{LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind};
+use crate::proxy::{DelaySource, LivePolicy, LiveProxy, ProxyConfig, ProxySnapshot, StoreKind};
 use crate::report::{latency_json, rates_json, JsonObj};
 
 /// A scripted workload for the live stack — the same fields
@@ -137,6 +137,7 @@ impl LiveStack {
         proxy_config.ground_truth = Some(Arc::clone(&spec.population));
         proxy_config.classes = spec.classes.clone();
         proxy_config.uncacheable_mask = config.uncacheable_mask;
+        proxy_config.delay = config.delay;
         proxy_config.probe = probe.clone();
         proxy_config.reactor_threads = reactor_threads;
         let proxy = LiveProxy::spawn(proxy_config)?;
@@ -185,6 +186,8 @@ pub struct LiveRunConfig {
     pub store: StoreKind,
     /// Uncacheable-class bitmask, as in `SimConfig`.
     pub uncacheable_mask: u32,
+    /// How the proxy prices retrieval delay for delay-aware policies.
+    pub delay: DelaySource,
 }
 
 impl LiveRunConfig {
@@ -198,6 +201,7 @@ impl LiveRunConfig {
             policy,
             store: StoreKind::Unbounded,
             uncacheable_mask: 0,
+            delay: DelaySource::default(),
         }
     }
 }

@@ -52,7 +52,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 
-use consistency::{AdaptiveTtl, FixedTtl, NeverExpire, Policy};
+use consistency::{
+    AdaptiveTtl, FixedTtl, LinkModel, NeverExpire, Policy, RenewableTtl, RequestCtx, UpdateRisk,
+};
 use httpsim::{Request, Response, Status};
 use originserver::FilePopulation;
 use proxycache::{shard_capacity, AnyStore, EntryMeta, Store};
@@ -99,8 +101,9 @@ pub fn shard_for(file: FileId, shards: usize) -> usize {
     file.index() % shards.max(1)
 }
 
-/// The consistency mechanisms the live stack runs — the paper's three,
-/// as cache-side policies plus the invalidation wiring.
+/// The consistency mechanisms the live stack runs — the paper's three
+/// plus the delay-aware literature policies, as cache-side policies plus
+/// the invalidation wiring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LivePolicy {
     /// Fixed TTL in hours.
@@ -109,17 +112,26 @@ pub enum LivePolicy {
     Alex(u32),
     /// Server-driven invalidation callbacks.
     Invalidation,
+    /// Delay-aware renewable TTL (arXiv 2201.11577), horizon in hours.
+    RenewableTtl(u64),
+    /// Update-risk freshness bound (arXiv 2412.20221), in percent.
+    UpdateRisk(u32),
 }
 
 impl LivePolicy {
-    /// Instantiate the cache-side policy object. The three mechanisms
-    /// are stateless (expiry is a function of the entry alone), so each
-    /// shard holds its own instance without changing aggregate counts.
+    /// Instantiate the cache-side policy object. Each shard holds its
+    /// own instance: the paper's three mechanisms are stateless (expiry
+    /// is a function of the entry alone), so replication cannot change
+    /// aggregate counts; the delay-aware policies learn per-class state
+    /// from their own shard's exchanges, which is exact at one shard
+    /// (the differential configuration) and shard-local beyond that.
     pub fn build(self) -> Box<dyn Policy + Send> {
         match self {
             LivePolicy::Ttl(hours) => Box::new(FixedTtl::hours(hours)),
             LivePolicy::Alex(pct) => Box::new(AdaptiveTtl::percent(pct)),
             LivePolicy::Invalidation => Box::new(NeverExpire),
+            LivePolicy::RenewableTtl(hours) => Box::new(RenewableTtl::hours(hours)),
+            LivePolicy::UpdateRisk(pct) => Box::new(UpdateRisk::percent(pct)),
         }
     }
 
@@ -134,7 +146,29 @@ impl LivePolicy {
             LivePolicy::Ttl(h) => format!("TTL {h}h"),
             LivePolicy::Alex(p) => format!("Alex {p}%"),
             LivePolicy::Invalidation => "Invalidation".to_string(),
+            LivePolicy::RenewableTtl(h) => format!("RenewableTTL {h}h"),
+            LivePolicy::UpdateRisk(p) => format!("UpdateRisk {p}%"),
         }
+    }
+}
+
+/// Where the proxy gets the `delay` it hands to delay-aware policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelaySource {
+    /// Price every exchange with a deterministic [`LinkModel`], exactly
+    /// as the simulator does — the differential-test configuration, and
+    /// the default.
+    Modeled(LinkModel),
+    /// Measure real wall-clock upstream round-trips (whole seconds).
+    /// Decide-time delay is reported as zero so freshness decisions stay
+    /// out of the timing loop; policies fall back to their per-class
+    /// observed history fed by `on_fetch`.
+    Measured,
+}
+
+impl Default for DelaySource {
+    fn default() -> Self {
+        DelaySource::Modeled(LinkModel::default())
     }
 }
 
@@ -147,6 +181,10 @@ pub enum StoreKind {
     Lru(u64),
     /// Byte-bounded FIFO.
     Fifo(u64),
+    /// Byte-bounded GreedyDual-Size.
+    Gds(u64),
+    /// Byte-bounded score-gated LFU.
+    Lfu(u64),
 }
 
 impl StoreKind {
@@ -159,6 +197,8 @@ impl StoreKind {
             StoreKind::Unbounded => AnyStore::unbounded(),
             StoreKind::Lru(cap) => AnyStore::lru(shard_capacity(cap, shard, shards)),
             StoreKind::Fifo(cap) => AnyStore::fifo(shard_capacity(cap, shard, shards)),
+            StoreKind::Gds(cap) => AnyStore::gds(shard_capacity(cap, shard, shards)),
+            StoreKind::Lfu(cap) => AnyStore::lfu(shard_capacity(cap, shard, shards)),
         }
     }
 }
@@ -189,6 +229,8 @@ pub struct ProxyConfig {
     pub classes: Vec<usize>,
     /// Uncacheable-class bitmask, as in `SimConfig`.
     pub uncacheable_mask: u32,
+    /// How fetch/validation delay is priced for delay-aware policies.
+    pub delay: DelaySource,
     /// Bind address for the client-facing listener.
     pub bind: String,
     /// Observation hook for request decisions, validations, and
@@ -223,6 +265,7 @@ impl ProxyConfig {
             ground_truth: None,
             classes: Vec::new(),
             uncacheable_mask: 0,
+            delay: DelaySource::default(),
             bind: "127.0.0.1:0".to_string(),
             probe: ProbeHandle::none(),
             reactor_threads: 1,
@@ -312,6 +355,7 @@ struct ProxyShared {
     dynamic_names: RankedMutex<Names>,
     classes: Vec<usize>,
     uncacheable_mask: u32,
+    delay: DelaySource,
     uses_invalidation: bool,
     ground_truth: Option<Arc<FilePopulation>>,
     clock: LiveClock,
@@ -588,6 +632,30 @@ impl ProxyShared {
 
     // --- request path ----------------------------------------------------
 
+    /// The retrieval delay a policy sees when deciding whether to serve
+    /// `entry` locally. Modeled pricing mirrors the simulator's
+    /// `link.delay_for(entry.size)` exactly; measured mode reports zero
+    /// and lets delay-aware policies fall back to their observed
+    /// per-class history (fed by [`Self::exchange_delay`]).
+    fn decide_delay(&self, entry: &EntryMeta) -> SimDuration {
+        match self.delay {
+            DelaySource::Modeled(link) => link.delay_for(entry.size),
+            DelaySource::Measured => SimDuration::ZERO,
+        }
+    }
+
+    /// The delay charged to `Policy::on_fetch` for a completed upstream
+    /// exchange that moved `bytes` of body. Modeled pricing is
+    /// wall-clock independent; measured mode uses the elapsed time since
+    /// `started` (captured before the request was written, with no
+    /// locks held across the exchange).
+    fn exchange_delay(&self, bytes: u64, started: std::time::Instant) -> SimDuration {
+        match self.delay {
+            DelaySource::Modeled(link) => link.delay_for(bytes),
+            DelaySource::Measured => SimDuration::from_secs(started.elapsed().as_secs()),
+        }
+    }
+
     /// Block until `file`'s in-flight fetch concludes (or shutdown).
     /// Consumes the shard guard; the caller re-locks and re-evaluates.
     fn wait_for_flight<'a>(
@@ -636,6 +704,8 @@ impl ProxyShared {
     ) -> io::Result<(Response, Arc<Vec<u8>>)> {
         let class = self.class_of(file);
         let shard = self.shard(file);
+        // wcc-allow: r1 exchange stopwatch for DelaySource::Measured; modeled runs never read it
+        let started = std::time::Instant::now();
         let sent = upstream.write_request(&Request::get(path))?;
         let (resp, body) = upstream.read_response()?;
         let header_bytes = resp.header_size();
@@ -660,6 +730,8 @@ impl ProxyShared {
             let mut st = shard.state.lock();
             st.traffic.add_message(sent + header_bytes);
             st.traffic.add_file_transfer(body.len() as u64);
+            st.policy
+                .on_fetch(class, self.exchange_delay(body.len() as u64, started));
             st.stats.misses += 1;
             st.store.remove(file);
             st.bodies.remove(&file);
@@ -679,6 +751,8 @@ impl ProxyShared {
             let mut st = shard.state.lock();
             st.traffic.add_message(sent + header_bytes);
             st.traffic.add_file_transfer(body.len() as u64);
+            st.policy
+                .on_fetch(class, self.exchange_delay(body.len() as u64, started));
             st.stats.misses += 1;
             let meta = match st.store.access(file, now).copied() {
                 Some(mut entry) => {
@@ -736,7 +810,8 @@ impl ProxyShared {
                     break Action::FetchFull;
                 }
                 Some(entry) => {
-                    let fresh = entry.is_valid() && st.policy.is_fresh(&entry, class, now);
+                    let ctx = RequestCtx::new(now, class).with_delay(self.decide_delay(&entry));
+                    let fresh = st.policy.decide(&entry, &ctx).serves_locally();
                     if fresh {
                         match st.bodies.get(&file).map(Arc::clone) {
                             Some(body) => {
@@ -825,6 +900,8 @@ impl ProxyShared {
     ) -> io::Result<(Response, Arc<Vec<u8>>)> {
         let shard = self.shard(file);
         let ims = wall_date(entry.last_modified);
+        // wcc-allow: r1 exchange stopwatch for DelaySource::Measured; modeled runs never read it
+        let started = std::time::Instant::now();
         let sent = upstream.write_request(&Request::get_if_modified_since(&req.path, ims))?;
         let (resp, body) = upstream.read_response()?;
         let header_bytes = resp.header_size();
@@ -837,6 +914,7 @@ impl ProxyShared {
                     st.traffic.add_message(sent + header_bytes);
                     st.stats.validations_not_modified += 1;
                     st.policy.on_validation(class, false);
+                    st.policy.on_fetch(class, self.exchange_delay(0, started));
                     self.probe.record(
                         now,
                         ObsEvent::Validation {
@@ -885,6 +963,8 @@ impl ProxyShared {
                     st.stats.validations_modified += 1;
                     st.stats.misses += 1;
                     st.policy.on_validation(class, true);
+                    st.policy
+                        .on_fetch(class, self.exchange_delay(body.len() as u64, started));
                     self.probe.record(
                         now,
                         ObsEvent::Validation {
@@ -1041,6 +1121,7 @@ impl LiveProxy {
             ),
             classes: config.classes,
             uncacheable_mask: config.uncacheable_mask,
+            delay: config.delay,
             uses_invalidation,
             ground_truth: config.ground_truth,
             clock: config.clock,

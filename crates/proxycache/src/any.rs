@@ -4,16 +4,19 @@
 //! object-safe; code that picks a store at runtime (the live proxy's
 //! `--store` flag, sweep drivers comparing eviction policies) cannot hold
 //! a `Box<dyn Store>`. [`AnyStore`] is the enum-dispatch alternative: one
-//! concrete type covering the three stores, itself implementing [`Store`].
+//! concrete type covering the five stores, itself implementing [`Store`].
 
 use simcore::{FileId, SimTime};
 
 use crate::entry::EntryMeta;
-use crate::fifo::{FifoIter, FifoStore};
-use crate::lru::{LruIter, LruStore};
-use crate::store::{Store, UnboundedIter, UnboundedStore};
+use crate::evict::{BoundedIter, EvictionPolicy};
+use crate::fifo::FifoStore;
+use crate::gds::GdsStore;
+use crate::lfu::LfuStore;
+use crate::lru::LruStore;
+use crate::store::{Evicted, Store, UnboundedIter, UnboundedStore};
 
-/// One of the three entry stores, selected at runtime.
+/// One of the five entry stores, selected at runtime.
 #[derive(Debug)]
 pub enum AnyStore {
     /// The paper's infinite store.
@@ -22,6 +25,10 @@ pub enum AnyStore {
     Lru(LruStore),
     /// Byte-bounded with first-in-first-out eviction.
     Fifo(FifoStore),
+    /// Byte-bounded with GreedyDual-Size eviction.
+    Gds(GdsStore),
+    /// Byte-bounded with score-gated LFU eviction.
+    Lfu(LfuStore),
 }
 
 impl AnyStore {
@@ -46,6 +53,22 @@ impl AnyStore {
         AnyStore::Fifo(FifoStore::new(capacity_bytes))
     }
 
+    /// A byte-bounded GreedyDual-Size store.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes` is zero.
+    pub fn gds(capacity_bytes: u64) -> Self {
+        AnyStore::Gds(GdsStore::new(capacity_bytes))
+    }
+
+    /// A byte-bounded score-gated LFU store.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes` is zero.
+    pub fn lfu(capacity_bytes: u64) -> Self {
+        AnyStore::Lfu(LfuStore::new(capacity_bytes))
+    }
+
     /// Capacity-eviction count (zero for the unbounded store, which never
     /// evicts).
     pub fn evictions(&self) -> u64 {
@@ -53,15 +76,20 @@ impl AnyStore {
             AnyStore::Unbounded(_) => 0,
             AnyStore::Lru(s) => s.evictions(),
             AnyStore::Fifo(s) => s.evictions(),
+            AnyStore::Gds(s) => s.evictions(),
+            AnyStore::Lfu(s) => s.evictions(),
         }
     }
 
-    /// Short label for reports (`unbounded` / `lru` / `fifo`).
+    /// Short label for reports (`unbounded` / `lru` / `fifo` / `gds` /
+    /// `lfu`).
     pub fn kind(&self) -> &'static str {
         match self {
             AnyStore::Unbounded(_) => "unbounded",
-            AnyStore::Lru(_) => "lru",
-            AnyStore::Fifo(_) => "fifo",
+            AnyStore::Lru(s) => s.policy().name(),
+            AnyStore::Fifo(s) => s.policy().name(),
+            AnyStore::Gds(s) => s.policy().name(),
+            AnyStore::Lfu(s) => s.policy().name(),
         }
     }
 }
@@ -97,8 +125,7 @@ pub struct AnyStoreIter<'a>(Inner<'a>);
 
 enum Inner<'a> {
     Unbounded(UnboundedIter<'a>),
-    Lru(LruIter<'a>),
-    Fifo(FifoIter<'a>),
+    Bounded(BoundedIter<'a>),
 }
 
 impl<'a> Iterator for AnyStoreIter<'a> {
@@ -107,8 +134,7 @@ impl<'a> Iterator for AnyStoreIter<'a> {
     fn next(&mut self) -> Option<Self::Item> {
         match &mut self.0 {
             Inner::Unbounded(it) => it.next(),
-            Inner::Lru(it) => it.next(),
-            Inner::Fifo(it) => it.next(),
+            Inner::Bounded(it) => it.next(),
         }
     }
 }
@@ -119,6 +145,8 @@ macro_rules! dispatch {
             AnyStore::Unbounded($s) => $body,
             AnyStore::Lru($s) => $body,
             AnyStore::Fifo($s) => $body,
+            AnyStore::Gds($s) => $body,
+            AnyStore::Lfu($s) => $body,
         }
     };
 }
@@ -134,7 +162,7 @@ impl Store for AnyStore {
         dispatch!(self, s => s.access(id, now))
     }
 
-    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
+    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Evicted {
         dispatch!(self, s => s.insert(id, meta))
     }
 
@@ -153,8 +181,10 @@ impl Store for AnyStore {
     fn iter(&self) -> AnyStoreIter<'_> {
         match self {
             AnyStore::Unbounded(s) => AnyStoreIter(Inner::Unbounded(s.iter())),
-            AnyStore::Lru(s) => AnyStoreIter(Inner::Lru(s.iter())),
-            AnyStore::Fifo(s) => AnyStoreIter(Inner::Fifo(s.iter())),
+            AnyStore::Lru(s) => AnyStoreIter(Inner::Bounded(s.iter())),
+            AnyStore::Fifo(s) => AnyStoreIter(Inner::Bounded(s.iter())),
+            AnyStore::Gds(s) => AnyStoreIter(Inner::Bounded(s.iter())),
+            AnyStore::Lfu(s) => AnyStoreIter(Inner::Bounded(s.iter())),
         }
     }
 }
@@ -176,6 +206,8 @@ mod tests {
         assert_eq!(AnyStore::unbounded().kind(), "unbounded");
         assert_eq!(AnyStore::lru(10).kind(), "lru");
         assert_eq!(AnyStore::fifo(10).kind(), "fifo");
+        assert_eq!(AnyStore::gds(10).kind(), "gds");
+        assert_eq!(AnyStore::lfu(10).kind(), "lfu");
         assert_eq!(AnyStore::default().kind(), "unbounded");
     }
 
@@ -185,6 +217,8 @@ mod tests {
             AnyStore::unbounded(),
             AnyStore::lru(1000),
             AnyStore::fifo(1000),
+            AnyStore::gds(1000),
+            AnyStore::lfu(1000),
         ] {
             assert!(s.is_empty());
             assert!(s.insert(FileId(1), meta(100)).is_empty());
@@ -230,7 +264,12 @@ mod tests {
 
     #[test]
     fn bounded_variants_evict_under_pressure() {
-        for mut s in [AnyStore::lru(100), AnyStore::fifo(100)] {
+        for mut s in [
+            AnyStore::lru(100),
+            AnyStore::fifo(100),
+            AnyStore::gds(100),
+            AnyStore::lfu(100),
+        ] {
             s.insert(FileId(1), meta(60));
             s.insert(FileId(2), meta(60));
             assert_eq!(s.evictions(), 1, "{}", s.kind());

@@ -1,0 +1,391 @@
+//! The eviction seam: [`EvictionPolicy`] and the generic [`BoundedStore`].
+//!
+//! Eviction used to be baked into each bounded container (`LruStore` and
+//! `FifoStore` each owned a slot table *and* a victim-selection rule).
+//! This module splits the two concerns: [`BoundedStore`] owns the dense
+//! slot table, the byte ledger, and the capacity sweep; an
+//! [`EvictionPolicy`] owns only its ordering/score bookkeeping and answers
+//! one question — *who goes next?* LRU and FIFO are reimplemented on the
+//! seam atop the same intrusive doubly-linked list as before (see
+//! [`IntrusiveList`]); GreedyDual-Size and score-gated LFU plug in the
+//! score-based rules of Hasslinger et al. (arXiv 2308.02875) without
+//! touching the container.
+//!
+//! ## Contract
+//!
+//! The store drives the policy through callbacks; the policy must track
+//! exactly the resident set:
+//!
+//! * [`EvictionPolicy::on_insert`] — a new entry became resident;
+//! * [`EvictionPolicy::on_replace`] — a resident entry's body was replaced
+//!   in place (same id, possibly new size);
+//! * [`EvictionPolicy::on_access`] — a resident entry was read;
+//! * [`EvictionPolicy::on_remove`] / [`EvictionPolicy::on_evict`] — the
+//!   entry left the store (explicit removal vs. capacity eviction; GDS
+//!   ages its inflation term only on the latter);
+//! * [`EvictionPolicy::victim`] — the next entry the policy would evict,
+//!   never the excluded one (the store excludes the entry being replaced,
+//!   whose bytes are already off the ledger mid-sweep);
+//! * [`EvictionPolicy::admit`] — an optional admission gate consulted for
+//!   *new* entries only, and only when admitting would force an eviction.
+//!
+//! Replacement semantics are the policies' own business: LRU treats a
+//! replacement as a use (the entry moves to the MRU end), FIFO preserves
+//! the original arrival position. Both fall out of the default
+//! `on_replace → on_access` wiring, which is why the split reproduces the
+//! legacy stores' victim sequences exactly (property-tested against the
+//! original implementations in `lru.rs` and `fifo.rs`).
+
+use simcore::{FileId, SimTime};
+
+use crate::entry::EntryMeta;
+use crate::store::{ensure_slot, Evicted, SlotTableIter, Store};
+
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// A victim-selection rule for a [`BoundedStore`].
+///
+/// Implementations keep their own view of the resident set (recency list,
+/// score queue, …) updated through the callbacks below; the store owns
+/// the entries themselves.
+pub trait EvictionPolicy {
+    /// Short label for reports (`"lru"`, `"fifo"`, `"gds"`, `"lfu"`).
+    fn name(&self) -> &'static str;
+
+    /// Admission gate, consulted for entries not yet resident and only
+    /// when admitting `meta` would force an eviction (`would_evict`).
+    /// Returning `false` rejects the incoming entry, which the store
+    /// reports as its own eviction. The default admits everything.
+    fn admit(&mut self, _id: FileId, _meta: &EntryMeta, _would_evict: bool) -> bool {
+        true
+    }
+
+    /// A new entry became resident.
+    fn on_insert(&mut self, id: FileId, meta: &EntryMeta);
+
+    /// A resident entry's body was replaced in place (same id, possibly a
+    /// new size). Defaults to [`EvictionPolicy::on_access`]: replacement
+    /// counts as a use for recency/score policies, and is a no-op for
+    /// policies (like FIFO) whose accesses are no-ops.
+    fn on_replace(&mut self, id: FileId, meta: &EntryMeta) {
+        self.on_access(id, meta);
+    }
+
+    /// A resident entry was read.
+    fn on_access(&mut self, id: FileId, meta: &EntryMeta);
+
+    /// A resident entry was removed outright.
+    fn on_remove(&mut self, id: FileId, meta: &EntryMeta);
+
+    /// A resident entry was evicted for capacity. Defaults to
+    /// [`EvictionPolicy::on_remove`]; score-aging policies (GreedyDual)
+    /// override it to learn from the victim's score first.
+    fn on_evict(&mut self, id: FileId, meta: &EntryMeta) {
+        self.on_remove(id, meta);
+    }
+
+    /// The entry the policy evicts next, never `exclude`. `None` when no
+    /// evictable entry remains.
+    fn victim(&self, exclude: Option<FileId>) -> Option<FileId>;
+
+    /// The policy's current score for a resident entry, where meaningful
+    /// (`None` for purely order-based policies and absent entries).
+    fn score(&self, _id: FileId) -> Option<f64> {
+        None
+    }
+}
+
+/// A byte-capacity-bounded store generic over its [`EvictionPolicy`].
+///
+/// Owns the dense slot table and the byte ledger; delegates victim
+/// selection to `E`. `LruStore`, `FifoStore`, `GdsStore`, and `LfuStore`
+/// are type aliases over this container.
+#[derive(Debug)]
+pub struct BoundedStore<E> {
+    capacity_bytes: u64,
+    slots: Vec<Option<EntryMeta>>,
+    len: usize,
+    bytes: u64,
+    evictions: u64,
+    policy: E,
+}
+
+impl<E: EvictionPolicy + Default> BoundedStore<E> {
+    /// A store that evicts by `E`'s rule once resident bytes would exceed
+    /// `capacity_bytes`.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes == 0`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        BoundedStore::with_policy(capacity_bytes, E::default())
+    }
+}
+
+impl<E: EvictionPolicy> BoundedStore<E> {
+    /// A store using a pre-configured policy instance.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes == 0`.
+    pub fn with_policy(capacity_bytes: u64, policy: E) -> Self {
+        assert!(
+            capacity_bytes > 0,
+            "{} capacity must be positive",
+            policy.name()
+        );
+        BoundedStore {
+            capacity_bytes,
+            slots: Vec::new(),
+            len: 0,
+            bytes: 0,
+            evictions: 0,
+            policy,
+        }
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of entries evicted (or refused admission) over the store's
+    /// lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The eviction policy driving this store.
+    pub fn policy(&self) -> &E {
+        &self.policy
+    }
+
+    fn evict_to_fit(&mut self, incoming: u64, exclude: Option<FileId>, out: &mut Evicted) {
+        while self.bytes + incoming > self.capacity_bytes {
+            let Some(victim) = self.policy.victim(exclude) else {
+                break; // nothing evictable; oversized entries handled by caller
+            };
+            let meta = self.slots[victim.index()]
+                .take()
+                .expect("eviction policy chose an absent entry");
+            self.policy.on_evict(victim, &meta);
+            self.bytes -= meta.size;
+            self.len -= 1;
+            self.evictions += 1;
+            out.push(victim, meta);
+        }
+    }
+}
+
+/// Iterator over a [`BoundedStore`]'s resident entries, id order.
+pub struct BoundedIter<'a>(SlotTableIter<'a, EntryMeta>);
+
+impl<'a> Iterator for BoundedIter<'a> {
+    type Item = (FileId, &'a EntryMeta);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next()
+    }
+}
+
+impl<E: EvictionPolicy> Store for BoundedStore<E> {
+    type Iter<'a>
+        = BoundedIter<'a>
+    where
+        Self: 'a;
+
+    fn peek(&self, id: FileId) -> Option<&EntryMeta> {
+        self.slots.get(id.index())?.as_ref()
+    }
+
+    fn access(&mut self, id: FileId, _now: SimTime) -> Option<&mut EntryMeta> {
+        let meta = *self.slots.get(id.index())?.as_ref()?;
+        self.policy.on_access(id, &meta);
+        self.slots[id.index()].as_mut()
+    }
+
+    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Evicted {
+        ensure_slot(&mut self.slots, id);
+        let idx = id.index();
+        if let Some(old) = self.slots[idx] {
+            // Replacing an entry frees its bytes before fit is judged; the
+            // entry keeps its policy position and is excluded from the
+            // eviction sweep (it cannot evict itself mid-replacement).
+            self.bytes -= old.size;
+            if meta.size > self.capacity_bytes {
+                // The grown body no longer fits at all: the entry leaves
+                // the store and the incoming copy is reported as evicted.
+                self.policy.on_remove(id, &old);
+                self.slots[idx] = None;
+                self.len -= 1;
+                self.evictions += 1;
+                return Evicted::one(id, meta);
+            }
+            let mut evicted = Evicted::none();
+            self.evict_to_fit(meta.size, Some(id), &mut evicted);
+            self.slots[idx] = Some(meta);
+            self.policy.on_replace(id, &meta);
+            self.bytes += meta.size;
+            return evicted;
+        }
+        if meta.size > self.capacity_bytes {
+            // An entity larger than the whole cache is never admitted;
+            // report it as immediately "evicted" so callers keep ledgers
+            // consistent.
+            self.evictions += 1;
+            return Evicted::one(id, meta);
+        }
+        let would_evict = self.bytes + meta.size > self.capacity_bytes;
+        if !self.policy.admit(id, &meta, would_evict) {
+            self.evictions += 1;
+            return Evicted::one(id, meta);
+        }
+        let mut evicted = Evicted::none();
+        self.evict_to_fit(meta.size, None, &mut evicted);
+        self.slots[idx] = Some(meta);
+        self.policy.on_insert(id, &meta);
+        self.bytes += meta.size;
+        self.len += 1;
+        evicted
+    }
+
+    fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
+        let meta = self.slots.get_mut(id.index())?.take()?;
+        self.policy.on_remove(id, &meta);
+        self.bytes -= meta.size;
+        self.len -= 1;
+        Some(meta)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn iter(&self) -> BoundedIter<'_> {
+        BoundedIter(SlotTableIter::new(&self.slots, |m| m))
+    }
+}
+
+/// An intrusive doubly-linked list over dense slot indices — the shared
+/// ordering backbone of the LRU (recency) and FIFO (arrival) policies.
+/// O(1) splice, no per-node allocation; `head` is the next victim.
+#[derive(Debug, Clone)]
+pub(crate) struct IntrusiveList {
+    /// `(prev, next)` per slot index; `NIL` terminates.
+    links: Vec<(u32, u32)>,
+    head: u32,
+    tail: u32,
+}
+
+impl Default for IntrusiveList {
+    fn default() -> Self {
+        IntrusiveList {
+            links: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+}
+
+impl IntrusiveList {
+    /// Link `idx` at the back (newest) end. `idx` must not be linked.
+    pub(crate) fn push_back(&mut self, idx: usize) {
+        if idx >= self.links.len() {
+            self.links.resize(idx + 1, (NIL, NIL));
+        }
+        let idx = idx as u32;
+        let tail = self.tail;
+        self.links[idx as usize] = (tail, NIL);
+        if tail == NIL {
+            self.head = idx;
+        } else {
+            self.links[tail as usize].1 = idx;
+        }
+        self.tail = idx;
+    }
+
+    /// Splice a linked `idx` out of the list.
+    pub(crate) fn unlink(&mut self, idx: usize) {
+        let (prev, next) = self.links[idx];
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.links[prev as usize].1 = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.links[next as usize].0 = prev;
+        }
+        self.links[idx] = (NIL, NIL);
+    }
+
+    /// Move a linked `idx` to the back; a no-op if it is already there.
+    pub(crate) fn move_to_back(&mut self, idx: usize) {
+        if self.tail == idx as u32 {
+            return;
+        }
+        self.unlink(idx);
+        self.push_back(idx);
+    }
+
+    /// The front (oldest) entry, skipping `exclude` once.
+    pub(crate) fn front_excluding(&self, exclude: Option<FileId>) -> Option<FileId> {
+        let mut v = self.head;
+        if let Some(ex) = exclude {
+            if v == ex.index() as u32 {
+                v = self.links[v as usize].1;
+            }
+        }
+        (v != NIL).then(|| FileId::from_index(v as usize))
+    }
+
+    /// Walk front→back, asserting link symmetry; returns the visited slot
+    /// indices in order. Test support.
+    #[cfg(test)]
+    pub(crate) fn walk(&self) -> Vec<u32> {
+        let mut order = Vec::new();
+        let mut idx = self.head;
+        let mut prev = NIL;
+        while idx != NIL {
+            let (p, next) = self.links[idx as usize];
+            assert_eq!(p, prev, "broken back-link at {idx}");
+            order.push(idx);
+            prev = idx;
+            idx = next;
+        }
+        assert_eq!(self.tail, prev, "tail does not terminate the list");
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrusive_list_splices_and_walks() {
+        let mut l = IntrusiveList::default();
+        l.push_back(3);
+        l.push_back(1);
+        l.push_back(7);
+        assert_eq!(l.walk(), vec![3, 1, 7]);
+        l.move_to_back(3);
+        assert_eq!(l.walk(), vec![1, 7, 3]);
+        l.move_to_back(3); // already at back: no-op
+        assert_eq!(l.walk(), vec![1, 7, 3]);
+        l.unlink(7);
+        assert_eq!(l.walk(), vec![1, 3]);
+        assert_eq!(l.front_excluding(None), Some(FileId::from_index(1)));
+        assert_eq!(
+            l.front_excluding(Some(FileId::from_index(1))),
+            Some(FileId::from_index(3))
+        );
+        l.unlink(1);
+        l.unlink(3);
+        assert!(l.walk().is_empty());
+        assert_eq!(l.front_excluding(None), None);
+    }
+}

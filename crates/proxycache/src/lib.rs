@@ -3,9 +3,14 @@
 //!
 //! Provides cache entry metadata ([`EntryMeta`], with the validation
 //! timestamps the Alex protocol reasons over), entry stores (the paper's
-//! infinite [`UnboundedStore`] plus bounded [`LruStore`] and [`FifoStore`]
-//! extensions), and the [`HierarchyTopology`] used by the Figure 1
-//! hierarchy-collapse ablation.
+//! infinite [`UnboundedStore`] plus the bounded [`BoundedStore`] family),
+//! and the [`HierarchyTopology`] used by the Figure 1 hierarchy-collapse
+//! ablation.
+//!
+//! Bounded stores are one container generic over an [`EvictionPolicy`]:
+//! classic [`LruStore`] and [`FifoStore`] (intrusive-list order), plus the
+//! score-based [`GdsStore`] (GreedyDual-Size) and [`LfuStore`]
+//! (score-gated LFU with ghost frequencies) from the eviction literature.
 //!
 //! Consistency *decisions* (is this entry still usable?) live in the
 //! `consistency` crate; this crate only stores and indexes.
@@ -15,14 +20,22 @@
 
 mod any;
 mod entry;
+mod evict;
 mod fifo;
+mod gds;
 mod hierarchy;
+mod lfu;
 mod lru;
 mod store;
 
 pub use any::{shard_capacity, AnyStore, AnyStoreIter};
 pub use entry::{EntryMeta, EntryState};
-pub use fifo::{FifoIter, FifoStore};
+pub use evict::{BoundedIter, BoundedStore, EvictionPolicy};
+pub use fifo::{FifoEviction, FifoStore};
+pub use gds::{GdsStore, GreedyDualSize};
 pub use hierarchy::HierarchyTopology;
-pub use lru::{LruIter, LruStore};
-pub use store::{update_entry_size, Store, UnboundedIter, UnboundedStore};
+pub use lfu::{LfuStore, ScoreGatedLfu};
+pub use lru::{LruEviction, LruStore};
+pub use store::{
+    update_entry_size, Evicted, EvictedIntoIter, Store, UnboundedIter, UnboundedStore,
+};

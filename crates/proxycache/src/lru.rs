@@ -1,231 +1,61 @@
-//! A byte-capacity-bounded store with LRU eviction.
+//! Least-recently-used eviction on the [`EvictionPolicy`] seam.
 //!
-//! The paper assumes infinite caches; this store is the workspace's
-//! extension for studying how capacity pressure interacts with consistency
-//! metadata (an evicted-then-refetched object loses its validation history,
-//! which matters to the Alex protocol: the refetched copy restarts with a
-//! fresh `last_validated` but keeps its origin age).
+//! The paper assumes infinite caches; the bounded stores are the
+//! workspace's extension for studying how capacity pressure interacts with
+//! consistency metadata (an evicted-then-refetched object loses its
+//! validation history, which matters to the Alex protocol: the refetched
+//! copy restarts with a fresh `last_validated` but keeps its origin age).
 //!
-//! Recency is an **intrusive doubly-linked list threaded through the dense
-//! slot table**: `head` is the LRU victim, `tail` the most recently used,
-//! and each slot carries `prev`/`next` indices. Touch and evict are O(1)
-//! pointer splices — no `BTreeMap` rebalancing, no per-access sequence
-//! allocation. Eviction order is exactly the order of last use, which is
-//! what the former sequence-numbered B-tree produced; the equivalence is
-//! property-tested against a model of the old implementation below.
+//! Recency is an **intrusive doubly-linked list over the dense slot
+//! indices** ([`crate::evict::IntrusiveList`]): the front is the LRU
+//! victim, the back the most recently used, and touch/evict are O(1)
+//! pointer splices. Replacing an entry counts as a use (the replacement
+//! lands at the MRU end). Eviction order is exactly the order of last use,
+//! which is what the original sequence-numbered B-tree store produced; the
+//! equivalence is property-tested against a model of that implementation
+//! below.
 
-use simcore::{FileId, SimTime};
+use simcore::FileId;
 
 use crate::entry::EntryMeta;
-use crate::store::{ensure_slot, SlotTableIter, Store};
+use crate::evict::{BoundedStore, EvictionPolicy, IntrusiveList};
 
-const NIL: u32 = u32::MAX;
+/// LRU victim selection: evict the entry unused for the longest time.
+#[derive(Debug, Clone, Default)]
+pub struct LruEviction {
+    pub(crate) list: IntrusiveList,
+}
 
-#[derive(Debug, Clone)]
-struct Slot {
-    meta: EntryMeta,
-    /// Neighbour towards the LRU end (`NIL` if this is the head).
-    prev: u32,
-    /// Neighbour towards the MRU end (`NIL` if this is the tail).
-    next: u32,
+impl EvictionPolicy for LruEviction {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn on_insert(&mut self, id: FileId, _meta: &EntryMeta) {
+        self.list.push_back(id.index());
+    }
+
+    fn on_access(&mut self, id: FileId, _meta: &EntryMeta) {
+        self.list.move_to_back(id.index());
+    }
+
+    fn on_remove(&mut self, id: FileId, _meta: &EntryMeta) {
+        self.list.unlink(id.index());
+    }
+
+    fn victim(&self, exclude: Option<FileId>) -> Option<FileId> {
+        self.list.front_excluding(exclude)
+    }
 }
 
 /// LRU store bounded by total entity bytes.
-#[derive(Debug)]
-pub struct LruStore {
-    capacity_bytes: u64,
-    slots: Vec<Option<Slot>>,
-    /// Least recently used entry — the next eviction victim.
-    head: u32,
-    /// Most recently used entry.
-    tail: u32,
-    len: usize,
-    bytes: u64,
-    evictions: u64,
-}
-
-impl LruStore {
-    /// A store that evicts least-recently-used entries once resident bytes
-    /// would exceed `capacity_bytes`.
-    ///
-    /// # Panics
-    /// Panics if `capacity_bytes == 0`.
-    pub fn new(capacity_bytes: u64) -> Self {
-        assert!(capacity_bytes > 0, "LRU capacity must be positive");
-        LruStore {
-            capacity_bytes,
-            slots: Vec::new(),
-            head: NIL,
-            tail: NIL,
-            len: 0,
-            bytes: 0,
-            evictions: 0,
-        }
-    }
-
-    /// Configured capacity in bytes.
-    pub fn capacity_bytes(&self) -> u64 {
-        self.capacity_bytes
-    }
-
-    /// Number of entries evicted over the store's lifetime.
-    pub fn evictions(&self) -> u64 {
-        self.evictions
-    }
-
-    fn slot(&self, idx: u32) -> &Slot {
-        self.slots[idx as usize]
-            .as_ref()
-            .expect("recency list points at an empty slot")
-    }
-
-    fn slot_mut(&mut self, idx: u32) -> &mut Slot {
-        self.slots[idx as usize]
-            .as_mut()
-            .expect("recency list points at an empty slot")
-    }
-
-    /// Splice `idx` out of the recency list (the slot itself stays put).
-    fn unlink(&mut self, idx: u32) {
-        let (prev, next) = {
-            let s = self.slot(idx);
-            (s.prev, s.next)
-        };
-        if prev == NIL {
-            self.head = next;
-        } else {
-            self.slot_mut(prev).next = next;
-        }
-        if next == NIL {
-            self.tail = prev;
-        } else {
-            self.slot_mut(next).prev = prev;
-        }
-    }
-
-    /// Link `idx` at the MRU end of the recency list.
-    fn link_mru(&mut self, idx: u32) {
-        let tail = self.tail;
-        {
-            let s = self.slot_mut(idx);
-            s.prev = tail;
-            s.next = NIL;
-        }
-        if tail == NIL {
-            self.head = idx;
-        } else {
-            self.slot_mut(tail).next = idx;
-        }
-        self.tail = idx;
-    }
-
-    fn evict_to_fit(&mut self, incoming: u64) -> Vec<(FileId, EntryMeta)> {
-        let mut evicted = Vec::new();
-        while self.bytes + incoming > self.capacity_bytes {
-            let victim = self.head;
-            if victim == NIL {
-                break; // nothing left to evict; oversized entry handled by caller
-            }
-            self.unlink(victim);
-            let slot = self.slots[victim as usize]
-                .take()
-                .expect("recency list points at an empty slot");
-            self.bytes -= slot.meta.size;
-            self.len -= 1;
-            self.evictions += 1;
-            evicted.push((FileId::from_index(victim as usize), slot.meta));
-        }
-        evicted
-    }
-}
-
-/// Iterator over an [`LruStore`]'s resident entries, id order.
-pub struct LruIter<'a>(SlotTableIter<'a, Slot>);
-
-impl<'a> Iterator for LruIter<'a> {
-    type Item = (FileId, &'a EntryMeta);
-
-    fn next(&mut self) -> Option<Self::Item> {
-        self.0.next()
-    }
-}
-
-impl Store for LruStore {
-    type Iter<'a> = LruIter<'a>;
-
-    fn peek(&self, id: FileId) -> Option<&EntryMeta> {
-        self.slots.get(id.index())?.as_ref().map(|s| &s.meta)
-    }
-
-    fn access(&mut self, id: FileId, _now: SimTime) -> Option<&mut EntryMeta> {
-        let idx = id.index();
-        if self.slots.get(idx)?.is_none() {
-            return None;
-        }
-        let idx = idx as u32;
-        if self.tail != idx {
-            self.unlink(idx);
-            self.link_mru(idx);
-        }
-        self.slots[id.index()].as_mut().map(|s| &mut s.meta)
-    }
-
-    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
-        ensure_slot(&mut self.slots, id);
-        // Replacing an entry frees its bytes before fit is judged, and the
-        // replacement lands at the MRU end (a fresh insert *is* a use).
-        if self.slots[id.index()].is_some() {
-            self.unlink(id.index() as u32);
-            let slot = self.slots[id.index()].take().expect("slot vanished");
-            self.bytes -= slot.meta.size;
-            self.len -= 1;
-        }
-        if meta.size > self.capacity_bytes {
-            // An entity larger than the whole cache is never admitted;
-            // report it as immediately "evicted" so callers keep ledgers
-            // consistent.
-            self.evictions += 1;
-            return vec![(id, meta)];
-        }
-        let evicted = self.evict_to_fit(meta.size);
-        self.slots[id.index()] = Some(Slot {
-            meta,
-            prev: NIL,
-            next: NIL,
-        });
-        self.link_mru(id.index() as u32);
-        self.bytes += meta.size;
-        self.len += 1;
-        evicted
-    }
-
-    fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
-        if self.slots.get(id.index())?.is_none() {
-            return None;
-        }
-        self.unlink(id.index() as u32);
-        let slot = self.slots[id.index()].take().expect("slot vanished");
-        self.bytes -= slot.meta.size;
-        self.len -= 1;
-        Some(slot.meta)
-    }
-
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    fn resident_bytes(&self) -> u64 {
-        self.bytes
-    }
-
-    fn iter(&self) -> LruIter<'_> {
-        LruIter(SlotTableIter::new(&self.slots, |s| &s.meta))
-    }
-}
+pub type LruStore = BoundedStore<LruEviction>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::Store;
+    use simcore::SimTime;
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -312,6 +142,23 @@ mod tests {
     }
 
     #[test]
+    fn growing_replacement_cannot_evict_itself() {
+        let mut s = LruStore::new(300);
+        s.insert(FileId(1), meta(100));
+        s.insert(FileId(2), meta(100));
+        s.access(FileId(1), t(1)); // 2 is now the LRU victim… but so would
+        s.access(FileId(2), t(2)); // 1 be if its own sweep could pick it.
+        s.access(FileId(1), t(3));
+        // Growing 2 (currently at the LRU end) forces an eviction; the
+        // victim must be 1, never 2 itself mid-replacement.
+        let evicted = s.insert(FileId(2), meta(250));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, FileId(1));
+        assert_eq!(s.peek(FileId(2)).unwrap().size, 250);
+        assert_eq!(s.resident_bytes(), 250);
+    }
+
+    #[test]
     fn remove_updates_ledger_and_recency() {
         let mut s = LruStore::new(300);
         s.insert(FileId(1), meta(100));
@@ -345,7 +192,9 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::store::Store;
     use proptest::prelude::*;
+    use simcore::SimTime;
     use std::collections::{BTreeMap, HashMap};
 
     #[derive(Debug, Clone)]
@@ -363,23 +212,10 @@ mod proptests {
         ]
     }
 
-    /// Walk the intrusive list head→tail, checking link symmetry, and
-    /// return the visited ids in LRU→MRU order.
+    /// Walk the intrusive list front→back (LRU→MRU), with link symmetry
+    /// checked inside [`IntrusiveList::walk`].
     fn walk_recency_list(s: &LruStore) -> Vec<u32> {
-        let mut order = Vec::new();
-        let mut idx = s.head;
-        let mut prev = NIL;
-        while idx != NIL {
-            let slot = s.slots[idx as usize]
-                .as_ref()
-                .expect("list points at empty slot");
-            assert_eq!(slot.prev, prev, "broken back-link at {idx}");
-            order.push(idx);
-            prev = idx;
-            idx = slot.next;
-        }
-        assert_eq!(s.tail, prev, "tail does not terminate the list");
-        order
+        s.policy().list.walk()
     }
 
     /// The previous implementation, kept verbatim as a reference model:
@@ -477,14 +313,15 @@ mod proptests {
                 prop_assert!(s.resident_bytes() <= s.capacity_bytes());
                 let listed = walk_recency_list(&s);
                 prop_assert_eq!(listed.len(), s.len());
-                let occupied = s.slots.iter().filter(|o| o.is_some()).count();
+                let occupied = s.iter().count();
                 prop_assert_eq!(occupied, s.len());
             }
         }
 
-        /// The intrusive list reproduces the old BTreeMap implementation's
-        /// behaviour exactly: same eviction victims in the same order, same
-        /// resident set, same byte ledger, under any operation sequence.
+        /// The eviction-policy split reproduces the old BTreeMap-indexed
+        /// implementation's behaviour exactly: same eviction victims in the
+        /// same order, same resident set, same byte ledger, under any
+        /// operation sequence.
         #[test]
         fn matches_old_btreemap_implementation(ops in proptest::collection::vec(op_strategy(), 0..300)) {
             let mut real = LruStore::new(300);
@@ -514,15 +351,7 @@ mod proptests {
                 prop_assert_eq!(real.len(), model.entries.len());
                 prop_assert_eq!(real.resident_bytes(), model.bytes);
                 // LRU→MRU order must match the model's seq order exactly.
-                let real_order: Vec<u32> = {
-                    let mut order = Vec::new();
-                    let mut idx = real.head;
-                    while idx != NIL {
-                        order.push(idx);
-                        idx = real.slots[idx as usize].as_ref().unwrap().next;
-                    }
-                    order
-                };
+                let real_order: Vec<u32> = real.policy().list.walk();
                 let model_order: Vec<u32> =
                     model.recency.values().map(|id| id.0).collect();
                 prop_assert_eq!(real_order, model_order);

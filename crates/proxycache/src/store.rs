@@ -34,7 +34,7 @@ pub trait Store {
 
     /// Insert or replace an entry; returns entries evicted to make room
     /// (always empty for unbounded stores).
-    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)>;
+    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Evicted;
 
     /// Remove an entry outright.
     fn remove(&mut self, id: FileId) -> Option<EntryMeta>;
@@ -53,6 +53,119 @@ pub trait Store {
     /// Iterate over resident entries in ascending id order.
     fn iter(&self) -> Self::Iter<'_>;
 }
+
+/// Entries evicted by one [`Store::insert`] call.
+///
+/// Evictions are the exception on the insert hot path (always zero for
+/// the unbounded store, zero or one for bounded stores in the common
+/// case), so the container stores its first element inline and only
+/// allocates when a single insert displaces two or more entries.
+/// Dereferences to a slice, so `len()`/`is_empty()`/indexing/iteration
+/// all work as they did on the former `Vec` return type.
+#[derive(Debug, Default)]
+pub struct Evicted(Repr);
+
+#[derive(Debug, Default)]
+enum Repr {
+    #[default]
+    Empty,
+    One([(FileId, EntryMeta); 1]),
+    Spill(Vec<(FileId, EntryMeta)>),
+}
+
+impl Evicted {
+    /// No evictions.
+    pub fn none() -> Self {
+        Evicted(Repr::Empty)
+    }
+
+    /// Exactly one eviction, stored inline.
+    pub fn one(id: FileId, meta: EntryMeta) -> Self {
+        Evicted(Repr::One([(id, meta)]))
+    }
+
+    /// Append an eviction, spilling to the heap only past the first.
+    pub fn push(&mut self, id: FileId, meta: EntryMeta) {
+        self.0 = match std::mem::take(&mut self.0) {
+            Repr::Empty => Repr::One([(id, meta)]),
+            Repr::One([first]) => Repr::Spill(vec![first, (id, meta)]),
+            Repr::Spill(mut v) => {
+                v.push((id, meta));
+                Repr::Spill(v)
+            }
+        };
+    }
+
+    /// The evicted entries as a slice.
+    pub fn as_slice(&self) -> &[(FileId, EntryMeta)] {
+        match &self.0 {
+            Repr::Empty => &[],
+            Repr::One(one) => one,
+            Repr::Spill(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for Evicted {
+    type Target = [(FileId, EntryMeta)];
+
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for Evicted {
+    type Item = (FileId, EntryMeta);
+    type IntoIter = EvictedIntoIter;
+
+    fn into_iter(self) -> EvictedIntoIter {
+        EvictedIntoIter(match self.0 {
+            Repr::Empty => IterRepr::Empty,
+            Repr::One(one) => IterRepr::One(one.into_iter()),
+            Repr::Spill(v) => IterRepr::Spill(v.into_iter()),
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a Evicted {
+    type Item = &'a (FileId, EntryMeta);
+    type IntoIter = std::slice::Iter<'a, (FileId, EntryMeta)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// By-value iterator over [`Evicted`] entries.
+pub struct EvictedIntoIter(IterRepr);
+
+enum IterRepr {
+    Empty,
+    One(std::array::IntoIter<(FileId, EntryMeta), 1>),
+    Spill(std::vec::IntoIter<(FileId, EntryMeta)>),
+}
+
+impl Iterator for EvictedIntoIter {
+    type Item = (FileId, EntryMeta);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.0 {
+            IterRepr::Empty => None,
+            IterRepr::One(it) => it.next(),
+            IterRepr::Spill(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.0 {
+            IterRepr::Empty => (0, Some(0)),
+            IterRepr::One(it) => it.size_hint(),
+            IterRepr::Spill(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for EvictedIntoIter {}
 
 /// Shared iterator core for dense slot tables: walks the occupied slots of
 /// a `Vec<Option<T>>` in index order, projecting each slot to its
@@ -128,7 +241,7 @@ impl Store for UnboundedStore {
         self.slots.get_mut(id.index())?.as_mut()
     }
 
-    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Vec<(FileId, EntryMeta)> {
+    fn insert(&mut self, id: FileId, meta: EntryMeta) -> Evicted {
         ensure_slot(&mut self.slots, id);
         let slot = &mut self.slots[id.index()];
         match slot.replace(meta) {
@@ -136,7 +249,7 @@ impl Store for UnboundedStore {
             None => self.len += 1,
         }
         self.bytes += meta.size;
-        Vec::new()
+        Evicted::none()
     }
 
     fn remove(&mut self, id: FileId) -> Option<EntryMeta> {
@@ -249,6 +362,27 @@ mod tests {
         s.remove(FileId(5));
         let ids: Vec<u32> = s.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn evicted_stores_one_inline_and_spills_past_it() {
+        let mut e = Evicted::none();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        e.push(FileId(1), meta(10));
+        assert!(matches!(e.0, Repr::One(_)));
+        assert_eq!(e[0].0, FileId(1));
+        e.push(FileId(2), meta(20));
+        e.push(FileId(3), meta(30));
+        assert!(matches!(e.0, Repr::Spill(_)));
+        let ids: Vec<u32> = e.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        let sizes: Vec<u64> = e.into_iter().map(|(_, m)| m.size).collect();
+        assert_eq!(sizes, vec![10, 20, 30]);
+
+        let one = Evicted::one(FileId(9), meta(5));
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.into_iter().next().unwrap().0, FileId(9));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! cargo run --release --example proxy_cache_sim [-- <capacity-mb>]
 //! ```
 
-use wwwcache::consistency::{CernPolicy, Policy};
+use wwwcache::consistency::{CernPolicy, Policy, RequestCtx};
 use wwwcache::proxycache::{EntryMeta, LruStore, Store};
 use wwwcache::simcore::{FileId, SimTime};
 use wwwcache::simstats::{DetRng, ZipfDist};
@@ -41,7 +41,11 @@ fn main() {
             continue;
         }
         match cache.access(id, now).copied() {
-            Some(entry) if entry.is_valid() && policy.is_fresh(&entry, 0, now) => {
+            Some(entry)
+                if policy
+                    .decide(&entry, &RequestCtx::new(now, 0))
+                    .serves_locally() =>
+            {
                 hits += 1;
             }
             Some(mut entry) => {

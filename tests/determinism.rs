@@ -158,6 +158,59 @@ fn sweep_output_matches_pinned_golden_hash() {
     );
 }
 
+/// Companion golden for the decision-API era: the literature policies
+/// (RenewableTTL, UpdateRisk) and the score-based stores (GreedyDual-Size,
+/// score-gated LFU) pinned the same way the legacy sweep is. Unlike
+/// `GOLDEN` above this value was born on the `decide()` substrate, so it
+/// guards the new code paths — delay pricing, fetch feedback, eviction
+/// scoring — against silent drift.
+#[test]
+fn new_policy_runs_match_pinned_golden_hash() {
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    let wl = generate_synthetic(&WorrellConfig::scaled(60, 2_000), 5);
+    let capacity: u64 = 200 * 1_024;
+    let mut rendered = String::new();
+    for spec in [
+        ProtocolSpec::RenewableTtl(24),
+        ProtocolSpec::RenewableTtl(168),
+        ProtocolSpec::UpdateRisk(1),
+        ProtocolSpec::UpdateRisk(10),
+    ] {
+        rendered.push_str(&format!("{:?}", run(&wl, spec, &SimConfig::optimized())));
+    }
+    rendered.push_str(&format!(
+        "{:?}",
+        Experiment::new(&wl)
+            .protocol(ProtocolSpec::RenewableTtl(24))
+            .store(ExperimentStore::Gds(capacity))
+            .run()
+            .into_pair()
+    ));
+    rendered.push_str(&format!(
+        "{:?}",
+        Experiment::new(&wl)
+            .protocol(ProtocolSpec::UpdateRisk(5))
+            .store(ExperimentStore::Lfu(capacity))
+            .run()
+            .into_pair()
+    ));
+
+    const NEW_GOLDEN: u64 = 15_389_618_275_637_391_324;
+    assert_eq!(
+        fnv1a(rendered.as_bytes()),
+        NEW_GOLDEN,
+        "new-policy output diverged from its pinned substrate"
+    );
+}
+
 #[test]
 fn parallel_sweep_matches_sequential_loop() {
     // The sweep executor must be a pure wall-clock optimisation: fanning a

@@ -99,3 +99,21 @@ fn a_second_seed_also_agrees() {
     assert_live_matches_sim(&workload, ProtocolSpec::Alex(10));
     assert_live_matches_sim(&workload, ProtocolSpec::Invalidation);
 }
+
+#[test]
+fn renewable_ttl_live_run_matches_optimized_simulator() {
+    // The delay-aware policy is the hard case: every decision depends on
+    // the retrieval delay, so agreement here proves the live stack's
+    // `DelaySource::Modeled` pricing is byte-identical to the simulator's
+    // link model — on decisions, fetch-delay feedback, and staleness.
+    assert_live_matches_sim(&differential_workload(), ProtocolSpec::RenewableTtl(24));
+}
+
+#[test]
+fn update_risk_live_run_matches_optimized_simulator() {
+    // UpdateRisk layers MIMD rate-learning on top of the delay pricing:
+    // its per-class gain is driven by the validation outcomes, so the
+    // exact-match assertion also covers the live `on_validation` /
+    // `on_fetch` callback ordering.
+    assert_live_matches_sim(&differential_workload(), ProtocolSpec::UpdateRisk(5));
+}
